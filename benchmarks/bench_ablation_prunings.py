@@ -1,0 +1,61 @@
+"""Ablation X2 — FARMER's pruning strategies (DESIGN.md §5).
+
+One benchmark per pruning configuration on the same workload; disabling
+prunings never changes the mined groups (asserted), only the runtime and
+node count — the pytest-benchmark table quantifies each strategy's
+contribution.
+"""
+
+import pytest
+
+from repro.core.constraints import Constraints
+from repro.core.enumeration import SearchBudget
+from repro.core.farmer import ALL_PRUNINGS, Farmer
+
+CONFIGS = {
+    "all": ALL_PRUNINGS,
+    "no-p1-compression": frozenset({"p3"}),
+    "no-p2-identified": frozenset({"p1", "p3"}),
+    "no-p3-bounds": frozenset({"p1", "p2"}),
+    "none": frozenset(),
+}
+
+DATASET = "CT"
+MINSUP = 5
+MINCONF = 0.8
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS), ids=sorted(CONFIGS))
+def test_pruning_config(benchmark, workloads, config):
+    workload = workloads[DATASET]
+    prunings = CONFIGS[config]
+
+    def run():
+        miner = Farmer(
+            constraints=Constraints(minsup=MINSUP, minconf=MINCONF),
+            prunings=prunings,
+            budget=SearchBudget(max_seconds=300),
+        )
+        return miner.mine(workload.data, workload.consequent)
+
+    result = benchmark(run)
+    reference = Farmer(
+        constraints=Constraints(minsup=MINSUP, minconf=MINCONF)
+    ).mine(workload.data, workload.consequent)
+    assert result.upper_antecedents() == reference.upper_antecedents()
+
+
+def test_prunings_reduce_nodes(benchmark, workloads):
+    """Full pruning expands no more nodes than any ablated config."""
+    workload = workloads[DATASET]
+
+    def nodes(prunings):
+        miner = Farmer(
+            constraints=Constraints(minsup=MINSUP, minconf=MINCONF),
+            prunings=prunings,
+        )
+        return miner.mine(workload.data, workload.consequent).counters.nodes
+
+    full = benchmark.pedantic(nodes, args=(ALL_PRUNINGS,), rounds=1)
+    for config, prunings in CONFIGS.items():
+        assert full <= nodes(prunings), config

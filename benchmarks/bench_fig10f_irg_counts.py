@@ -1,0 +1,61 @@
+"""Figure 10(f) / 11(f) — IRG counts vs minsup and minconf.
+
+The paper's count panels are not timing plots, but the counts come out of
+mining runs, so each point is benchmarked (the measured run *is* the data
+source) and the counts' monotone shapes are asserted:
+
+* #IRGs grows as ``minsup`` falls (Fig. 10(f));
+* #IRGs falls as ``minconf`` rises (Fig. 11(f));
+* at high confidence most surviving IRGs are exact (the Section 4.1.2
+  observation that nearly all IRGs at minconf 0.85 have 100% confidence).
+"""
+
+import pytest
+
+from repro.core.constraints import Constraints
+from repro.core.farmer import Farmer
+
+DATASET = "CT"
+MINSUP_POINTS = (6, 5, 4)
+MINCONF_POINTS = (0.0, 0.7, 0.9)
+
+
+@pytest.mark.parametrize("minsup", MINSUP_POINTS)
+def test_fig10f_counts(benchmark, workloads, minsup):
+    workload = workloads[DATASET]
+    miner = Farmer(constraints=Constraints(minsup=minsup))
+    result = benchmark(miner.mine, workload.data, workload.consequent)
+    assert len(result.groups) >= 0
+
+
+@pytest.mark.parametrize(
+    "minconf", MINCONF_POINTS, ids=[f"minconf{int(c*100)}" for c in MINCONF_POINTS]
+)
+def test_fig11f_counts(benchmark, workloads, minconf):
+    workload = workloads[DATASET]
+    miner = Farmer(constraints=Constraints(minsup=4, minconf=minconf))
+    result = benchmark(miner.mine, workload.data, workload.consequent)
+    assert len(result.groups) >= 0
+
+
+def test_count_shapes(benchmark, workloads):
+    workload = workloads[DATASET]
+
+    def count(minsup, minconf):
+        miner = Farmer(constraints=Constraints(minsup=minsup, minconf=minconf))
+        return miner.mine(workload.data, workload.consequent)
+
+    result = benchmark.pedantic(count, args=(4, 0.0), rounds=1)
+
+    by_minsup = [len(count(m, 0.0).groups) for m in MINSUP_POINTS]
+    assert by_minsup == sorted(by_minsup)  # grows as minsup falls
+
+    by_minconf = [len(count(4, c).groups) for c in MINCONF_POINTS]
+    assert by_minconf == sorted(by_minconf, reverse=True)
+
+    confident = count(4, 0.85)
+    if confident.groups:
+        exact = sum(1 for g in confident.groups if g.confidence == 1.0)
+        assert exact / len(confident.groups) >= 0.5
+
+    assert len(result.groups) == by_minsup[-1]

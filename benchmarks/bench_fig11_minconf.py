@@ -1,0 +1,79 @@
+"""Figure 11 — FARMER runtime vs minconf, with and without chi-square.
+
+Each benchmark is one point of the paper's Figure 11: FARMER at a fixed
+low ``minsup`` as ``minconf`` sweeps upward, once with ``minchi = 0`` and
+once with ``minchi = 10``.  The pytest-benchmark table is the figure.
+
+``test_fig11_shape`` asserts the paper's two findings: runtime falls as
+``minconf`` rises (Section 4.1.2, confidence pruning works) and the
+``minchi = 10`` curve does no more work than ``minchi = 0``
+(Section 4.1.3).
+"""
+
+import pytest
+
+from repro.core.constraints import Constraints
+from repro.core.farmer import Farmer
+
+MINCONF_POINTS = [0.0, 0.5, 0.8, 0.9, 0.99]
+FIXED_MINSUP = {"CT": 4, "ALL": 4, "BC": 6, "PC": 9, "LC": 11}
+DATASETS = ("CT", "ALL", "PC")
+
+
+def _ids(values):
+    return [f"minconf{int(value * 100)}" for value in values]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+@pytest.mark.parametrize("minconf", MINCONF_POINTS, ids=_ids(MINCONF_POINTS))
+def test_farmer_chi0(benchmark, workloads, name, minconf):
+    workload = workloads[name]
+    miner = Farmer(
+        constraints=Constraints(
+            minsup=FIXED_MINSUP[name], minconf=minconf, minchi=0.0
+        )
+    )
+    result = benchmark(miner.mine, workload.data, workload.consequent)
+    assert result.counters.nodes > 0
+
+
+@pytest.mark.parametrize("name", DATASETS)
+@pytest.mark.parametrize("minconf", MINCONF_POINTS, ids=_ids(MINCONF_POINTS))
+def test_farmer_chi10(benchmark, workloads, name, minconf):
+    workload = workloads[name]
+    miner = Farmer(
+        constraints=Constraints(
+            minsup=FIXED_MINSUP[name], minconf=minconf, minchi=10.0
+        )
+    )
+    result = benchmark(miner.mine, workload.data, workload.consequent)
+    assert result.counters.nodes > 0
+
+
+def _nodes(workload, minsup, minconf, minchi):
+    miner = Farmer(
+        constraints=Constraints(minsup=minsup, minconf=minconf, minchi=minchi)
+    )
+    result = miner.mine(workload.data, workload.consequent)
+    return result.counters.nodes
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_fig11_shape(benchmark, workloads, name):
+    """Confidence pruning shrinks the search; chi pruning compounds.
+
+    Node counts are used for the assertions (deterministic, unlike
+    wall-clock at millisecond scale); the benchmarked quantity is the
+    high-confidence run the figure's right edge shows.
+    """
+    workload = workloads[name]
+    minsup = FIXED_MINSUP[name]
+
+    miner = Farmer(constraints=Constraints(minsup=minsup, minconf=0.9))
+    benchmark(miner.mine, workload.data, workload.consequent)
+
+    nodes_low = _nodes(workload, minsup, 0.0, 0.0)
+    nodes_high = _nodes(workload, minsup, 0.9, 0.0)
+    nodes_high_chi = _nodes(workload, minsup, 0.9, 10.0)
+    assert nodes_high <= nodes_low
+    assert nodes_high_chi <= nodes_high

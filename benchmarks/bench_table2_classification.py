@@ -1,0 +1,114 @@
+"""Table 2 — classifier training/evaluation cost and accuracy shape.
+
+Benchmarks the three classifiers' full Table 2 protocol (train-fitted
+entropy discretization, fit, test scoring) per dataset.  The accuracy
+*values* land in EXPERIMENTS.md via ``examples/reproduce_paper.py``; here
+``test_table2_shape`` asserts the two shape findings the paper reports:
+every classifier clears the majority-class baseline on the easier
+datasets, and the IRG classifier is at least competitive with CBA on
+average (the paper has it ahead by ~6 points).
+"""
+
+import pytest
+
+from repro.classify.cba import CBAClassifier
+from repro.classify.evaluate import (
+    evaluate_matrix_based,
+    evaluate_rule_based,
+    split_matrix,
+)
+from repro.classify.irg import IRGClassifier
+from repro.classify.svm import LinearSVM
+from repro.data.discretize import EntropyMDLDiscretizer
+from repro.data.registry import PAPER_DATASETS, load, train_test_rows
+
+from conftest import BENCH_SCALE
+
+DATASETS = ("LC", "BC", "PC", "ALL", "CT")
+
+
+@pytest.fixture(scope="module")
+def splits():
+    prepared = {}
+    for name in DATASETS:
+        spec = PAPER_DATASETS[name]
+        matrix = load(name, scale=BENCH_SCALE)
+        train_rows, test_rows = train_test_rows(spec)
+        prepared[name] = split_matrix(matrix, train_rows, test_rows)
+    return prepared
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_irg_classifier(benchmark, splits, name):
+    train, test = splits[name]
+
+    def run():
+        return evaluate_rule_based(
+            IRGClassifier(), train, test, discretizer=EntropyMDLDiscretizer()
+        )
+
+    accuracy = benchmark.pedantic(run, rounds=1)
+    assert 0.0 <= accuracy <= 1.0
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_cba_classifier(benchmark, splits, name):
+    train, test = splits[name]
+
+    def run():
+        return evaluate_rule_based(
+            CBAClassifier(), train, test, discretizer=EntropyMDLDiscretizer()
+        )
+
+    accuracy = benchmark.pedantic(run, rounds=1)
+    assert 0.0 <= accuracy <= 1.0
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_svm_classifier(benchmark, splits, name):
+    train, test = splits[name]
+
+    def run():
+        return evaluate_matrix_based(LinearSVM(seed=0), train, test)
+
+    accuracy = benchmark.pedantic(run, rounds=1)
+    assert 0.0 <= accuracy <= 1.0
+
+
+def test_table2_shape(benchmark, splits):
+    """IRG-vs-CBA average ordering + everyone beats chance somewhere."""
+
+    def run_all():
+        scores = {"IRG": [], "CBA": [], "SVM": []}
+        for name in DATASETS:
+            train, test = splits[name]
+            scores["IRG"].append(
+                evaluate_rule_based(
+                    IRGClassifier(),
+                    train,
+                    test,
+                    discretizer=EntropyMDLDiscretizer(),
+                )
+            )
+            scores["CBA"].append(
+                evaluate_rule_based(
+                    CBAClassifier(),
+                    train,
+                    test,
+                    discretizer=EntropyMDLDiscretizer(),
+                )
+            )
+            scores["SVM"].append(
+                evaluate_matrix_based(LinearSVM(seed=0), train, test)
+            )
+        return scores
+
+    scores = benchmark.pedantic(run_all, rounds=1)
+    irg_average = sum(scores["IRG"]) / len(DATASETS)
+    cba_average = sum(scores["CBA"]) / len(DATASETS)
+    # Paper: IRG 83.03% vs CBA 77.33%.  Synthetic data narrows the gap;
+    # the ordering (with a small tolerance) is the reproduced shape.
+    assert irg_average >= cba_average - 0.02
+    # Each classifier is usefully above chance on at least one dataset.
+    for scores_list in scores.values():
+        assert max(scores_list) >= 0.6

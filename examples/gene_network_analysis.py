@@ -1,0 +1,72 @@
+"""Gene-network construction from rule groups (intro application #2).
+
+Run with::
+
+    python examples/gene_network_analysis.py [--scale 0.05]
+
+The paper's introduction motivates rule mining on microarrays partly
+because "association rules can be used to build gene networks".  This
+example mines interesting rule groups for both classes of the colon-tumor
+workload, links genes that co-occur in the same groups' upper bounds, and
+reads off co-regulation modules — recovering the generator's planted
+blocks.
+"""
+
+import argparse
+
+from repro import mine_irgs
+from repro.data.discretize import EqualDepthDiscretizer
+from repro.data.registry import PAPER_DATASETS, load
+from repro.extensions import build_gene_network, gene_modules
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--minsup", type=int, default=5)
+    parser.add_argument("--minconf", type=float, default=0.8)
+    arguments = parser.parse_args()
+
+    spec = PAPER_DATASETS["CT"]
+    matrix = load("CT", scale=arguments.scale)
+    data = EqualDepthDiscretizer(n_buckets=10).fit_transform(matrix)
+    print(
+        f"dataset: {spec.long_name} — {matrix.n_samples} samples x "
+        f"{matrix.n_genes} genes"
+    )
+
+    all_groups = []
+    for label in (spec.class1, spec.class0):
+        result = mine_irgs(
+            data, label, minsup=arguments.minsup, minconf=arguments.minconf
+        )
+        print(f"mined {len(result.groups):4d} IRGs for consequent {label!r}")
+        all_groups.extend(result.groups)
+
+    graph = build_gene_network(data, all_groups, min_confidence=0.9)
+    print(
+        f"\ngene network: {graph.number_of_nodes()} genes, "
+        f"{graph.number_of_edges()} associations"
+    )
+    heaviest = sorted(
+        graph.edges(data=True), key=lambda edge: -edge[2]["weight"]
+    )[:5]
+    for left, right, attrs in heaviest:
+        print(
+            f"  {left} -- {right}: weight={attrs['weight']:.1f} "
+            f"({attrs['count']} shared rule groups)"
+        )
+
+    modules = gene_modules(graph, min_edge_weight=1.0)
+    print(f"\n{len(modules)} co-regulation modules (weight >= 1.0):")
+    for module in modules[:6]:
+        print("  {" + ", ".join(sorted(module)) + "}")
+    print(
+        "\n(the generator plants its co-regulated blocks on the lowest "
+        "gene indices,\n so modules of consecutive g0..g50 genes are "
+        "recovered structure, not noise)"
+    )
+
+
+if __name__ == "__main__":
+    main()

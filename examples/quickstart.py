@@ -1,0 +1,61 @@
+"""Quickstart: mine interesting rule groups from a synthetic microarray.
+
+Run with::
+
+    python examples/quickstart.py
+
+Generates a small two-class expression matrix with planted co-regulated
+gene blocks, discretizes it the way the paper's efficiency experiments do
+(equal-depth, 10 buckets), mines the interesting rule groups for the
+cancer class, and prints each group with its upper bound, lower bounds
+and statistics.
+"""
+
+from repro import EqualDepthDiscretizer, mine_irgs
+from repro.data.synthetic import BlockSpec, make_microarray
+
+
+def main() -> None:
+    # A 40-sample, 60-gene cohort: the first block of genes activates in
+    # cancer samples, the second in normal samples, the rest is noise.
+    matrix = make_microarray(
+        n_samples=40,
+        n_genes=60,
+        n_class1=10,
+        blocks=[
+            BlockSpec(size=4, target_class=0, shift=5.0, penetrance=0.9),
+            BlockSpec(size=4, target_class=1, shift=5.0, penetrance=0.9),
+        ],
+        class_labels=("cancer", "normal"),
+        n_subtypes=0,
+        seed=42,
+        name="quickstart",
+    )
+    print(f"matrix: {matrix.n_samples} samples x {matrix.n_genes} genes")
+
+    # 4 buckets puts ~10 samples per bucket — matching the block's ~9
+    # active samples, so the block's genes co-discretize into one bucket
+    # and the mined groups have multi-gene upper bounds.
+    data = EqualDepthDiscretizer(n_buckets=4).fit_transform(matrix)
+    print(f"discretized: {data.n_items} items, {data.max_row_length()} per row")
+
+    result = mine_irgs(
+        data,
+        consequent="cancer",
+        minsup=4,
+        minconf=0.9,
+        compute_lower_bounds=True,
+    )
+    print(
+        f"\n{len(result.groups)} interesting rule groups "
+        f"(minsup=4, minconf=0.9) in {result.elapsed_seconds:.3f}s, "
+        f"{result.counters.nodes} search nodes\n"
+    )
+    for rank, group in enumerate(result.sorted_groups()[:5], start=1):
+        print(f"--- rule group #{rank} ({group.member_count()} member rules)")
+        print(group.format(data))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Run with::
+
+    python examples/reproduce_paper.py                  # full run (~tens of minutes)
+    python examples/reproduce_paper.py --quick          # small-scale smoke run
+    python examples/reproduce_paper.py --artifacts fig10 table2
+
+Produces plain-text counterparts of Table 1, Figure 10(a-f), Figure
+11(a-f), Table 2, the Section 4.1.3 replication experiment and the two
+ablations, in the order the paper presents them.  See EXPERIMENTS.md for
+a recorded run and the paper-vs-measured comparison.
+"""
+
+import argparse
+import sys
+import time
+
+from repro import experiments
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--artifacts",
+        nargs="+",
+        default=["table1", "fig10", "fig11", "table2", "scaling", "ablation"],
+        choices=["table1", "fig10", "fig11", "table2", "scaling", "ablation"],
+    )
+    parser.add_argument("--scale", type=float, default=0.08)
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny scale + short timeouts (CI smoke run)",
+    )
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="also draw the figures as ASCII log-scale charts",
+    )
+    parser.add_argument(
+        "--datasets", nargs="+", default=["LC", "BC", "PC", "ALL", "CT"]
+    )
+    arguments = parser.parse_args()
+    if arguments.quick:
+        arguments.scale = 0.02
+        arguments.timeout = 20.0
+
+    datasets = tuple(name.upper() for name in arguments.datasets)
+    started = time.perf_counter()
+
+    if "table1" in arguments.artifacts:
+        print(experiments.table1_report(
+            experiments.run_table1(datasets, scale=arguments.scale)
+        ))
+        print()
+
+    if "fig10" in arguments.artifacts:
+        results = experiments.run_fig10(
+            datasets, scale=arguments.scale, timeout=arguments.timeout
+        )
+        print(experiments.fig10_report(results))
+        if arguments.charts:
+            for name, series in results.items():
+                print()
+                print(
+                    experiments.ascii_chart(
+                        f"Figure 10 ({name})", series[:3]
+                    )
+                )
+        print()
+
+    if "fig11" in arguments.artifacts:
+        results = experiments.run_fig11(
+            datasets, scale=arguments.scale, timeout=arguments.timeout
+        )
+        print(experiments.fig11_report(results))
+        if arguments.charts:
+            for name, series in results.items():
+                print()
+                print(
+                    experiments.ascii_chart(
+                        f"Figure 11 ({name})", series[:2]
+                    )
+                )
+        print()
+
+    if "table2" in arguments.artifacts:
+        rows = experiments.run_table2(
+            datasets, scale=min(arguments.scale, 0.08)
+        )
+        print(experiments.table2_report(rows))
+        print()
+
+    if "scaling" in arguments.artifacts:
+        series = experiments.run_scaling(
+            dataset="CT",
+            scale=arguments.scale,
+            timeout=arguments.timeout,
+            factors=(1, 2, 3) if arguments.quick else (1, 2, 3, 4, 5),
+        )
+        print(experiments.scaling_report(series, dataset="CT"))
+        print()
+
+    if "ablation" in arguments.artifacts:
+        rows = experiments.run_pruning_ablation(
+            dataset="CT",
+            scale=min(arguments.scale, 0.04),
+            timeout=arguments.timeout,
+        )
+        print(experiments.pruning_ablation_report(rows))
+        print()
+        print(
+            experiments.minelb_ablation_report(
+                experiments.run_minelb_ablation(
+                    dataset="CT", scale=min(arguments.scale, 0.04)
+                )
+            )
+        )
+        print()
+
+    print(f"total: {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP
+517 editable builds (which require bdist_wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` (configured globally in pip.conf)
+fall back to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Baseline miners the paper evaluates FARMER against, plus the oracle.
+
+* :class:`~repro.baselines.columne.ColumnE` — column-enumeration IRG
+  miner (the paper's ColumnE, reference [2]).
+* :class:`~repro.baselines.charm.Charm` — closed itemset mining [23].
+* :class:`~repro.baselines.closet.ClosetPlus` — FP-tree closed mining [21].
+* :class:`~repro.baselines.carpenter.Carpenter` — row-enumeration closed
+  pattern mining (the KDD'03 predecessor, reference [17]).
+* :mod:`~repro.baselines.apriori` — levelwise frequent itemsets and CBA's
+  rule generator [1, 14].
+* :mod:`~repro.baselines.bruteforce` — the exhaustive oracle used by the
+  test suite.
+"""
+
+from .apriori import AprioriConfig, frequent_itemsets, mine_cars
+from .bruteforce import (
+    all_closed_itemsets,
+    all_rule_groups,
+    interesting_rule_groups,
+)
+from .carpenter import Carpenter, mine_closed_carpenter
+from .closed_to_irgs import groups_from_closed, interesting_groups_from_closed
+from .charm import Charm, ClosedItemset, mine_closed_charm
+from .closet import ClosetPlus, mine_closed_closet
+from .columne import ColumnE, mine_irgs_columnwise
+
+__all__ = [
+    "AprioriConfig",
+    "Carpenter",
+    "Charm",
+    "ClosedItemset",
+    "ClosetPlus",
+    "ColumnE",
+    "all_closed_itemsets",
+    "all_rule_groups",
+    "frequent_itemsets",
+    "groups_from_closed",
+    "interesting_groups_from_closed",
+    "interesting_rule_groups",
+    "mine_cars",
+    "mine_closed_carpenter",
+    "mine_closed_charm",
+    "mine_closed_closet",
+    "mine_irgs_columnwise",
+]

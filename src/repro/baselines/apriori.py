@@ -1,0 +1,214 @@
+"""Apriori — levelwise frequent itemset and class-association-rule mining.
+
+Reference [1] of the paper (Agrawal & Srikant, VLDB'94) and the rule
+generator behind CBA's CBA-RG stage [14].  Two entry points:
+
+* :func:`frequent_itemsets` — the classic class-blind levelwise search
+  with candidate generation + prefix join + subset pruning;
+* :func:`mine_cars` — CBA-RG: levelwise search over *ruleitems*
+  ``(condset, class)``, keeping condsets whose per-class support meets
+  ``minsup`` and emitting class association rules meeting ``minconf``.
+
+Both are exponential on microarray-scale data (that is the paper's
+point); ``max_length`` and the budget keep them usable as baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..core import bitset
+from ..core.enumeration import SearchBudget
+from ..core.rule import Rule
+from ..data.dataset import ItemizedDataset
+from ..errors import ConstraintError
+
+__all__ = ["frequent_itemsets", "mine_cars", "AprioriConfig"]
+
+
+@dataclass
+class AprioriConfig:
+    """Knobs for the levelwise searches.
+
+    Attributes:
+        minsup: minimum supporting-row count (>= 1).
+        max_length: stop after itemsets of this many items (``None`` =
+            unbounded).
+        budget: optional candidate-count/time limits (ticked per counted
+            candidate).
+    """
+
+    minsup: int = 1
+    max_length: int | None = None
+    budget: SearchBudget = field(default_factory=SearchBudget)
+
+    def __post_init__(self) -> None:
+        if self.minsup < 1:
+            raise ConstraintError(f"minsup must be >= 1, got {self.minsup}")
+        if self.max_length is not None and self.max_length < 1:
+            raise ConstraintError(
+                f"max_length must be >= 1, got {self.max_length}"
+            )
+
+
+def _item_tidsets(dataset: ItemizedDataset) -> dict[int, int]:
+    """Bitset of supporting rows for every item that occurs."""
+    tids: dict[int, int] = {}
+    for row_index, row in enumerate(dataset.rows):
+        bit = 1 << row_index
+        for item in row:
+            tids[item] = tids.get(item, 0) | bit
+    return tids
+
+
+def _generate_candidates(
+    frequent_level: list[tuple[int, ...]], level: int
+) -> list[tuple[int, ...]]:
+    """Prefix-join + subset-prune candidate generation (Apriori-gen)."""
+    frequent_set = set(frequent_level)
+    candidates: list[tuple[int, ...]] = []
+    for index, left in enumerate(frequent_level):
+        for right in frequent_level[index + 1 :]:
+            if left[: level - 1] != right[: level - 1]:
+                break  # sorted order: prefixes diverge permanently
+            candidate = left + (right[-1],)
+            # Subset pruning: every (level)-subset must be frequent.
+            if all(
+                candidate[:drop] + candidate[drop + 1 :] in frequent_set
+                for drop in range(level + 1)
+            ):
+                candidates.append(candidate)
+    return candidates
+
+
+def frequent_itemsets(
+    dataset: ItemizedDataset, config: AprioriConfig | None = None
+) -> dict[frozenset[int], int]:
+    """All frequent itemsets and their supports, levelwise.
+
+    Returns a mapping ``itemset -> support`` (row count).
+    """
+    config = config if config is not None else AprioriConfig()
+    config.budget.start()
+    tids = _item_tidsets(dataset)
+
+    results: dict[frozenset[int], int] = {}
+    level_sets: list[tuple[int, ...]] = []
+    level_tids: dict[tuple[int, ...], int] = {}
+    for item in sorted(tids):
+        config.budget.tick()
+        support = bitset.bit_count(tids[item])
+        if support >= config.minsup:
+            key = (item,)
+            level_sets.append(key)
+            level_tids[key] = tids[item]
+            results[frozenset(key)] = support
+
+    level = 1
+    while level_sets and (config.max_length is None or level < config.max_length):
+        candidates = _generate_candidates(level_sets, level)
+        next_sets: list[tuple[int, ...]] = []
+        next_tids: dict[tuple[int, ...], int] = {}
+        for candidate in candidates:
+            config.budget.tick()
+            mask = level_tids[candidate[:-1]] & tids[candidate[-1]]
+            support = bitset.bit_count(mask)
+            if support >= config.minsup:
+                next_sets.append(candidate)
+                next_tids[candidate] = mask
+                results[frozenset(candidate)] = support
+        level_sets = next_sets
+        level_tids = next_tids
+        level += 1
+    return results
+
+
+def mine_cars(
+    dataset: ItemizedDataset,
+    minsup: int,
+    minconf: float,
+    max_length: int | None = None,
+    budget: SearchBudget | None = None,
+) -> list[Rule]:
+    """CBA-RG: class association rules ``condset -> class``.
+
+    A ruleitem is frequent when ``|R(condset ∪ {class})| >= minsup``; a
+    frequent ruleitem becomes a rule when its confidence meets
+    ``minconf``.  The levelwise frontier keeps every condset that is
+    frequent *for at least one class* (the standard CBA-RG frontier).
+
+    Returns rules sorted by (confidence desc, support desc, shorter
+    antecedent first) — CBA's precedence order.
+    """
+    if not 0.0 <= minconf <= 1.0:
+        raise ConstraintError(f"minconf must be in [0, 1], got {minconf}")
+    config = AprioriConfig(
+        minsup=minsup, max_length=max_length, budget=budget or SearchBudget()
+    )
+    config.budget.start()
+    tids = _item_tidsets(dataset)
+    labels = dataset.class_labels
+    class_masks: dict[Hashable, int] = {label: 0 for label in labels}
+    for row_index, label in enumerate(dataset.labels):
+        class_masks[label] |= 1 << row_index
+    class_totals = {label: dataset.class_count(label) for label in labels}
+
+    rules: list[Rule] = []
+
+    def consider(itemset: tuple[int, ...], mask: int) -> bool:
+        """Record rules for a condset; return whether it stays frontier."""
+        antecedent_support = bitset.bit_count(mask)
+        frequent_for_some_class = False
+        for label in labels:
+            support = bitset.bit_count(mask & class_masks[label])
+            if support < config.minsup:
+                continue
+            frequent_for_some_class = True
+            if antecedent_support and support / antecedent_support >= minconf:
+                rules.append(
+                    Rule(
+                        antecedent=frozenset(itemset),
+                        consequent=label,
+                        support=support,
+                        antecedent_support=antecedent_support,
+                        n=dataset.n_rows,
+                        m=class_totals[label],
+                    )
+                )
+        return frequent_for_some_class
+
+    level_sets: list[tuple[int, ...]] = []
+    level_tids: dict[tuple[int, ...], int] = {}
+    for item in sorted(tids):
+        config.budget.tick()
+        key = (item,)
+        if consider(key, tids[item]):
+            level_sets.append(key)
+            level_tids[key] = tids[item]
+
+    level = 1
+    while level_sets and (config.max_length is None or level < config.max_length):
+        candidates = _generate_candidates(level_sets, level)
+        next_sets: list[tuple[int, ...]] = []
+        next_tids: dict[tuple[int, ...], int] = {}
+        for candidate in candidates:
+            config.budget.tick()
+            mask = level_tids[candidate[:-1]] & tids[candidate[-1]]
+            if consider(candidate, mask):
+                next_sets.append(candidate)
+                next_tids[candidate] = mask
+        level_sets = next_sets
+        level_tids = next_tids
+        level += 1
+
+    rules.sort(
+        key=lambda rule: (
+            -rule.confidence,
+            -rule.support,
+            len(rule.antecedent),
+            sorted(rule.antecedent),
+            str(rule.consequent),
+        )
+    )
+    return rules

@@ -1,0 +1,131 @@
+"""Exhaustive reference miner — the correctness oracle for the test suite.
+
+Enumerates *all* rule groups of a dataset by brute force and applies the
+paper's definitions literally, with none of FARMER's machinery:
+
+* every rule group is found by closing every non-empty row subset
+  (Lemma 3.2 — the row-enumeration space is complete), deduplicated by
+  antecedent support set;
+* interestingness follows Definition 2.2 operationally: groups are
+  processed in order of increasing upper-bound size, and a group is
+  admitted iff it meets the constraints and every *admitted* group with a
+  strictly smaller antecedent has strictly lower confidence.  (With
+  ``minchi = 0`` this is equivalent to comparing against all
+  constraint-satisfying groups — see DESIGN.md §6.)
+
+Everything here is exponential in the number of rows and only suitable
+for the small randomized datasets the tests use (<= ~12 rows).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable
+
+from ..core.closure import items_of, rows_of
+from ..core.constraints import Constraints
+from ..core.minelb import attach_lower_bounds
+from ..core.rulegroup import RuleGroup
+from ..data.dataset import ItemizedDataset
+
+__all__ = [
+    "all_rule_groups",
+    "interesting_rule_groups",
+    "all_closed_itemsets",
+]
+
+
+def all_rule_groups(
+    dataset: ItemizedDataset, consequent: Hashable
+) -> list[RuleGroup]:
+    """Every rule group with a non-empty upper bound, via row enumeration.
+
+    Returns groups sorted by (|upper|, sorted items) for determinism.
+    Lower bounds are *not* attached (use
+    :func:`repro.core.minelb.attach_lower_bounds`).
+    """
+    n = dataset.n_rows
+    m = dataset.class_count(consequent)
+    by_support_set: dict[frozenset[int], RuleGroup] = {}
+    row_indices = list(range(n))
+    for size in range(1, n + 1):
+        for subset in combinations(row_indices, size):
+            upper = items_of(dataset, subset)
+            if not upper:
+                continue
+            support_set = rows_of(dataset, upper)
+            if support_set in by_support_set:
+                continue
+            supp = sum(
+                1 for index in support_set if dataset.labels[index] == consequent
+            )
+            by_support_set[support_set] = RuleGroup(
+                upper=upper,
+                consequent=consequent,
+                rows=support_set,
+                support=supp,
+                antecedent_support=len(support_set),
+                n=n,
+                m=m,
+            )
+    groups = list(by_support_set.values())
+    groups.sort(key=lambda group: (len(group.upper), sorted(group.upper)))
+    return groups
+
+
+def interesting_rule_groups(
+    dataset: ItemizedDataset,
+    consequent: Hashable,
+    constraints: Constraints | None = None,
+    compute_lower_bounds: bool = False,
+) -> list[RuleGroup]:
+    """The IRGs of ``dataset`` per Definition 2.2 + the paper's Step 7.
+
+    Groups are considered smallest-antecedent-first so that, when a group
+    is examined, every potential subset comparator has already been
+    decided — the same well-founded order FARMER achieves via Lemma 3.4.
+    """
+    constraints = constraints if constraints is not None else Constraints()
+    admitted: list[RuleGroup] = []
+    for group in all_rule_groups(dataset, consequent):
+        if not constraints.satisfied_by(
+            group.support,
+            group.antecedent_support - group.support,
+            group.n,
+            group.m,
+        ):
+            continue
+        dominated = any(
+            previous.upper < group.upper
+            and previous.confidence >= group.confidence
+            for previous in admitted
+        )
+        if not dominated:
+            admitted.append(group)
+    if compute_lower_bounds:
+        admitted = [attach_lower_bounds(dataset, group) for group in admitted]
+    return admitted
+
+
+def all_closed_itemsets(
+    dataset: ItemizedDataset, minsup: int = 1
+) -> set[frozenset[int]]:
+    """All non-empty closed itemsets with ``|R(A)| >= minsup``.
+
+    Oracle for CHARM / CLOSET+ / CARPENTER.  ``minsup`` here counts all
+    supporting rows regardless of class, matching the closed-pattern
+    miners' (class-blind) notion of support.
+    """
+    closed: set[frozenset[int]] = set()
+    row_indices = list(range(dataset.n_rows))
+    for size in range(1, dataset.n_rows + 1):
+        if size < minsup:
+            continue
+        for subset in combinations(row_indices, size):
+            upper = items_of(dataset, subset)
+            if not upper:
+                continue
+            support_set = rows_of(dataset, upper)
+            if len(support_set) >= minsup:
+                closed.add(upper)
+    return closed

@@ -1,0 +1,38 @@
+"""Classifiers and evaluation for the Table 2 experiments.
+
+* :class:`~repro.classify.irg.IRGClassifier` — the paper's rule-group
+  classifier (Section 4.2).
+* :class:`~repro.classify.cba.CBAClassifier` — CBA with the M1 builder.
+* :class:`~repro.classify.svm.LinearSVM` — the SVM baseline.
+* :class:`~repro.classify.tree.DecisionTree` — the decision-tree
+  comparator from the related-work discussion [10].
+* :mod:`~repro.classify.evaluate` — the train/test protocol.
+"""
+
+from .base import MatrixClassifier, RuleBasedClassifier, majority_label
+from .cba import CBAClassifier
+from .evaluate import (
+    confusion_matrix,
+    cross_validate,
+    evaluate_matrix_based,
+    evaluate_rule_based,
+    split_matrix,
+)
+from .irg import IRGClassifier
+from .svm import LinearSVM
+from .tree import DecisionTree
+
+__all__ = [
+    "CBAClassifier",
+    "DecisionTree",
+    "IRGClassifier",
+    "LinearSVM",
+    "MatrixClassifier",
+    "RuleBasedClassifier",
+    "confusion_matrix",
+    "cross_validate",
+    "evaluate_matrix_based",
+    "evaluate_rule_based",
+    "majority_label",
+    "split_matrix",
+]

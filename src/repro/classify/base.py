@@ -1,0 +1,85 @@
+"""Classifier interfaces for the Table 2 experiments.
+
+Two families, matching the paper's setup:
+
+* **rule-based classifiers** (IRG classifier, CBA) consume the
+  entropy-discretized :class:`~repro.data.dataset.ItemizedDataset`;
+* **margin classifiers** (SVM) consume the continuous
+  :class:`~repro.data.matrix.GeneExpressionMatrix` directly.
+
+Both expose scikit-learn-ish ``fit``/``predict``; the evaluation harness
+in :mod:`repro.classify.evaluate` adapts between them (fitting the
+discretizer on training samples only, as the paper's protocol requires).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Sequence
+
+from ..data.dataset import ItemizedDataset
+from ..data.matrix import GeneExpressionMatrix
+
+__all__ = ["RuleBasedClassifier", "MatrixClassifier"]
+
+
+class RuleBasedClassifier(ABC):
+    """A classifier trained on and predicting from itemized rows."""
+
+    @abstractmethod
+    def fit(self, train: ItemizedDataset) -> "RuleBasedClassifier":
+        """Train on a labelled itemized dataset; returns ``self``."""
+
+    @abstractmethod
+    def predict_row(self, items: frozenset[int]) -> Hashable:
+        """Predict the class label of one itemized row."""
+
+    def predict(self, dataset: ItemizedDataset) -> list[Hashable]:
+        """Predict labels for every row of ``dataset``."""
+        return [self.predict_row(row) for row in dataset.rows]
+
+    def accuracy(self, dataset: ItemizedDataset) -> float:
+        """Fraction of rows of ``dataset`` predicted correctly."""
+        if dataset.n_rows == 0:
+            return 0.0
+        predicted = self.predict(dataset)
+        hits = sum(
+            1 for guess, truth in zip(predicted, dataset.labels) if guess == truth
+        )
+        return hits / dataset.n_rows
+
+
+class MatrixClassifier(ABC):
+    """A classifier trained on and predicting from expression matrices."""
+
+    @abstractmethod
+    def fit(self, train: GeneExpressionMatrix) -> "MatrixClassifier":
+        """Train on a labelled expression matrix; returns ``self``."""
+
+    @abstractmethod
+    def predict(self, matrix: GeneExpressionMatrix) -> list[Hashable]:
+        """Predict labels for every sample of ``matrix``."""
+
+    def accuracy(self, matrix: GeneExpressionMatrix) -> float:
+        """Fraction of samples of ``matrix`` predicted correctly."""
+        if matrix.n_samples == 0:
+            return 0.0
+        predicted = self.predict(matrix)
+        hits = sum(
+            1 for guess, truth in zip(predicted, matrix.labels) if guess == truth
+        )
+        return hits / matrix.n_samples
+
+
+def majority_label(labels: Sequence[Hashable]) -> Hashable:
+    """Most frequent label, first-appearance order breaking ties."""
+    counts: dict[Hashable, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    best_label = None
+    best_count = -1
+    for label in labels:
+        if counts[label] > best_count:
+            best_label = label
+            best_count = counts[label]
+    return best_label

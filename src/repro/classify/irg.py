@@ -1,0 +1,193 @@
+"""The IRG classifier of Section 4.2.
+
+The paper builds "a simple classifier" on top of the discovered
+interesting rule groups, CBA-like but using IRGs instead of all class
+association rules.  Following the paper and the authors' accompanying
+talk ("naive classification approach"):
+
+1. mine the IRG upper bounds *per class* (each class label in turn as
+   the consequent), with CBA's thresholds — ``minsup = 0.7 * |class|``
+   and ``minconf = 0.8`` by default;
+2. compute lower bounds with MineLB — a test sample matches a rule group
+   iff one of the group's *lower bounds* is contained in the sample
+   (the cheapest member rule that fires, by Lemma 2.2);
+3. rank the rule groups by (confidence desc, support desc, shorter upper
+   bound first) and apply CBA-style database-coverage pruning;
+4. predict with the highest-ranked matching group, falling back to the
+   majority class of the uncovered training rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core.constraints import Constraints
+from ..core.enumeration import SearchBudget
+from ..core.farmer import Farmer
+from ..core.rulegroup import RuleGroup
+from ..data.dataset import ItemizedDataset
+from .base import RuleBasedClassifier, majority_label
+
+__all__ = ["IRGClassifier"]
+
+
+@dataclass(frozen=True, slots=True)
+class _RankedGroup:
+    """A mined rule group prepared for classification."""
+
+    group: RuleGroup
+    lower_bounds: tuple[frozenset[int], ...]
+
+    def matches(self, items: frozenset[int]) -> bool:
+        """Whether any member rule of the group fires on ``items``."""
+        return any(bound <= items for bound in self.lower_bounds)
+
+    def sort_key(self) -> tuple:
+        group = self.group
+        return (
+            -group.confidence,
+            -group.support,
+            len(group.upper),
+            sorted(group.upper),
+            str(group.consequent),
+        )
+
+
+class IRGClassifier(RuleBasedClassifier):
+    """Classifier built from interesting rule groups.
+
+    Args:
+        minsup_fraction: per-class minimum support as a fraction of that
+            class's training rows (paper setting: 0.7).
+        minconf: minimum confidence (paper setting: 0.8).
+        minchi: optional chi-square threshold (paper setting: 0).
+        coverage_pruning: apply CBA-style database coverage pruning; when
+            off, all mined groups are kept in rank order.
+        budget: mining budget per class run.  Defaults to a *non-strict*
+            node cap so a pathological training set yields a (valid,
+            possibly incomplete) rule set instead of hanging ``fit``;
+            node caps keep training deterministic.
+    """
+
+    def __init__(
+        self,
+        minsup_fraction: float = 0.7,
+        minconf: float = 0.8,
+        minchi: float = 0.0,
+        coverage_pruning: bool = True,
+        budget: SearchBudget | None = None,
+    ) -> None:
+        self.minsup_fraction = minsup_fraction
+        self.minconf = minconf
+        self.minchi = minchi
+        self.coverage_pruning = coverage_pruning
+        self.budget = budget
+        self._rules: list[_RankedGroup] = []
+        self._default: Hashable = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, train: ItemizedDataset) -> "IRGClassifier":
+        mined: list[_RankedGroup] = []
+        for label in train.class_labels:
+            minsup = max(1, int(self.minsup_fraction * train.class_count(label)))
+            budget = (
+                self.budget
+                if self.budget is not None
+                else SearchBudget(max_nodes=500_000, strict=False)
+            )
+            farmer = Farmer(
+                constraints=Constraints(
+                    minsup=minsup, minconf=self.minconf, minchi=self.minchi
+                ),
+                compute_lower_bounds=True,
+                budget=budget,
+            )
+            result = farmer.mine(train, label)
+            for group in result.groups:
+                mined.append(
+                    _RankedGroup(
+                        group=group, lower_bounds=group.lower_bounds or ()
+                    )
+                )
+        mined.sort(key=_RankedGroup.sort_key)
+
+        if self.coverage_pruning:
+            self._rules, self._default = self._coverage_prune(train, mined)
+        else:
+            self._rules = mined
+            self._default = majority_label(train.labels)
+        return self
+
+    @staticmethod
+    def _coverage_prune(
+        train: ItemizedDataset, ranked: list[_RankedGroup]
+    ) -> tuple[list[_RankedGroup], Hashable]:
+        """CBA-M1 style database coverage over ranked rule groups.
+
+        Walk the ranking; keep a group iff it matches at least one still-
+        uncovered training row and classifies at least one of those rows
+        correctly; covered rows are then retired.  As in CBA-CB, the
+        running total error (rule errors so far + errors of the best
+        default on the uncovered remainder) is tracked, and the kept list
+        is cut at its minimum; the default class is the one recorded at
+        the cut.
+        """
+        uncovered = set(range(train.n_rows))
+        kept: list[_RankedGroup] = []
+        defaults: list[Hashable] = []
+        totals: list[int] = []
+        rule_errors = 0
+        for candidate in ranked:
+            if not uncovered:
+                break
+            matched = [
+                index
+                for index in uncovered
+                if candidate.matches(train.rows[index])
+            ]
+            if not matched:
+                continue
+            correct = sum(
+                1
+                for index in matched
+                if train.labels[index] == candidate.group.consequent
+            )
+            if correct == 0:
+                continue
+            kept.append(candidate)
+            uncovered.difference_update(matched)
+            rule_errors += len(matched) - correct
+            remaining = [train.labels[i] for i in sorted(uncovered)]
+            default = (
+                majority_label(remaining)
+                if remaining
+                else majority_label(train.labels)
+            )
+            defaults.append(default)
+            totals.append(
+                rule_errors + sum(1 for label in remaining if label != default)
+            )
+        if not kept:
+            return [], majority_label(train.labels)
+        best = min(range(len(totals)), key=totals.__getitem__)
+        return kept[: best + 1], defaults[best]
+
+    # ------------------------------------------------------------------
+
+    def predict_row(self, items: frozenset[int]) -> Hashable:
+        for ranked in self._rules:
+            if ranked.matches(items):
+                return ranked.group.consequent
+        return self._default
+
+    @property
+    def rules(self) -> list[RuleGroup]:
+        """The rule groups retained after coverage pruning, in rank order."""
+        return [ranked.group for ranked in self._rules]
+
+    @property
+    def default_class(self) -> Hashable:
+        """The fallback label used when no rule group matches."""
+        return self._default

@@ -1,0 +1,319 @@
+"""Command-line interface: ``farmer`` (or ``python -m repro``).
+
+Four subcommands cover the library's everyday workflows:
+
+* ``farmer mine``       — mine interesting rule groups from a registry
+  dataset or an expression TSV and print the top groups;
+* ``farmer classify``   — run the Table 2 protocol for one classifier on
+  one dataset;
+* ``farmer experiment`` — regenerate a paper table/figure
+  (``table1 fig10 fig11 table2 scaling ablation``);
+* ``farmer generate``   — write a synthetic registry dataset to disk.
+
+Examples::
+
+    farmer mine --dataset ALL --minsup 5 --minconf 0.9 --top 10
+    farmer classify --dataset CT --classifier irg
+    farmer experiment fig10 --datasets CT ALL --timeout 30
+    farmer generate --dataset LC --out lc.tsv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .classify.cba import CBAClassifier
+from .classify.evaluate import (
+    evaluate_matrix_based,
+    evaluate_rule_based,
+    split_matrix,
+)
+from .classify.irg import IRGClassifier
+from .classify.svm import LinearSVM
+from .core.constraints import Constraints
+from .core.enumeration import SearchBudget
+from .core.farmer import Farmer
+from .data.discretize import EntropyMDLDiscretizer, EqualDepthDiscretizer
+from .data.io import load_expression, save_expression
+from .data.registry import PAPER_DATASETS, load, train_test_rows
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``farmer`` argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="farmer",
+        description="FARMER: finding interesting rule groups in microarray "
+        "datasets (SIGMOD 2004 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine interesting rule groups")
+    _add_dataset_arguments(mine)
+    mine.add_argument("--consequent", help="class label on the rule RHS "
+                      "(default: the dataset's class 1)")
+    mine.add_argument("--minsup", type=int, default=5, help="minimum rule support (rows)")
+    mine.add_argument("--minconf", type=float, default=0.0, help="minimum confidence [0,1]")
+    mine.add_argument("--minchi", type=float, default=0.0, help="minimum chi-square value")
+    mine.add_argument("--buckets", type=int, default=10, help="equal-depth buckets")
+    mine.add_argument("--top", type=int, default=10, help="groups to print")
+    mine.add_argument("--lower-bounds", action="store_true", help="run MineLB on results")
+    mine.add_argument("--timeout", type=float, default=300.0, help="mining budget (seconds)")
+    mine.add_argument("--save", help="persist the groups to this .irgs file")
+
+    validate = sub.add_parser(
+        "validate",
+        help="re-check persisted rule groups against their dataset",
+    )
+    _add_dataset_arguments(validate)
+    validate.add_argument("--groups", required=True, help=".irgs file to check")
+    validate.add_argument("--buckets", type=int, default=10, help="equal-depth buckets used when mining")
+
+    profile = sub.add_parser(
+        "profile", help="pre-mining diagnostics for a dataset"
+    )
+    _add_dataset_arguments(profile)
+    profile.add_argument("--buckets", type=int, default=10, help="equal-depth buckets")
+
+    classify = sub.add_parser("classify", help="run the Table 2 protocol")
+    _add_dataset_arguments(classify)
+    classify.add_argument(
+        "--classifier",
+        choices=("irg", "cba", "svm", "tree", "caep"),
+        default="irg",
+    )
+    classify.add_argument("--seed", type=int, default=0, help="split seed")
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument(
+        "artifact",
+        choices=(
+            "table1",
+            "fig10",
+            "fig11",
+            "table2",
+            "scaling",
+            "ablation",
+            "crossover",
+        ),
+    )
+    experiment.add_argument(
+        "--datasets", nargs="+", metavar="NAME", help="dataset subset (default: all five)"
+    )
+    experiment.add_argument("--scale", type=float, default=0.08, help="gene-count scale")
+    experiment.add_argument("--timeout", type=float, default=60.0, help="per-point budget (s)")
+
+    generate = sub.add_parser("generate", help="write a synthetic dataset to disk")
+    generate.add_argument("--dataset", required=True, choices=sorted(PAPER_DATASETS))
+    generate.add_argument("--scale", type=float, default=0.08)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--out", required=True, help="output TSV path")
+    return parser
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--dataset", choices=sorted(PAPER_DATASETS), help="registry dataset"
+    )
+    source.add_argument("--tsv", help="expression TSV written by 'farmer generate'")
+    parser.add_argument("--scale", type=float, default=0.08, help="gene-count scale")
+
+
+def _load_matrix(args: argparse.Namespace):
+    if getattr(args, "tsv", None):
+        return load_expression(args.tsv)
+    return load(args.dataset, scale=args.scale)
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args)
+    data = EqualDepthDiscretizer(n_buckets=args.buckets).fit_transform(matrix)
+    consequent = args.consequent
+    if consequent is None:
+        consequent = matrix.class_labels[0]
+    miner = Farmer(
+        constraints=Constraints(
+            minsup=args.minsup, minconf=args.minconf, minchi=args.minchi
+        ),
+        compute_lower_bounds=args.lower_bounds,
+        budget=SearchBudget(max_seconds=args.timeout),
+    )
+    result = miner.mine(data, consequent)
+    print(
+        f"{len(result.groups)} interesting rule groups "
+        f"(consequent={consequent!r}, minsup={args.minsup}, "
+        f"minconf={args.minconf}, minchi={args.minchi}; "
+        f"{result.elapsed_seconds:.2f}s, {result.counters.nodes} nodes)"
+    )
+    for group in result.sorted_groups()[: args.top]:
+        print()
+        print(group.format(data))
+    if args.save:
+        from .core.serialize import save_rule_groups
+
+        save_rule_groups(
+            args.save,
+            result.groups,
+            constraints=result.constraints,
+            dataset_name=data.name,
+        )
+        print(f"\nsaved {len(result.groups)} groups to {args.save}")
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    from .core.serialize import load_rule_groups
+    from .core.validate import validate_result
+
+    matrix = _load_matrix(args)
+    data = EqualDepthDiscretizer(n_buckets=args.buckets).fit_transform(matrix)
+    groups, header = load_rule_groups(args.groups)
+    problems = validate_result(
+        data, groups, consequent=header.get("consequent")
+    )
+    if problems:
+        print(f"{len(problems)} problems:")
+        for problem in problems[:20]:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"{len(groups)} rule groups validated against {data.name}: "
+        "all invariants hold"
+    )
+    return 0
+
+
+def _command_classify(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args)
+    if args.dataset:
+        spec = PAPER_DATASETS[args.dataset]
+        train_rows, test_rows = train_test_rows(spec, seed=args.seed)
+    else:
+        split_at = max(1, matrix.n_samples * 2 // 3)
+        train_rows = list(range(split_at))
+        test_rows = list(range(split_at, matrix.n_samples))
+    train, test = split_matrix(matrix, train_rows, test_rows)
+    if args.classifier == "svm":
+        accuracy = evaluate_matrix_based(LinearSVM(seed=args.seed), train, test)
+    elif args.classifier == "tree":
+        from .classify.tree import DecisionTree
+
+        accuracy = evaluate_matrix_based(DecisionTree(), train, test)
+    else:
+        if args.classifier == "irg":
+            classifier = IRGClassifier()
+        elif args.classifier == "cba":
+            classifier = CBAClassifier()
+        else:  # caep
+            from .extensions.emerging import CAEPClassifier
+
+            classifier = CAEPClassifier()
+        accuracy = evaluate_rule_based(
+            classifier, train, test, discretizer=EntropyMDLDiscretizer()
+        )
+    print(
+        f"{args.classifier.upper()} on {matrix.name}: "
+        f"{accuracy:.2%} test accuracy "
+        f"({len(train_rows)} train / {len(test_rows)} test samples)"
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    datasets = tuple(d.upper() for d in args.datasets) if args.datasets else None
+    if args.artifact == "table1":
+        rows = experiments.run_table1(
+            datasets or experiments.workloads.DATASET_ORDER, scale=args.scale
+        )
+        print(experiments.table1_report(rows))
+    elif args.artifact == "fig10":
+        results = experiments.run_fig10(
+            datasets or experiments.workloads.DATASET_ORDER,
+            scale=args.scale,
+            timeout=args.timeout,
+        )
+        print(experiments.fig10_report(results))
+    elif args.artifact == "fig11":
+        results = experiments.run_fig11(
+            datasets or experiments.workloads.DATASET_ORDER,
+            scale=args.scale,
+            timeout=args.timeout,
+        )
+        print(experiments.fig11_report(results))
+    elif args.artifact == "table2":
+        rows = experiments.run_table2(
+            datasets or experiments.workloads.DATASET_ORDER, scale=args.scale
+        )
+        print(experiments.table2_report(rows))
+    elif args.artifact == "scaling":
+        name = (datasets or ("CT",))[0]
+        series = experiments.run_scaling(
+            dataset=name, scale=args.scale, timeout=args.timeout
+        )
+        print(experiments.scaling_report(series, dataset=name))
+    elif args.artifact == "crossover":
+        name = (datasets or ("CT",))[0]
+        wide = experiments.run_crossover(dataset=name, timeout=args.timeout)
+        tall = experiments.run_tall_crossover(dataset=name, timeout=args.timeout)
+        print(experiments.crossover_report(wide, tall, dataset=name))
+    else:  # ablation
+        name = (datasets or ("CT",))[0]
+        rows = experiments.run_pruning_ablation(
+            dataset=name, scale=min(args.scale, 0.04), timeout=args.timeout
+        )
+        print(experiments.pruning_ablation_report(rows))
+        print()
+        result = experiments.run_minelb_ablation(
+            dataset=name, scale=min(args.scale, 0.04)
+        )
+        print(experiments.minelb_ablation_report(result))
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    from .data.profile import profile_dataset, profile_report
+
+    matrix = _load_matrix(args)
+    data = EqualDepthDiscretizer(n_buckets=args.buckets).fit_transform(matrix)
+    print(profile_report(profile_dataset(data)))
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    matrix = load(args.dataset, scale=args.scale, seed=args.seed)
+    save_expression(matrix, args.out)
+    print(
+        f"wrote {matrix.n_samples} samples x {matrix.n_genes} genes "
+        f"({args.dataset}) to {Path(args.out)}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "mine": _command_mine,
+        "classify": _command_classify,
+        "experiment": _command_experiment,
+        "generate": _command_generate,
+        "validate": _command_validate,
+        "profile": _command_profile,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

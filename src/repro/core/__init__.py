@@ -1,0 +1,39 @@
+"""The paper's contribution: FARMER, MineLB and the rule-group model.
+
+Public surface:
+
+* :class:`~repro.core.farmer.Farmer` / :func:`~repro.core.farmer.mine_irgs`
+  — the row-enumeration IRG miner (Figure 5).
+* :func:`~repro.core.minelb.mine_lower_bounds` — MineLB (Figure 9).
+* :class:`~repro.core.rulegroup.RuleGroup`, :class:`~repro.core.rule.Rule`
+  — the result model.
+* :class:`~repro.core.constraints.Constraints` — minsup/minconf/minchi.
+* :mod:`~repro.core.measures` — chi-square and the extended measures.
+"""
+
+from .constraints import Constraints
+from .enumeration import SearchBudget
+from .farmer import ALL_PRUNINGS, Farmer, FarmerResult, mine_irgs
+from .minelb import attach_lower_bounds, lower_bounds_for_group, mine_lower_bounds
+from .rule import Rule
+from .rulegroup import RuleGroup
+from .serialize import load_rule_groups, save_rule_groups
+from .validate import validate_group, validate_result
+
+__all__ = [
+    "ALL_PRUNINGS",
+    "Constraints",
+    "Farmer",
+    "FarmerResult",
+    "Rule",
+    "RuleGroup",
+    "SearchBudget",
+    "attach_lower_bounds",
+    "load_rule_groups",
+    "lower_bounds_for_group",
+    "mine_irgs",
+    "mine_lower_bounds",
+    "save_rule_groups",
+    "validate_group",
+    "validate_result",
+]

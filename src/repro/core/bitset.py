@@ -1,0 +1,151 @@
+"""Bitset algebra over row sets and itemsets.
+
+All miners in this package represent sets of row ids (and, where useful,
+sets of item ids) as arbitrary-precision Python integers: bit ``k`` is set
+iff element ``k`` is in the set.  At microarray scale (tens to hundreds of
+rows) this is roughly an order of magnitude faster than ``frozenset`` for
+the operations that dominate mining — intersection, subset tests and
+cardinality — and it makes row-set identity hashable for free.
+
+This module is the only place that knows the representation; everything
+else goes through these helpers, so swapping in another representation
+(e.g. ``numpy`` bool arrays) would be a local change.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "EMPTY",
+    "from_indices",
+    "to_indices",
+    "iter_bits",
+    "bit_count",
+    "contains",
+    "add",
+    "remove",
+    "is_subset",
+    "is_proper_subset",
+    "universe",
+    "complement",
+    "lowest_bit",
+    "highest_bit",
+    "below_mask",
+    "singletons",
+]
+
+#: The empty bitset.
+EMPTY: int = 0
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Build a bitset from an iterable of non-negative element indices.
+
+    >>> from_indices([0, 2, 5])
+    37
+    """
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def to_indices(mask: int) -> list[int]:
+    """Return the sorted list of element indices present in ``mask``.
+
+    >>> to_indices(37)
+    [0, 2, 5]
+    """
+    return list(iter_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits in ``mask`` in increasing order.
+
+    Uses the lowest-set-bit trick: ``mask & -mask`` isolates the lowest set
+    bit, whose position is recovered via ``int.bit_length``.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bit_count(mask: int) -> int:
+    """Return the number of elements in ``mask`` (population count)."""
+    return mask.bit_count()
+
+
+def contains(mask: int, index: int) -> bool:
+    """Return ``True`` iff element ``index`` is present in ``mask``."""
+    return bool(mask >> index & 1)
+
+
+def add(mask: int, index: int) -> int:
+    """Return ``mask`` with element ``index`` added."""
+    return mask | 1 << index
+
+
+def remove(mask: int, index: int) -> int:
+    """Return ``mask`` with element ``index`` removed (no-op if absent)."""
+    return mask & ~(1 << index)
+
+
+def is_subset(inner: int, outer: int) -> bool:
+    """Return ``True`` iff every element of ``inner`` is in ``outer``."""
+    return inner & outer == inner
+
+
+def is_proper_subset(inner: int, outer: int) -> bool:
+    """Return ``True`` iff ``inner`` is a strict subset of ``outer``."""
+    return inner != outer and inner & outer == inner
+
+
+def universe(size: int) -> int:
+    """Return the bitset containing all elements ``0 .. size - 1``."""
+    return (1 << size) - 1
+
+
+def complement(mask: int, size: int) -> int:
+    """Return the complement of ``mask`` within a universe of ``size``."""
+    return universe(size) & ~mask
+
+
+def lowest_bit(mask: int) -> int:
+    """Return the smallest element index in ``mask``.
+
+    Raises:
+        ValueError: if ``mask`` is empty.
+    """
+    if not mask:
+        raise ValueError("lowest_bit() of an empty bitset")
+    return (mask & -mask).bit_length() - 1
+
+
+def highest_bit(mask: int) -> int:
+    """Return the largest element index in ``mask``.
+
+    Raises:
+        ValueError: if ``mask`` is empty.
+    """
+    if not mask:
+        raise ValueError("highest_bit() of an empty bitset")
+    return mask.bit_length() - 1
+
+
+def below_mask(index: int) -> int:
+    """Return the bitset of all elements strictly below ``index``.
+
+    Useful for "rows ordered before ``r`` in ORD" tests when row ids are
+    already stored in ORD order.
+    """
+    return (1 << index) - 1
+
+
+def singletons(mask: int) -> Iterator[int]:
+    """Yield each element of ``mask`` as a one-element bitset."""
+    while mask:
+        low = mask & -mask
+        yield low
+        mask ^= low

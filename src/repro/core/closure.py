@@ -1,0 +1,73 @@
+"""Closure operators over the row/item Galois connection.
+
+Section 2.1 of the paper defines the two support-set operators
+
+* ``R(I')`` — the largest set of rows containing every item of ``I'``, and
+* ``I(R')`` — the largest itemset common to every row of ``R'``,
+
+which form a Galois connection between the itemset and row-set lattices.
+Their compositions are closure operators: ``A ↦ I(R(A))`` closes itemsets
+(Definition 3.3's closed sets are its fixpoints) and ``X ↦ R(I(X))``
+closes row sets (the antecedent support sets of rule groups, Lemma 3.1).
+
+These reference implementations are deliberately simple (linear scans);
+the miners carry their own optimized equivalents, and the test suite uses
+this module as the independent oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..data.dataset import ItemizedDataset
+
+__all__ = [
+    "rows_of",
+    "items_of",
+    "close_itemset",
+    "close_rowset",
+    "is_closed_itemset",
+]
+
+
+def rows_of(dataset: ItemizedDataset, items: Iterable[int]) -> frozenset[int]:
+    """``R(I')``: indices of rows containing every item in ``items``.
+
+    ``R(∅)`` is all rows, per the definition.
+    """
+    itemset = frozenset(items)
+    return frozenset(
+        index for index, row in enumerate(dataset.rows) if itemset <= row
+    )
+
+
+def items_of(dataset: ItemizedDataset, rows: Iterable[int]) -> frozenset[int]:
+    """``I(R')``: items common to every row in ``rows``.
+
+    ``I(∅)`` is the whole vocabulary (intersection over an empty family).
+    """
+    row_list = list(rows)
+    if not row_list:
+        return frozenset(range(dataset.n_items))
+    common = set(dataset.rows[row_list[0]])
+    for index in row_list[1:]:
+        common &= dataset.rows[index]
+        if not common:
+            break
+    return frozenset(common)
+
+
+def close_itemset(dataset: ItemizedDataset, items: Iterable[int]) -> frozenset[int]:
+    """The closure ``I(R(A))`` of an itemset ``A``."""
+    return items_of(dataset, rows_of(dataset, items))
+
+
+def close_rowset(dataset: ItemizedDataset, rows: Iterable[int]) -> frozenset[int]:
+    """The closure ``R(I(X))`` of a row set ``X``."""
+    return rows_of(dataset, items_of(dataset, rows))
+
+
+def is_closed_itemset(dataset: ItemizedDataset, items: Iterable[int]) -> bool:
+    """Whether ``items`` is a closed set (Definition 3.3)."""
+    itemset = frozenset(items)
+    return close_itemset(dataset, itemset) == itemset

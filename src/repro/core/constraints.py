@@ -1,0 +1,92 @@
+"""User-specified mining constraints (minsup / minconf / minchi).
+
+FARMER prunes its row-enumeration search with three user thresholds
+(Section 3.2.3 of the paper): a minimum rule support, a minimum rule
+confidence and a minimum chi-square value.  :class:`Constraints` bundles
+and validates them, and provides the satisfaction check used by Step 7 of
+the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConstraintError
+from .measures import chi_square
+
+__all__ = ["Constraints"]
+
+
+@dataclass(frozen=True, slots=True)
+class Constraints:
+    """Thresholds a rule group's upper bound must meet to be reported.
+
+    Attributes:
+        minsup: minimum rule support ``|R(A ∪ C)|`` as an absolute row
+            count (the paper uses absolute counts throughout; use
+            :meth:`from_fraction` for a relative threshold).
+        minconf: minimum confidence in ``[0, 1]``.
+        minchi: minimum chi-square value (``0`` disables the check, as in
+            the paper's Figure 10/11 experiments).
+    """
+
+    minsup: int = 1
+    minconf: float = 0.0
+    minchi: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.minsup < 0:
+            raise ConstraintError(f"minsup must be >= 0, got {self.minsup}")
+        if not isinstance(self.minsup, int):
+            raise ConstraintError(
+                f"minsup must be an absolute integer row count, got {self.minsup!r}"
+            )
+        if not 0.0 <= self.minconf <= 1.0:
+            raise ConstraintError(f"minconf must be in [0, 1], got {self.minconf}")
+        if self.minchi < 0.0:
+            raise ConstraintError(f"minchi must be >= 0, got {self.minchi}")
+
+    @classmethod
+    def from_fraction(
+        cls,
+        n_rows: int,
+        minsup_fraction: float,
+        minconf: float = 0.0,
+        minchi: float = 0.0,
+    ) -> "Constraints":
+        """Build constraints with ``minsup`` given as a fraction of rows.
+
+        The fraction is rounded up so that a rule satisfying the returned
+        absolute threshold always satisfies the fractional one.
+        """
+        if not 0.0 <= minsup_fraction <= 1.0:
+            raise ConstraintError(
+                f"minsup_fraction must be in [0, 1], got {minsup_fraction}"
+            )
+        # Round up: a rule meeting the absolute threshold must also meet
+        # the fractional one.
+        exact = minsup_fraction * n_rows
+        minsup = int(exact)
+        if minsup < exact:
+            minsup += 1
+        return cls(minsup=minsup, minconf=minconf, minchi=minchi)
+
+    def satisfied_by(self, supp: int, supn: int, n: int, m: int) -> bool:
+        """Check Step 7's threshold test for a candidate upper bound.
+
+        Args:
+            supp: ``|R(A ∪ C)|`` — positive rows matching the antecedent.
+            supn: ``|R(A ∪ ¬C)|`` — negative rows matching the antecedent.
+            n: total rows in the dataset.
+            m: rows labelled with the consequent.
+        """
+        if supp < self.minsup:
+            return False
+        total = supp + supn
+        if total == 0:
+            return False
+        if supp / total < self.minconf:
+            return False
+        if self.minchi > 0.0 and chi_square(total, supp, n, m) < self.minchi:
+            return False
+        return True

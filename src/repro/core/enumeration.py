@@ -1,0 +1,139 @@
+"""Shared machinery for row-enumeration search trees.
+
+Both FARMER and CARPENTER walk the row-enumeration tree of Figure 3 using
+*conditional transposed tables* (Definition 3.1): at node ``X`` the table
+``TT|X`` consists of exactly the items (tuples) whose row support contains
+every row of ``X``.  With row supports stored as bitsets, the two
+operations every node performs are:
+
+* extending ``TT|X`` to ``TT|X∪{r}`` by keeping the items whose mask has
+  bit ``r`` (Lemma 3.3), and
+* scanning the table to obtain the intersection and union of its tuples —
+  the intersection *is* ``R(I(X))`` (every row containing all common
+  items), and the union tells which candidates appear in at least one
+  tuple.
+
+This module also hosts the node-budget bookkeeping shared by the miners.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import BudgetExceeded
+
+__all__ = ["extend_items", "scan_items", "SearchBudget", "NodeCounters"]
+
+
+def extend_items(
+    item_ids: list[int], masks: list[int], row_bit: int
+) -> tuple[list[int], list[int]]:
+    """Conditional table for ``X ∪ {r}`` from the table for ``X``.
+
+    Keeps exactly the items whose row mask contains ``row_bit``
+    (Lemma 3.3: ``TT|X |r = TT|X∪{r}``).
+    """
+    new_ids: list[int] = []
+    new_masks: list[int] = []
+    for item_id, mask in zip(item_ids, masks):
+        if mask & row_bit:
+            new_ids.append(item_id)
+            new_masks.append(mask)
+    return new_ids, new_masks
+
+
+def scan_items(masks: list[int], full_mask: int) -> tuple[int, int]:
+    """One pass over the conditional table: ``(intersection, union)``.
+
+    The intersection over an empty table is ``full_mask`` by convention
+    (callers guard against empty tables before using it).
+    """
+    intersection = full_mask
+    union = 0
+    for mask in masks:
+        intersection &= mask
+        union |= mask
+    return intersection, union
+
+
+@dataclass
+class SearchBudget:
+    """Optional node / wall-clock limits for a mining run.
+
+    The experiment harness uses budgets to reproduce the paper's
+    "competitor did not finish" outcomes without hanging: when a limit is
+    hit the miner raises :class:`~repro.errors.BudgetExceeded`.
+
+    Attributes:
+        max_nodes: maximum enumeration-tree nodes to expand (``None`` =
+            unlimited).
+        max_seconds: maximum wall-clock seconds (``None`` = unlimited);
+            checked every 256 nodes to keep overhead negligible.
+        strict: when ``True`` (default) exceeding a limit raises
+            :class:`~repro.errors.BudgetExceeded` out of the miner; when
+            ``False``, miners that support it (FARMER) stop the search and
+            return the results found so far, flagged as truncated — the
+            mode the classifiers use so an adversarial training set cannot
+            hang ``fit``.
+    """
+
+    max_nodes: int | None = None
+    max_seconds: float | None = None
+    strict: bool = True
+    _started_at: float = field(default=0.0, repr=False)
+    _nodes: int = field(default=0, repr=False)
+
+    def start(self) -> None:
+        """Reset counters at the beginning of a mining run."""
+        self._started_at = time.perf_counter()
+        self._nodes = 0
+
+    @property
+    def nodes(self) -> int:
+        """Nodes expanded so far in the current run."""
+        return self._nodes
+
+    def tick(self) -> None:
+        """Account for one expanded node; raise if a limit is exceeded."""
+        self._nodes += 1
+        if self.max_nodes is not None and self._nodes > self.max_nodes:
+            raise BudgetExceeded(
+                f"node budget of {self.max_nodes} exceeded",
+                nodes_expanded=self._nodes,
+            )
+        if self.max_seconds is not None and self._nodes % 256 == 0:
+            elapsed = time.perf_counter() - self._started_at
+            if elapsed > self.max_seconds:
+                raise BudgetExceeded(
+                    f"time budget of {self.max_seconds:.1f}s exceeded "
+                    f"after {elapsed:.1f}s",
+                    nodes_expanded=self._nodes,
+                )
+
+
+@dataclass
+class NodeCounters:
+    """Per-run statistics reported alongside mining results.
+
+    Attributes:
+        nodes: enumeration-tree nodes expanded.
+        pruned_loose: subtrees cut by Step 2 (loose support/confidence
+            bounds, before the scan).
+        pruned_tight: subtrees cut by Step 4 (tight support/confidence/
+            chi-square bounds, after the scan).
+        pruned_identified: subtrees cut by Pruning Strategy 2 (Step 1).
+        rows_compressed: candidate rows deleted by Pruning Strategy 1
+            (Step 5) over the whole run.
+        groups_emitted: upper bounds admitted into the result.
+        candidates_rejected: upper bounds meeting the thresholds but
+            rejected by the interestingness comparison of Step 7.
+    """
+
+    nodes: int = 0
+    pruned_loose: int = 0
+    pruned_tight: int = 0
+    pruned_identified: int = 0
+    rows_compressed: int = 0
+    groups_emitted: int = 0
+    candidates_rejected: int = 0

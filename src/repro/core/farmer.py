@@ -1,0 +1,481 @@
+"""FARMER: row-enumeration mining of interesting rule groups.
+
+This is the paper's core contribution (Figure 5).  The miner performs a
+depth-first search over row combinations ``X`` in ORD order (consequent
+rows before the rest), maintaining at each node the conditional transposed
+table ``TT|X`` — the items common to every row of ``X``, with their row
+supports as bitsets.  At node ``X`` the upper bound rule ``I(X) -> C`` of
+the rule group with antecedent support set ``R(I(X))`` is identified
+(Lemma 3.1); a complete traversal therefore discovers every rule group
+(Lemma 3.2).  Three pruning strategies keep the traversal far from
+complete while provably preserving the result:
+
+* **Pruning 1** (Step 5, Lemma 3.5): candidate rows occurring in *every*
+  tuple of ``TT|X`` are folded into the node ("compressed") instead of
+  being enumerated.
+* **Pruning 2** (Step 1, Lemma 3.6): if some row outside ``X`` and outside
+  the candidate list — and never removed by Pruning 1 on this path —
+  occurs in every tuple, the node's whole subtree was already enumerated
+  under an earlier branch.
+* **Pruning 3** (Steps 2 and 4, Lemmas 3.7-3.9): loose (pre-scan) and
+  tight (post-scan) upper bounds on support, confidence and chi-square
+  against the user thresholds.
+
+Step 7 admits ``I(X) -> C`` as an *interesting* rule group iff it meets
+the thresholds and beats the confidence of every already-admitted group
+with a strictly smaller antecedent; visiting descendants first (Step 6
+before Step 7) plus Lemma 3.4 guarantees those groups are known by then.
+
+Implementation notes (Section 3.3 of the paper uses conditional pointer
+lists into an in-memory transposed table; we use the bitset equivalent):
+
+* a conditional table is a pair of parallel lists ``(item_ids, masks)``;
+  extending to a child filters by one bit (Lemma 3.3);
+* the intersection of all tuple masks *is* ``R(I(X))``, which yields the
+  exact ``supp``/``supn`` of the node's rule and doubles as the Pruning 2
+  witness set and the rule group's row set;
+* every pruning strategy can be disabled independently (the ablation
+  benchmark relies on this); disabling any of them never changes the
+  mined result, only the work done.  Pruning 2 requires Pruning 1's
+  bookkeeping (Lemma 3.6 assumes it), so ``p2`` is ignored when ``p1``
+  is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import sys
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from ..data.dataset import ItemizedDataset
+from ..data.transpose import TransposedTable
+from ..errors import BudgetExceeded
+from . import bitset
+from .bounds import (
+    chi_bound,
+    confidence_bound,
+    loose_support_bound,
+    tight_support_bound,
+)
+from .constraints import Constraints
+from .enumeration import NodeCounters, SearchBudget, extend_items, scan_items
+from .minelb import attach_lower_bounds
+from .rulegroup import RuleGroup
+
+__all__ = ["Farmer", "FarmerResult", "mine_irgs", "ALL_PRUNINGS"]
+
+#: The full set of pruning strategy names.
+ALL_PRUNINGS = frozenset({"p1", "p2", "p3"})
+
+
+@dataclass
+class FarmerResult:
+    """Outcome of one FARMER run.
+
+    Attributes:
+        groups: interesting rule groups, ordered by confidence descending
+            (ties in store order); :meth:`sorted_groups` gives the fully
+            deterministic ordering.
+        consequent: the class label mined for.
+        constraints: thresholds used.
+        counters: search statistics (nodes, prunings fired, ...).
+        elapsed_seconds: wall-clock mining time (excludes MineLB when
+            lower bounds are disabled).
+    """
+
+    groups: list[RuleGroup]
+    consequent: Hashable
+    constraints: Constraints
+    counters: NodeCounters
+    elapsed_seconds: float = 0.0
+    #: True when a non-strict budget stopped the search early; the groups
+    #: found up to that point are valid rule groups, but the set may be
+    #: incomplete and interestingness was only checked against it.
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def sorted_groups(self) -> list[RuleGroup]:
+        """Groups ordered by (confidence desc, support desc, antecedent)."""
+        return sorted(
+            self.groups,
+            key=lambda group: (
+                -group.confidence,
+                -group.support,
+                sorted(group.upper),
+            ),
+        )
+
+    def upper_antecedents(self) -> set[frozenset[int]]:
+        """The set of upper-bound antecedents (for comparisons in tests)."""
+        return {group.upper for group in self.groups}
+
+
+@dataclass
+class _IRGStore:
+    """Discovered IRGs with the index used by Step 7's check.
+
+    Step 7 asks: does some stored group with antecedent ``⊂`` the
+    candidate's have confidence ``>=`` the candidate's?  The store keeps
+    its entries sorted by confidence descending so only the prefix with
+    qualifying confidence is scanned, and prefilters by antecedent size
+    (a strict subset must be strictly smaller) before paying for the
+    bitmask subset test.  The paper observes this comparison dominates at
+    low supports ("more time will be spent when the number of IRGs ...
+    increase"); the index keeps it tolerable without changing semantics.
+    """
+
+    # Parallel arrays ordered by confidence descending.
+    neg_confidences: list[float] = field(default_factory=list)
+    item_masks: list[int] = field(default_factory=list)
+    sizes: list[int] = field(default_factory=list)
+    entries: list[tuple[tuple[int, ...], int, int, int]] = field(default_factory=list)
+    seen: set[int] = field(default_factory=set)
+
+    def is_interesting(self, item_mask: int, size: int, confidence: float) -> bool:
+        """Whether no stored group with a strictly smaller antecedent has
+        confidence >= ``confidence``."""
+        boundary = bisect.bisect_right(self.neg_confidences, -confidence)
+        masks = self.item_masks
+        stored_sizes = self.sizes
+        for index in range(boundary):
+            if (
+                stored_sizes[index] < size
+                and masks[index] & item_mask == masks[index]
+            ):
+                return False
+        return True
+
+    def add(
+        self,
+        item_ids: Sequence[int],
+        item_mask: int,
+        confidence: float,
+        supp: int,
+        supn: int,
+        row_mask: int,
+    ) -> None:
+        position = bisect.bisect_right(self.neg_confidences, -confidence)
+        self.neg_confidences.insert(position, -confidence)
+        self.item_masks.insert(position, item_mask)
+        self.sizes.insert(position, len(item_ids))
+        self.entries.insert(position, (tuple(item_ids), supp, supn, row_mask))
+        self.seen.add(item_mask)
+
+
+class Farmer:
+    """The FARMER miner.
+
+    Args:
+        constraints: minimum support / confidence / chi-square thresholds.
+        prunings: which pruning strategies to enable; any subset of
+            ``{"p1", "p2", "p3"}``.  Disabling prunings never changes the
+            mined groups (verified by the test suite) — it only slows the
+            search.  ``p2`` silently degrades to off when ``p1`` is off.
+        compute_lower_bounds: run MineLB on each discovered group (the
+            paper's optional Step 3).
+        budget: optional node/time limits; exceeding them raises
+            :class:`~repro.errors.BudgetExceeded`.
+    """
+
+    def __init__(
+        self,
+        constraints: Constraints | None = None,
+        prunings: Iterable[str] = ALL_PRUNINGS,
+        compute_lower_bounds: bool = False,
+        budget: SearchBudget | None = None,
+    ) -> None:
+        self.constraints = constraints if constraints is not None else Constraints()
+        prunings = frozenset(prunings)
+        unknown = prunings - ALL_PRUNINGS
+        if unknown:
+            raise ValueError(f"unknown pruning strategies: {sorted(unknown)}")
+        self.prunings = prunings
+        self.compute_lower_bounds = compute_lower_bounds
+        self.budget = budget if budget is not None else SearchBudget()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def mine(self, dataset: ItemizedDataset, consequent: Hashable) -> FarmerResult:
+        """Mine the interesting rule groups of ``dataset`` for
+        ``consequent``.
+
+        Returns a :class:`FarmerResult`; groups carry lower bounds iff the
+        miner was built with ``compute_lower_bounds=True``.
+        """
+        import time
+
+        table = TransposedTable.build(dataset, consequent)
+        started = time.perf_counter()
+        store = self._mine_table(table)
+        groups = self._build_groups(table, store)
+        if self.compute_lower_bounds:
+            groups = [attach_lower_bounds(dataset, group) for group in groups]
+        elapsed = time.perf_counter() - started
+        counters = self._counters
+        counters.groups_emitted = len(groups)
+        return FarmerResult(
+            groups=groups,
+            consequent=consequent,
+            constraints=self.constraints,
+            counters=counters,
+            elapsed_seconds=elapsed,
+            truncated=self._truncated,
+        )
+
+    def mine_table(self, table: TransposedTable) -> FarmerResult:
+        """Mine from a pre-built :class:`TransposedTable` (no MineLB)."""
+        import time
+
+        started = time.perf_counter()
+        store = self._mine_table(table)
+        groups = self._build_groups(table, store)
+        if self.compute_lower_bounds:
+            groups = [
+                attach_lower_bounds(table.source, group) for group in groups
+            ]
+        counters = self._counters
+        counters.groups_emitted = len(groups)
+        return FarmerResult(
+            groups=groups,
+            consequent=table.consequent,
+            constraints=self.constraints,
+            counters=counters,
+            elapsed_seconds=time.perf_counter() - started,
+            truncated=self._truncated,
+        )
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _mine_table(self, table: TransposedTable) -> _IRGStore:
+        self._table = table
+        self._counters = NodeCounters()
+        self._store = _IRGStore()
+        self._use_p1 = "p1" in self.prunings
+        self._use_p2 = "p2" in self.prunings and self._use_p1
+        self._use_p3 = "p3" in self.prunings
+        self._truncated = False
+        self.budget.start()
+
+        if table.n == 0 or not table.item_masks:
+            return self._store
+
+        # Recursion depth is bounded by the number of rows; give Python
+        # generous headroom (the interpreter default is easily exceeded by
+        # replicated datasets).
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, table.n * 4 + 1000))
+        try:
+            item_ids = list(range(len(table.item_masks)))
+            masks = list(table.item_masks)
+            self._visit(
+                item_ids=item_ids,
+                masks=masks,
+                x_mask=0,
+                cand_pos=table.positive_mask,
+                cand_neg=table.negative_mask,
+                p1_removed=0,
+                supp_in=0,
+                supn_in=0,
+                rm_is_positive=True,
+            )
+        except BudgetExceeded:
+            if self.budget.strict:
+                raise
+            self._truncated = True
+        finally:
+            sys.setrecursionlimit(old_limit)
+        self._counters.nodes = self.budget.nodes
+        return self._store
+
+    def _visit(
+        self,
+        item_ids: list[int],
+        masks: list[int],
+        x_mask: int,
+        cand_pos: int,
+        cand_neg: int,
+        p1_removed: int,
+        supp_in: int,
+        supn_in: int,
+        rm_is_positive: bool,
+    ) -> None:
+        """MineIRGs (Figure 5) at the node with row combination
+        ``x_mask``."""
+        table = self._table
+        constraints = self.constraints
+        self.budget.tick()
+
+        # Step 2 — Pruning 3, loose bounds (before scanning the table).
+        if self._use_p3:
+            us2 = loose_support_bound(
+                supp_in, bitset.bit_count(cand_pos), rm_is_positive
+            )
+            if us2 < constraints.minsup or (
+                confidence_bound(us2, supn_in) < constraints.minconf
+            ):
+                self._counters.pruned_loose += 1
+                return
+
+        # Step 3 — scan TT|X.  The intersection of all tuples is R(I(X)).
+        intersection, union = scan_items(masks, table.all_rows_mask)
+        candidates = cand_pos | cand_neg
+
+        # Step 1 — Pruning 2.  A row outside X and outside the candidate
+        # list (and never compressed away by Pruning 1 on this path) that
+        # occurs in every tuple proves this subtree was enumerated before.
+        if self._use_p2:
+            witness = intersection & ~x_mask & ~candidates & ~p1_removed
+            if witness:
+                self._counters.pruned_identified += 1
+                return
+
+        supp_total = bitset.bit_count(intersection & table.positive_mask)
+        supn_total = bitset.bit_count(intersection) - supp_total
+
+        # Step 4 — Pruning 3, tight bounds (after the scan).
+        if self._use_p3:
+            if rm_is_positive and cand_pos:
+                max_ep = max(bitset.bit_count(mask & cand_pos) for mask in masks)
+            else:
+                max_ep = 0
+            us1 = tight_support_bound(supp_in, max_ep, rm_is_positive)
+            if (
+                us1 < constraints.minsup
+                or confidence_bound(us1, supn_total) < constraints.minconf
+                or (
+                    constraints.minchi > 0.0
+                    and chi_bound(supp_total, supn_total, table.n, table.m)
+                    < constraints.minchi
+                )
+            ):
+                self._counters.pruned_tight += 1
+                return
+
+        # Step 5 — Pruning 1: compress rows found in every tuple, and drop
+        # candidates found in no tuple (they would yield I(X) = ∅).
+        y_mask = intersection & candidates
+        if self._use_p1:
+            new_pos = union & cand_pos & ~y_mask
+            new_neg = union & cand_neg & ~y_mask
+            child_p1_removed = p1_removed | y_mask
+            self._counters.rows_compressed += bitset.bit_count(y_mask)
+        else:
+            new_pos = union & cand_pos
+            new_neg = union & cand_neg
+            child_p1_removed = p1_removed
+
+        # Step 6 — recurse over remaining candidates in ORD order.
+        child_candidates = new_pos | new_neg
+        for row in bitset.iter_bits(child_candidates):
+            row_bit = 1 << row
+            child_ids, child_masks = extend_items(item_ids, masks, row_bit)
+            if not child_ids:
+                continue
+            already_counted = bool(intersection & row_bit)
+            if row < table.m:
+                child_pos = new_pos & ~bitset.below_mask(row + 1)
+                child_neg = new_neg
+                child_supp = supp_total + (0 if already_counted else 1)
+                child_supn = supn_total
+                child_positive = True
+            else:
+                child_pos = 0
+                child_neg = new_neg & ~bitset.below_mask(row + 1)
+                child_supp = supp_total
+                child_supn = supn_total + (0 if already_counted else 1)
+                child_positive = False
+            self._visit(
+                item_ids=child_ids,
+                masks=child_masks,
+                x_mask=x_mask | row_bit,
+                cand_pos=child_pos,
+                cand_neg=child_neg,
+                p1_removed=child_p1_removed,
+                supp_in=child_supp,
+                supn_in=child_supn,
+                rm_is_positive=child_positive,
+            )
+
+        # Step 7 — admit I(X) -> C if it satisfies the thresholds and is
+        # interesting.  All groups with smaller antecedents are already in
+        # the store (descendants were just visited; earlier branches ran
+        # before us — Lemma 3.4), so the comparison is complete.  This
+        # includes the root: its I(∅) is the whole vocabulary, which is a
+        # real rule group exactly when some rows contain every item (its
+        # intersection is non-empty; otherwise the zero support fails the
+        # threshold test below).  Reporting the root matters when Pruning
+        # 1 compresses those rows away before any child is spawned.
+        if not constraints.satisfied_by(supp_total, supn_total, table.n, table.m):
+            return
+        item_mask = 0
+        for item_id in item_ids:
+            item_mask |= 1 << item_id
+        store = self._store
+        if item_mask in store.seen:
+            # Only reachable when Pruning 2 is disabled: the same upper
+            # bound rediscovered at a later node.
+            return
+        confidence = supp_total / (supp_total + supn_total)
+        if store.is_interesting(item_mask, len(item_ids), confidence):
+            store.add(
+                item_ids, item_mask, confidence, supp_total, supn_total, intersection
+            )
+        else:
+            self._counters.candidates_rejected += 1
+
+    # ------------------------------------------------------------------
+    # Result materialization
+    # ------------------------------------------------------------------
+
+    def _build_groups(
+        self, table: TransposedTable, store: _IRGStore
+    ) -> list[RuleGroup]:
+        groups: list[RuleGroup] = []
+        for item_ids, supp, supn, row_mask in store.entries:
+            groups.append(
+                RuleGroup(
+                    upper=frozenset(item_ids),
+                    consequent=table.consequent,
+                    rows=table.original_rows(row_mask),
+                    support=supp,
+                    antecedent_support=supp + supn,
+                    n=table.n,
+                    m=table.m,
+                )
+            )
+        return groups
+
+
+def mine_irgs(
+    dataset: ItemizedDataset,
+    consequent: Hashable,
+    minsup: int = 1,
+    minconf: float = 0.0,
+    minchi: float = 0.0,
+    compute_lower_bounds: bool = False,
+    prunings: Iterable[str] = ALL_PRUNINGS,
+    budget: SearchBudget | None = None,
+) -> FarmerResult:
+    """One-call convenience wrapper around :class:`Farmer`.
+
+    >>> from repro.data.dataset import ItemizedDataset
+    >>> data = ItemizedDataset.from_lists(
+    ...     [[0, 1], [0, 1], [1]], ["C", "C", "D"], n_items=2)
+    >>> result = mine_irgs(data, "C", minsup=1)
+    >>> sorted(sorted(g.upper) for g in result.groups)
+    [[0, 1], [1]]
+    """
+    miner = Farmer(
+        constraints=Constraints(minsup=minsup, minconf=minconf, minchi=minchi),
+        prunings=prunings,
+        compute_lower_bounds=compute_lower_bounds,
+        budget=budget,
+    )
+    return miner.mine(dataset, consequent)

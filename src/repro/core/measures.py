@@ -1,0 +1,194 @@
+"""Statistical interestingness measures for class-consequent rules.
+
+A rule ``A -> C`` over a dataset with ``n`` rows, of which ``m`` carry the
+consequent class ``C``, is fully described (for every measure used in the
+paper) by the pair of counts
+
+* ``x = |R(A)|``        — rows containing the antecedent, and
+* ``y = |R(A ∪ C)|``    — rows containing the antecedent *and* labelled C,
+
+together with the dataset constants ``(n, m)``.  This module implements
+support/confidence/chi-square, the convexity-based chi-square upper bound
+of Lemma 3.9, and the additional measures the paper's footnote 3 says can
+be "handled similarly": lift, conviction, entropy gain, gini gain and the
+correlation coefficient.
+
+The 2x2 contingency table behind the chi-square computation (the paper's
+Section 3.2.3)::
+
+                C          not C       total
+    A           y          x - y       x
+    not A       m - y      n-m-(x-y)   n - x
+    total       m          n - m       n
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "TwoByTwo",
+    "confidence",
+    "chi_square",
+    "chi_square_upper_bound",
+    "lift",
+    "conviction",
+    "entropy_gain",
+    "gini_gain",
+    "correlation",
+    "MEASURES",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TwoByTwo:
+    """The 2x2 contingency table of a rule ``A -> C``.
+
+    Attributes:
+        x: ``|R(A)|``, rows matching the antecedent.
+        y: ``|R(A ∪ C)|``, antecedent rows labelled with the consequent.
+        n: total number of rows in the dataset.
+        m: number of rows labelled with the consequent.
+    """
+
+    x: int
+    y: int
+    n: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.m <= self.n):
+            raise ValueError(f"need 0 <= m <= n, got m={self.m} n={self.n}")
+        if not (0 <= self.y <= self.x <= self.n):
+            raise ValueError(
+                f"need 0 <= y <= x <= n, got x={self.x} y={self.y} n={self.n}"
+            )
+        if self.y > self.m:
+            raise ValueError(f"y={self.y} exceeds class total m={self.m}")
+        if self.x - self.y > self.n - self.m:
+            raise ValueError(
+                f"x-y={self.x - self.y} exceeds negative total {self.n - self.m}"
+            )
+
+    @property
+    def cells(self) -> tuple[int, int, int, int]:
+        """Observed cell counts ``(O_AC, O_A¬C, O_¬AC, O_¬A¬C)``."""
+        return (
+            self.y,
+            self.x - self.y,
+            self.m - self.y,
+            self.n - self.m - (self.x - self.y),
+        )
+
+
+def confidence(x: int, y: int) -> float:
+    """Confidence ``y / x`` of a rule, defined as 0 for an empty antecedent
+    support (``x == 0``)."""
+    if x == 0:
+        return 0.0
+    return y / x
+
+
+def chi_square(x: int, y: int, n: int, m: int) -> float:
+    """Pearson chi-square statistic of the rule's 2x2 contingency table.
+
+    Degenerate tables — an empty/full antecedent column or a single-class
+    dataset — carry no association signal and return ``0.0`` (this matches
+    the convention ``chi(n, m) = 0`` used in the proof of Lemma 3.9).
+    """
+    if x == 0 or x == n or m == 0 or m == n:
+        return 0.0
+    determinant = y * (n - m - x + y) - (x - y) * (m - y)
+    return n * determinant * determinant / (x * m * (n - x) * (n - m))
+
+
+def chi_square_upper_bound(x: int, y: int, n: int, m: int) -> float:
+    """Upper bound on chi-square over every rule reachable below a node.
+
+    Implements Lemma 3.9: for any rule ``A' -> C`` with ``A' ⊂ A`` the
+    point ``(x', y')`` lies in the parallelogram with vertices
+    ``(x, y)``, ``(x - y + m, m)``, ``(n, m)`` and ``(y + n - m, y)``.
+    Chi-square is convex over that region and zero at ``(n, m)``, so the
+    maximum over the region is attained at one of the other three vertices.
+    """
+    return max(
+        chi_square(x - y + m, m, n, m),
+        chi_square(y + n - m, y, n, m),
+        chi_square(x, y, n, m),
+    )
+
+
+def lift(x: int, y: int, n: int, m: int) -> float:
+    """Lift: confidence relative to the consequent's base rate ``m / n``."""
+    if x == 0 or m == 0:
+        return 0.0
+    return (y / x) / (m / n)
+
+
+def conviction(x: int, y: int, n: int, m: int) -> float:
+    """Conviction ``(1 - m/n) / (1 - conf)``; ``inf`` for exact rules."""
+    if x == 0:
+        return 0.0
+    conf = y / x
+    if conf >= 1.0:
+        return math.inf
+    return (1.0 - m / n) / (1.0 - conf)
+
+
+def _entropy(p: float) -> float:
+    """Binary entropy of probability ``p`` in bits."""
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -(p * math.log2(p) + (1.0 - p) * math.log2(1.0 - p))
+
+
+def entropy_gain(x: int, y: int, n: int, m: int) -> float:
+    """Information gain of splitting the dataset on antecedent presence."""
+    if n == 0:
+        return 0.0
+    base = _entropy(m / n)
+    inside = _entropy(y / x) if x else 0.0
+    rest = n - x
+    outside = _entropy((m - y) / rest) if rest else 0.0
+    return base - (x / n) * inside - (rest / n) * outside
+
+
+def _gini(p: float) -> float:
+    """Gini impurity of a binary distribution with positive rate ``p``."""
+    return 2.0 * p * (1.0 - p)
+
+
+def gini_gain(x: int, y: int, n: int, m: int) -> float:
+    """Reduction in gini impurity from splitting on antecedent presence."""
+    if n == 0:
+        return 0.0
+    base = _gini(m / n)
+    inside = _gini(y / x) if x else 0.0
+    rest = n - x
+    outside = _gini((m - y) / rest) if rest else 0.0
+    return base - (x / n) * inside - (rest / n) * outside
+
+
+def correlation(x: int, y: int, n: int, m: int) -> float:
+    """Phi (Pearson) correlation between antecedent and consequent.
+
+    Equals ``sqrt(chi_square / n)`` with the sign of the association.
+    """
+    if x == 0 or x == n or m == 0 or m == n:
+        return 0.0
+    determinant = y * (n - m - x + y) - (x - y) * (m - y)
+    return determinant / math.sqrt(x * m * (n - x) * (n - m))
+
+
+#: Registry of all ``(x, y, n, m) -> float`` measures, used by the CLI and
+#: by :mod:`repro.extensions` when ranking rule groups.
+MEASURES = {
+    "confidence": lambda x, y, n, m: confidence(x, y),
+    "chi_square": chi_square,
+    "lift": lift,
+    "conviction": conviction,
+    "entropy_gain": entropy_gain,
+    "gini_gain": gini_gain,
+    "correlation": correlation,
+}

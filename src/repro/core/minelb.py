@@ -1,0 +1,165 @@
+"""MineLB: computing the lower bounds of a rule group (Section 3.4).
+
+Given the upper bound ``A`` of a rule group (a closed set, Definition
+3.3), its lower bounds are the *minimal* subsets ``l ⊆ A`` with
+``R(l) = R(A)``.  Equivalently — and this is what MineLB exploits — ``l``
+must not be contained in ``I(r) ∩ A`` for any row ``r`` outside ``R(A)``:
+if it were, ``r`` would support ``l`` and enlarge ``R(l)``.
+
+MineLB (Figure 9 in the paper) processes the *outside* closed sets
+``A' = I(r) ∩ A`` incrementally, maintaining the current set of minimal
+itemsets ``Γ`` that avoid every ``A'`` seen so far:
+
+* bounds already not contained in ``A'`` stay (Γ2);
+* bounds swallowed by ``A'`` (Γ1) are repaired by appending one item from
+  ``A − A'`` (Lemma 3.10), keeping only candidates that do not cover a
+  surviving bound or another candidate.
+
+Only the *maximal* outside sets matter (Lemma 3.11), so they are filtered
+first.  Itemsets are manipulated as bitmasks over a dense re-indexing of
+``A``'s items, which keeps the cover checks cheap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..data.dataset import ItemizedDataset
+from . import bitset
+from .rulegroup import RuleGroup
+
+__all__ = ["mine_lower_bounds", "lower_bounds_for_group", "attach_lower_bounds"]
+
+
+def _maximal_only(masks: set[int]) -> list[int]:
+    """Keep the subset-maximal masks of a family (Lemma 3.11)."""
+    ordered = sorted(masks, key=lambda mask: -bitset.bit_count(mask))
+    kept: list[int] = []
+    for mask in ordered:
+        if not any(mask & keeper == mask for keeper in kept):
+            kept.append(mask)
+    return kept
+
+
+def mine_lower_bounds(
+    upper: frozenset[int],
+    outside_itemsets: Iterable[frozenset[int]],
+) -> tuple[frozenset[int], ...]:
+    """Minimal generators of ``upper`` given the outside row itemsets.
+
+    Args:
+        upper: the closed set ``A`` (antecedent of the upper-bound rule).
+        outside_itemsets: ``I(r)`` for every row ``r`` outside ``R(A)``
+            (full row itemsets are fine — they are intersected with ``A``
+            here).
+
+    Returns:
+        The lower bounds, each a subset of ``upper``, sorted for
+        determinism (by size, then lexicographically).
+
+    Lower bounds are minimal among *non-empty* antecedents, matching the
+    paper's initialization with singletons: when ``outside_itemsets`` is
+    empty (``R(upper)`` is the whole dataset) the mathematical minimum
+    would be ``∅``, but the empty rule is never reported, so the
+    singletons of ``upper`` are returned instead.  The empty upper bound
+    has itself as its only generator.
+    """
+    items = sorted(upper)
+    if not items:
+        return (frozenset(),)
+    position = {item: index for index, item in enumerate(items)}
+    full = bitset.universe(len(items))
+
+    outside_masks: set[int] = set()
+    for row_items in outside_itemsets:
+        mask = 0
+        for item in row_items:
+            index = position.get(item)
+            if index is not None:
+                mask |= 1 << index
+        if mask != full:
+            outside_masks.add(mask)
+        # mask == full would mean the row supports all of A, i.e. the row
+        # is inside R(A); callers only pass outside rows, but tolerate it.
+
+    closed_sets = _maximal_only(outside_masks)
+
+    # Step 1 of Figure 9: initialize with the singletons of A.
+    gamma: list[int] = [1 << index for index in range(len(items))]
+
+    # Step 3: add each maximal outside closed set incrementally.
+    for closed in closed_sets:
+        gamma_1 = [bound for bound in gamma if bound & closed == bound]
+        gamma_2 = [bound for bound in gamma if bound & closed != bound]
+        if not gamma_1:
+            continue
+        candidates: set[int] = set()
+        missing = full & ~closed
+        for bound in gamma_1:
+            for item_bit in bitset.singletons(missing):
+                candidates.add(bound | item_bit)
+        # Keep a candidate iff nothing smaller already covers it.  It is
+        # enough to test against surviving bounds (Γ2 plus the candidates
+        # accepted so far, processed smallest-first): if a *rejected*
+        # smaller candidate were contained in it, whatever rejected that
+        # candidate is also contained in it and rejects it here too.
+        # Bounds are indexed by their lowest item — a bound contained in
+        # the candidate necessarily has its lowest item among the
+        # candidate's items — which turns the quadratic antichain check
+        # into a few short bucket scans per candidate.
+        gamma = list(gamma_2)
+        cover_index: dict[int, list[int]] = {}
+        for bound in gamma_2:
+            cover_index.setdefault(bound & -bound, []).append(bound)
+        for candidate in sorted(candidates, key=bitset.bit_count):
+            covered = False
+            remaining = candidate
+            while remaining and not covered:
+                low = remaining & -remaining
+                remaining ^= low
+                for bound in cover_index.get(low, ()):
+                    if bound & candidate == bound:
+                        covered = True
+                        break
+            if not covered:
+                gamma.append(candidate)
+                cover_index.setdefault(candidate & -candidate, []).append(
+                    candidate
+                )
+
+    bounds = [
+        frozenset(items[index] for index in bitset.iter_bits(mask))
+        for mask in gamma
+    ]
+    bounds.sort(key=lambda bound: (len(bound), sorted(bound)))
+    return tuple(bounds)
+
+
+def lower_bounds_for_group(
+    dataset: ItemizedDataset, group: RuleGroup
+) -> tuple[frozenset[int], ...]:
+    """Lower bounds of ``group`` against its source dataset.
+
+    Collects ``I(r)`` for every row outside the group's antecedent support
+    set (Step 2 of Figure 9) and delegates to :func:`mine_lower_bounds`.
+    """
+    outside = (
+        dataset.rows[index]
+        for index in range(dataset.n_rows)
+        if index not in group.rows
+    )
+    return mine_lower_bounds(group.upper, outside)
+
+
+def attach_lower_bounds(dataset: ItemizedDataset, group: RuleGroup) -> RuleGroup:
+    """Return a copy of ``group`` with its ``lower_bounds`` populated."""
+    return RuleGroup(
+        upper=group.upper,
+        consequent=group.consequent,
+        rows=group.rows,
+        support=group.support,
+        antecedent_support=group.antecedent_support,
+        n=group.n,
+        m=group.m,
+        lower_bounds=lower_bounds_for_group(dataset, group),
+    )

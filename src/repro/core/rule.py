@@ -1,0 +1,79 @@
+"""The association-rule object produced by every miner in this package.
+
+A :class:`Rule` is ``A -> C`` with a class-label consequent (the paper's
+Section 2.1).  It stores the two counts that determine every measure —
+``|R(A ∪ C)|`` and ``|R(A)|`` — together with the dataset constants
+``(n, m)``, and derives support, confidence, chi-square and the extended
+measures on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from . import measures
+
+__all__ = ["Rule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """An association rule ``antecedent -> consequent``.
+
+    Attributes:
+        antecedent: itemset ``A`` (item ids).
+        consequent: the class label ``C``.
+        support: rule support ``|R(A ∪ C)|`` (the paper's ``γ.sup``).
+        antecedent_support: ``|R(A)|``.
+        n: total rows in the dataset the rule was mined from.
+        m: rows labelled ``C`` in that dataset.
+    """
+
+    antecedent: frozenset[int]
+    consequent: Hashable
+    support: int
+    antecedent_support: int
+    n: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.support <= self.antecedent_support <= self.n:
+            raise ValueError(
+                f"inconsistent counts: support={self.support} "
+                f"antecedent_support={self.antecedent_support} n={self.n}"
+            )
+
+    @property
+    def confidence(self) -> float:
+        """``|R(A ∪ C)| / |R(A)|`` (``γ.conf``)."""
+        return measures.confidence(self.antecedent_support, self.support)
+
+    @property
+    def chi_square(self) -> float:
+        """Pearson chi-square of the rule's 2x2 table (``γ.chi``)."""
+        return measures.chi_square(
+            self.antecedent_support, self.support, self.n, self.m
+        )
+
+    @property
+    def negative_support(self) -> int:
+        """``|R(A ∪ ¬C)|`` — antecedent rows *not* labelled ``C``."""
+        return self.antecedent_support - self.support
+
+    def measure(self, name: str) -> float:
+        """Evaluate a registered measure (see ``measures.MEASURES``)."""
+        function = measures.MEASURES[name]
+        return function(self.antecedent_support, self.support, self.n, self.m)
+
+    def format(self, dataset=None) -> str:
+        """Render the rule; uses ``dataset`` item names when provided."""
+        if dataset is not None:
+            left = dataset.format_itemset(self.antecedent)
+        else:
+            left = "{" + ", ".join(str(i) for i in sorted(self.antecedent)) + "}"
+        return (
+            f"{left} -> {self.consequent} "
+            f"(sup={self.support}, conf={self.confidence:.3f}, "
+            f"chi={self.chi_square:.2f})"
+        )

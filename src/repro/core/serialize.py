@@ -1,0 +1,152 @@
+"""Persistence for mined rule groups.
+
+Mining a low-support sweep can take minutes and produce thousands of
+groups; downstream analysis (classification, networks, reports) should
+not have to re-mine.  This module round-trips rule groups through a
+line-oriented JSON format (``*.irgs``):
+
+* line 1 — a header object with the dataset name, consequent, dataset
+  constants ``(n, m)``, the constraints used, and a format version;
+* one JSON object per group — upper bound, rows, supports and (when
+  computed) lower bounds.
+
+Item ids are written as ints; the dataset's ``item_names`` are *not*
+embedded (persist the dataset itself with :mod:`repro.data.io`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable
+
+from ..core.constraints import Constraints
+from ..core.rulegroup import RuleGroup
+from ..errors import DataError
+
+__all__ = ["save_rule_groups", "load_rule_groups"]
+
+_FORMAT = "repro-irgs/1"
+
+
+def save_rule_groups(
+    path: str | Path,
+    groups: list[RuleGroup],
+    constraints: Constraints | None = None,
+    dataset_name: str = "dataset",
+) -> None:
+    """Write ``groups`` (all sharing one consequent) to ``path``.
+
+    Raises:
+        DataError: if the groups carry mixed consequents or disagree on
+            the dataset constants.
+    """
+    path = Path(path)
+    if groups:
+        consequent = groups[0].consequent
+        n, m = groups[0].n, groups[0].m
+        for group in groups:
+            if group.consequent != consequent or (group.n, group.m) != (n, m):
+                raise DataError(
+                    "save_rule_groups needs groups from one mining run "
+                    "(same consequent and dataset constants)"
+                )
+    else:
+        consequent, n, m = None, 0, 0
+
+    header = {
+        "format": _FORMAT,
+        "dataset": dataset_name,
+        "consequent": consequent,
+        "n": n,
+        "m": m,
+        "constraints": (
+            {
+                "minsup": constraints.minsup,
+                "minconf": constraints.minconf,
+                "minchi": constraints.minchi,
+            }
+            if constraints is not None
+            else None
+        ),
+        "count": len(groups),
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    for group in groups:
+        record = {
+            "upper": sorted(group.upper),
+            "rows": sorted(group.rows),
+            "support": group.support,
+            "antecedent_support": group.antecedent_support,
+            "lower_bounds": (
+                [sorted(bound) for bound in group.lower_bounds]
+                if group.lower_bounds is not None
+                else None
+            ),
+        }
+        lines.append(json.dumps(record, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_rule_groups(
+    path: str | Path,
+) -> tuple[list[RuleGroup], dict]:
+    """Read groups written by :func:`save_rule_groups`.
+
+    Returns:
+        ``(groups, header)`` where ``header`` is the metadata dict
+        (dataset name, consequent, constraints, ...).
+
+    JSON stringifies non-string consequents; mining consequents are
+    usually class-label strings, which round-trip exactly.
+    """
+    path = Path(path)
+    lines = [
+        line for line in path.read_text(encoding="utf-8").splitlines() if line
+    ]
+    if not lines:
+        raise DataError(f"{path}: empty rule-group file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path}:1: bad header ({exc})") from exc
+    if header.get("format") != _FORMAT:
+        raise DataError(
+            f"{path}: expected format {_FORMAT!r}, got {header.get('format')!r}"
+        )
+    consequent: Hashable = header["consequent"]
+    n, m = header["n"], header["m"]
+    groups: list[RuleGroup] = []
+    for line_number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise DataError(f"{path}:{line_number}: bad record ({exc})") from exc
+        try:
+            groups.append(
+                RuleGroup(
+                    upper=frozenset(record["upper"]),
+                    consequent=consequent,
+                    rows=frozenset(record["rows"]),
+                    support=record["support"],
+                    antecedent_support=record["antecedent_support"],
+                    n=n,
+                    m=m,
+                    lower_bounds=(
+                        tuple(
+                            frozenset(bound)
+                            for bound in record["lower_bounds"]
+                        )
+                        if record.get("lower_bounds") is not None
+                        else None
+                    ),
+                )
+            )
+        except (KeyError, ValueError) as exc:
+            raise DataError(f"{path}:{line_number}: {exc}") from exc
+    if header.get("count") != len(groups):
+        raise DataError(
+            f"{path}: header promises {header.get('count')} groups, "
+            f"found {len(groups)}"
+        )
+    return groups, header

@@ -1,0 +1,184 @@
+"""Tracing the row-enumeration tree (the paper's Figure 3).
+
+For teaching, debugging and the test suite it is invaluable to *see* the
+search: which row combinations FARMER visits, what ``I(X)`` labels each
+node, and which pruning cut each subtree.  :class:`TracingFarmer` is a
+:class:`~repro.core.farmer.Farmer` that records one :class:`TraceNode`
+per visited enumeration node (plus the pruning verdict), and
+:func:`render_tree` draws the result as an indented tree, e.g. for the
+paper's running example at ``minsup=1`` with pruning disabled it
+reproduces Figure 3's node labels::
+
+    {} -> I = (all items)
+      1 -> I = {a,b,c,l,o,s}
+        12 -> I = {a,l}
+          123 -> I = {a}
+          ...
+
+Tracing buffers every node, so use it on small inputs (it exists for
+exactly the datasets you can read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..data.dataset import ItemizedDataset
+from . import bitset
+from .farmer import Farmer
+
+__all__ = ["TraceNode", "TracingFarmer", "render_tree"]
+
+
+@dataclass
+class TraceNode:
+    """One visited node of the row-enumeration tree.
+
+    Attributes:
+        rows: the ORD row positions of the combination ``X``.
+        items: ``I(X)`` as item ids (the node label in Figure 3).
+        supp: ``|R(I(X)) ∩ C|`` (-1 when pruned before the scan).
+        supn: ``|R(I(X)) ∩ ¬C|`` (-1 when pruned before the scan).
+        outcome: ``"explored"``, ``"pruned:loose"``, ``"pruned:tight"``,
+            ``"pruned:identified"`` or ``"reported"`` (explored and
+            admitted into the IRG set).
+        children: child nodes in visit order.
+    """
+
+    rows: tuple[int, ...]
+    items: tuple[int, ...]
+    supp: int = -1
+    supn: int = -1
+    outcome: str = "explored"
+    children: list["TraceNode"] = field(default_factory=list)
+
+    def row_label(self) -> str:
+        """Figure 3-style node name: 1-based row ids, e.g. ``"123"``."""
+        if not self.rows:
+            return "{}"
+        return "".join(str(row + 1) for row in self.rows)
+
+    def size(self) -> int:
+        """Number of nodes in this subtree (including this node)."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def find(self, label: str) -> "TraceNode | None":
+        """Locate a node by its Figure 3 label (depth-first)."""
+        if self.row_label() == label:
+            return self
+        for child in self.children:
+            found = child.find(label)
+            if found is not None:
+                return found
+        return None
+
+
+class TracingFarmer(Farmer):
+    """A :class:`Farmer` that records the enumeration tree it walks.
+
+    After :meth:`mine`, the tree is available as :attr:`trace_root`.
+    All constructor arguments match :class:`Farmer`.
+    """
+
+    trace_root: TraceNode | None = None
+
+    def mine(self, dataset: ItemizedDataset, consequent: Hashable):
+        self._trace_stack: list[TraceNode] = []
+        self.trace_root = None
+        return super().mine(dataset, consequent)
+
+    # The hook: wrap the recursive visit, snapshotting node state.
+    def _visit(
+        self,
+        item_ids,
+        masks,
+        x_mask,
+        cand_pos,
+        cand_neg,
+        p1_removed,
+        supp_in,
+        supn_in,
+        rm_is_positive,
+    ):
+        node = TraceNode(
+            rows=tuple(bitset.iter_bits(x_mask)),
+            items=tuple(item_ids),
+        )
+        if self._trace_stack:
+            self._trace_stack[-1].children.append(node)
+        else:
+            self.trace_root = node
+        self._trace_stack.append(node)
+
+        counters = self._counters
+        before = (
+            counters.pruned_loose,
+            counters.pruned_tight,
+            counters.pruned_identified,
+        )
+        try:
+            super()._visit(
+                item_ids,
+                masks,
+                x_mask,
+                cand_pos,
+                cand_neg,
+                p1_removed,
+                supp_in,
+                supn_in,
+                rm_is_positive,
+            )
+        finally:
+            self._trace_stack.pop()
+
+        after = (
+            counters.pruned_loose,
+            counters.pruned_tight,
+            counters.pruned_identified,
+        )
+        if after[0] > before[0] and not node.children:
+            node.outcome = "pruned:loose"
+        elif after[2] > before[2] and not node.children:
+            node.outcome = "pruned:identified"
+        elif after[1] > before[1] and not node.children:
+            node.outcome = "pruned:tight"
+        elif any(
+            entry[0] == tuple(item_ids) for entry in self._store.entries
+        ):
+            node.outcome = "reported"
+        # Fill the support stats for non-pre-scan-pruned nodes.
+        if node.outcome not in ("pruned:loose",):
+            from .enumeration import scan_items
+
+            intersection, _ = scan_items(masks, self._table.all_rows_mask)
+            node.supp = bitset.bit_count(
+                intersection & self._table.positive_mask
+            )
+            node.supn = bitset.bit_count(intersection) - node.supp
+
+
+def render_tree(
+    node: TraceNode,
+    dataset: ItemizedDataset | None = None,
+    max_depth: int | None = None,
+    _depth: int = 0,
+) -> str:
+    """Render a trace as an indented Figure 3-style tree."""
+    if dataset is not None:
+        label_items = dataset.format_itemset(node.items)
+    else:
+        label_items = "{" + ",".join(str(i) for i in node.items) + "}"
+    marker = "" if node.outcome == "explored" else f"  [{node.outcome}]"
+    stats = (
+        f"  (supp={node.supp}, supn={node.supn})" if node.supp >= 0 else ""
+    )
+    lines = [
+        "  " * _depth + f"{node.row_label()} -> I = {label_items}{stats}{marker}"
+    ]
+    if max_depth is None or _depth < max_depth:
+        for child in node.children:
+            lines.append(
+                render_tree(child, dataset, max_depth, _depth + 1)
+            )
+    return "\n".join(lines)

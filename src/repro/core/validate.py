@@ -1,0 +1,177 @@
+"""Independent validation of mined rule groups against a dataset.
+
+Downstream users consuming persisted rule groups (or results from a
+modified miner) can verify every paper-defined invariant without trusting
+the producer.  :func:`validate_group` checks one group; :func:`
+validate_result` checks a whole mining result, including the
+*interestingness* relation between groups.  Violations are reported as a
+list of human-readable strings (empty == valid), so callers can choose
+between logging and raising.
+
+Checks per group (paper reference in parentheses):
+
+* the upper bound is a closed set and ``R(upper)`` matches the stored
+  rows and supports (Definition 3.3, Lemma 2.1);
+* every lower bound generates the same row set, is minimal, and the
+  bounds form an antichain (Definition 2.1);
+* confidence/chi are consistent with the stored counts.
+
+Checks per result:
+
+* no two groups share a row support set (Lemma 2.1);
+* no group is dominated by another with a smaller antecedent and equal or
+  higher confidence (Definition 2.2);
+* every group satisfies the declared constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..data.dataset import ItemizedDataset
+from ..errors import DataError
+from . import closure
+from .constraints import Constraints
+from .rulegroup import RuleGroup
+
+__all__ = ["validate_group", "validate_result"]
+
+
+def validate_group(
+    dataset: ItemizedDataset, group: RuleGroup
+) -> list[str]:
+    """Return every invariant violation of ``group`` against ``dataset``."""
+    problems: list[str] = []
+    label = f"group {sorted(group.upper)}"
+
+    if group.n != dataset.n_rows:
+        problems.append(
+            f"{label}: n={group.n} but dataset has {dataset.n_rows} rows"
+        )
+    true_m = dataset.class_count(group.consequent)
+    if group.m != true_m:
+        problems.append(
+            f"{label}: m={group.m} but dataset has {true_m} rows of "
+            f"{group.consequent!r}"
+        )
+
+    if not group.upper:
+        problems.append(f"{label}: empty upper bound")
+        return problems
+
+    support_set = closure.rows_of(dataset, group.upper)
+    if support_set != group.rows:
+        problems.append(
+            f"{label}: stored rows {sorted(group.rows)} != R(upper) "
+            f"{sorted(support_set)}"
+        )
+    closed = closure.close_itemset(dataset, group.upper)
+    if closed != group.upper:
+        problems.append(
+            f"{label}: upper bound is not closed (closure adds "
+            f"{sorted(closed - group.upper)})"
+        )
+    supp = sum(
+        1 for row in support_set if dataset.labels[row] == group.consequent
+    )
+    if supp != group.support:
+        problems.append(
+            f"{label}: stored support {group.support} != computed {supp}"
+        )
+    if len(support_set) != group.antecedent_support:
+        problems.append(
+            f"{label}: stored antecedent support {group.antecedent_support} "
+            f"!= computed {len(support_set)}"
+        )
+
+    if group.lower_bounds is not None:
+        for bound in group.lower_bounds:
+            if closure.rows_of(dataset, bound) != group.rows:
+                problems.append(
+                    f"{label}: lower bound {sorted(bound)} generates a "
+                    "different row set"
+                )
+                continue
+            for item in bound:
+                smaller = bound - {item}
+                if smaller and closure.rows_of(dataset, smaller) == group.rows:
+                    problems.append(
+                        f"{label}: lower bound {sorted(bound)} is not "
+                        f"minimal (drop {dataset.item_name(item)})"
+                    )
+        bounds = list(group.lower_bounds)
+        for index, left in enumerate(bounds):
+            for right in bounds[index + 1 :]:
+                if left <= right or right <= left:
+                    problems.append(
+                        f"{label}: lower bounds {sorted(left)} and "
+                        f"{sorted(right)} are nested"
+                    )
+    return problems
+
+
+def validate_result(
+    dataset: ItemizedDataset,
+    groups: list[RuleGroup],
+    consequent: Hashable | None = None,
+    constraints: Constraints | None = None,
+    raise_on_error: bool = False,
+) -> list[str]:
+    """Validate a whole mining result; see the module docstring.
+
+    Args:
+        raise_on_error: raise :class:`~repro.errors.DataError` with the
+            first few problems instead of returning them.
+    """
+    problems: list[str] = []
+    for group in groups:
+        if consequent is not None and group.consequent != consequent:
+            problems.append(
+                f"group {sorted(group.upper)}: consequent "
+                f"{group.consequent!r} != expected {consequent!r}"
+            )
+        problems.extend(validate_group(dataset, group))
+
+    seen_rows: dict[frozenset[int], frozenset[int]] = {}
+    for group in groups:
+        previous = seen_rows.get(group.rows)
+        if previous is not None:
+            problems.append(
+                f"groups {sorted(previous)} and {sorted(group.upper)} share "
+                "a row support set (a rule group must be unique)"
+            )
+        else:
+            seen_rows[group.rows] = group.upper
+
+    for group in groups:
+        for other in groups:
+            if (
+                other.upper < group.upper
+                and other.confidence >= group.confidence
+            ):
+                problems.append(
+                    f"group {sorted(group.upper)} is dominated by subset "
+                    f"group {sorted(other.upper)} "
+                    f"({other.confidence:.3f} >= {group.confidence:.3f})"
+                )
+
+    if constraints is not None:
+        for group in groups:
+            if not constraints.satisfied_by(
+                group.support,
+                group.antecedent_support - group.support,
+                group.n,
+                group.m,
+            ):
+                problems.append(
+                    f"group {sorted(group.upper)} violates the declared "
+                    "constraints"
+                )
+
+    if problems and raise_on_error:
+        preview = "; ".join(problems[:3])
+        raise DataError(
+            f"rule-group validation failed ({len(problems)} problems): "
+            f"{preview}"
+        )
+    return problems

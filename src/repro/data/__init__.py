@@ -1,0 +1,43 @@
+"""Dataset substrate: matrices, discretization, transposition, synthesis.
+
+The pipeline mirrors the paper's Section 4 setup::
+
+    GeneExpressionMatrix  --discretize-->  ItemizedDataset
+                                            |  TransposedTable.build
+                                            v
+                                       row-enumeration miners
+
+plus the synthetic generator and the registry of the five paper datasets
+(see DESIGN.md for the substitution rationale).
+"""
+
+from .dataset import ItemizedDataset
+from .discretize import EntropyMDLDiscretizer, EqualDepthDiscretizer
+from .io import load_expression, load_itemized, save_expression, save_itemized
+from .matrix import GeneExpressionMatrix
+from .profile import DatasetProfile, profile_dataset, profile_report
+from .registry import PAPER_DATASETS, DatasetSpec, load, train_test_rows
+from .synthetic import BlockSpec, make_microarray
+from .transpose import TransposedTable, ord_permutation
+
+__all__ = [
+    "BlockSpec",
+    "DatasetProfile",
+    "DatasetSpec",
+    "EntropyMDLDiscretizer",
+    "EqualDepthDiscretizer",
+    "GeneExpressionMatrix",
+    "ItemizedDataset",
+    "PAPER_DATASETS",
+    "TransposedTable",
+    "load",
+    "load_expression",
+    "load_itemized",
+    "make_microarray",
+    "ord_permutation",
+    "profile_dataset",
+    "profile_report",
+    "save_expression",
+    "save_itemized",
+    "train_test_rows",
+]

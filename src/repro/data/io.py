@@ -1,0 +1,153 @@
+"""Plain-text persistence for datasets and matrices.
+
+Two deliberately simple formats, both line-oriented and diff-friendly:
+
+* **itemized** (``*.items``): one row per line as
+  ``label<TAB>item ids separated by spaces``, preceded by ``#``-prefixed
+  header lines carrying the vocabulary size, dataset name and (optionally)
+  the item names.  This mirrors the transaction files used by classic
+  rule-mining tools.
+* **expression** (``*.tsv``): a tab-separated matrix whose first line is
+  ``label<TAB>gene names...`` and whose subsequent lines are
+  ``label<TAB>values...``.
+
+Both loaders validate aggressively and raise :class:`~repro.errors.
+DataError` with the offending line number on malformed input.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DataError
+from .dataset import ItemizedDataset
+from .matrix import GeneExpressionMatrix
+
+__all__ = [
+    "save_itemized",
+    "load_itemized",
+    "save_expression",
+    "load_expression",
+]
+
+_ITEMIZED_MAGIC = "# repro-itemized v1"
+_NAME_SEPARATOR = "\x1f"  # unit separator: never appears in sane item names
+
+
+def save_itemized(dataset: ItemizedDataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` in the itemized text format."""
+    path = Path(path)
+    lines = [
+        _ITEMIZED_MAGIC,
+        f"# n_items {dataset.n_items}",
+        f"# name {dataset.name}",
+    ]
+    if dataset.item_names is not None:
+        lines.append("# item_names " + _NAME_SEPARATOR.join(dataset.item_names))
+    for row, label in zip(dataset.rows, dataset.labels):
+        items = " ".join(str(item) for item in sorted(row))
+        lines.append(f"{label}\t{items}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_itemized(path: str | Path) -> ItemizedDataset:
+    """Read an :class:`ItemizedDataset` previously written by
+    :func:`save_itemized`.
+
+    Labels round-trip as strings (the on-disk format is untyped).
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not lines or lines[0] != _ITEMIZED_MAGIC:
+        raise DataError(f"{path}: not a repro-itemized v1 file")
+    n_items: int | None = None
+    name = "dataset"
+    item_names: tuple[str, ...] | None = None
+    rows: list[frozenset[int]] = []
+    labels: list[str] = []
+    for line_number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        if line.startswith("# n_items "):
+            n_items = int(line[len("# n_items "):])
+            continue
+        if line.startswith("# name "):
+            name = line[len("# name "):]
+            continue
+        if line.startswith("# item_names "):
+            item_names = tuple(line[len("# item_names "):].split(_NAME_SEPARATOR))
+            continue
+        if line.startswith("#"):
+            continue
+        label, _, items_text = line.partition("\t")
+        if not _:
+            raise DataError(f"{path}:{line_number}: missing tab separator")
+        try:
+            items = frozenset(int(token) for token in items_text.split())
+        except ValueError as exc:
+            raise DataError(f"{path}:{line_number}: bad item id ({exc})") from exc
+        rows.append(items)
+        labels.append(label)
+    if n_items is None:
+        raise DataError(f"{path}: missing '# n_items' header")
+    return ItemizedDataset(
+        rows=tuple(rows),
+        labels=tuple(labels),
+        n_items=n_items,
+        item_names=item_names,
+        name=name,
+    )
+
+
+def save_expression(matrix: GeneExpressionMatrix, path: str | Path) -> None:
+    """Write ``matrix`` to ``path`` in the expression TSV format."""
+    path = Path(path)
+    header = "label\t" + "\t".join(matrix.gene_names)
+    lines = [header]
+    for sample_index in range(matrix.n_samples):
+        values = "\t".join(
+            repr(float(v)) for v in matrix.values[sample_index]
+        )
+        lines.append(f"{matrix.labels[sample_index]}\t{values}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_expression(path: str | Path, name: str | None = None) -> GeneExpressionMatrix:
+    """Read a :class:`GeneExpressionMatrix` written by
+    :func:`save_expression`.
+
+    Labels round-trip as strings.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise DataError(f"{path}: empty expression file")
+    header = lines[0].split("\t")
+    if not header or header[0] != "label":
+        raise DataError(f"{path}:1: header must start with 'label'")
+    gene_names = tuple(header[1:])
+    labels: list[str] = []
+    rows: list[list[float]] = []
+    for line_number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        fields = line.split("\t")
+        if len(fields) != len(gene_names) + 1:
+            raise DataError(
+                f"{path}:{line_number}: expected {len(gene_names) + 1} "
+                f"fields, found {len(fields)}"
+            )
+        labels.append(fields[0])
+        try:
+            rows.append([float(field) for field in fields[1:]])
+        except ValueError as exc:
+            raise DataError(f"{path}:{line_number}: bad value ({exc})") from exc
+    return GeneExpressionMatrix(
+        values=np.asarray(rows, dtype=float),
+        labels=tuple(labels),
+        gene_names=gene_names,
+        name=name if name is not None else path.stem,
+    )

@@ -1,0 +1,149 @@
+"""Continuous gene-expression matrices.
+
+Real microarray data arrives as a dense matrix of expression levels — one
+row per clinical sample, one column per gene — plus a class label per
+sample (e.g. ``tumor`` / ``normal``).  :class:`GeneExpressionMatrix` is the
+thin, validated container for that stage of the pipeline; discretizers in
+:mod:`repro.data.discretize` turn it into the :class:`~repro.data.dataset.
+ItemizedDataset` the miners consume, and :mod:`repro.classify.svm` consumes
+it directly (the SVM baseline works on continuous values, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = ["GeneExpressionMatrix"]
+
+
+@dataclass(frozen=True)
+class GeneExpressionMatrix:
+    """A samples x genes expression matrix with per-sample class labels.
+
+    Attributes:
+        values: float array of shape ``(n_samples, n_genes)``.
+        labels: one class label per sample.
+        gene_names: one name per gene column.
+        name: dataset name used in reports.
+    """
+
+    values: np.ndarray
+    labels: tuple[Hashable, ...]
+    gene_names: tuple[str, ...]
+    name: str = "matrix"
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 2:
+            raise DataError(f"expression matrix must be 2-D, got shape {values.shape}")
+        object.__setattr__(self, "values", values)
+        if len(self.labels) != values.shape[0]:
+            raise DataError(
+                f"{len(self.labels)} labels for {values.shape[0]} samples"
+            )
+        if len(self.gene_names) != values.shape[1]:
+            raise DataError(
+                f"{len(self.gene_names)} gene names for {values.shape[1]} genes"
+            )
+        if not np.isfinite(values).all():
+            raise DataError("expression matrix contains NaN or infinite values")
+
+    @classmethod
+    def from_arrays(
+        cls,
+        values,
+        labels: Sequence[Hashable],
+        gene_names: Sequence[str] | None = None,
+        name: str = "matrix",
+    ) -> "GeneExpressionMatrix":
+        """Build a matrix, synthesizing ``g0, g1, ...`` gene names if absent."""
+        values = np.asarray(values, dtype=float)
+        if gene_names is None:
+            gene_names = tuple(f"g{j}" for j in range(values.shape[1]))
+        return cls(
+            values=values,
+            labels=tuple(labels),
+            gene_names=tuple(gene_names),
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples (rows)."""
+        return self.values.shape[0]
+
+    @property
+    def n_genes(self) -> int:
+        """Number of genes (columns)."""
+        return self.values.shape[1]
+
+    @property
+    def class_labels(self) -> tuple[Hashable, ...]:
+        """Distinct class labels in first-appearance order."""
+        seen: dict[Hashable, None] = {}
+        for label in self.labels:
+            seen.setdefault(label, None)
+        return tuple(seen)
+
+    def class_count(self, label: Hashable) -> int:
+        """Number of samples carrying ``label``."""
+        return sum(1 for current in self.labels if current == label)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def select_samples(self, indices: Sequence[int], name: str | None = None) -> "GeneExpressionMatrix":
+        """Return a sub-matrix with the given sample rows, in order."""
+        indices = list(indices)
+        if any(not 0 <= i < self.n_samples for i in indices):
+            raise DataError(f"sample index out of range in {indices!r}")
+        return GeneExpressionMatrix(
+            values=self.values[indices],
+            labels=tuple(self.labels[i] for i in indices),
+            gene_names=self.gene_names,
+            name=name if name is not None else self.name,
+        )
+
+    def select_genes(self, indices: Sequence[int], name: str | None = None) -> "GeneExpressionMatrix":
+        """Return a sub-matrix with the given gene columns, in order."""
+        indices = list(indices)
+        if any(not 0 <= j < self.n_genes for j in indices):
+            raise DataError(f"gene index out of range in {indices!r}")
+        return GeneExpressionMatrix(
+            values=self.values[:, indices],
+            labels=self.labels,
+            gene_names=tuple(self.gene_names[j] for j in indices),
+            name=name if name is not None else self.name,
+        )
+
+    def standardized(self) -> np.ndarray:
+        """Per-gene z-scored copy of the values (for the SVM baseline).
+
+        Genes with zero variance standardize to all-zero columns rather
+        than dividing by zero.
+        """
+        mean = self.values.mean(axis=0)
+        std = self.values.std(axis=0)
+        std[std == 0.0] = 1.0
+        return (self.values - mean) / std
+
+    def summary(self) -> dict[str, object]:
+        """Table-1 style characteristics of the matrix."""
+        return {
+            "name": self.name,
+            "n_samples": self.n_samples,
+            "n_genes": self.n_genes,
+            "class_counts": {
+                label: self.class_count(label) for label in self.class_labels
+            },
+        }

@@ -1,0 +1,197 @@
+"""Microarray preprocessing: the steps upstream of discretization.
+
+The paper's datasets arrive already cleaned; real microarray pipelines
+first handle missing probes, normalize per-chip intensity, and throw away
+genes that cannot carry signal.  This module provides those standard
+steps so the library is usable on raw data, all in the scikit-learn-ish
+``fit``/``transform`` style (statistics learned on training samples only,
+like the discretizers):
+
+* :class:`MissingValueImputer` — mean/median per gene over finite values;
+* :class:`QuantileNormalizer` — force every sample to a common intensity
+  distribution (the classic microarray between-chip normalization);
+* :class:`LogTransform` — ``log2(x + offset)`` for raw intensity data;
+* :func:`variance_filter` / :func:`fold_change_filter` — unsupervised
+  gene selection (the ``max/min`` and ``max-min`` filters the original
+  dataset publications applied before analysis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from .matrix import GeneExpressionMatrix
+
+__all__ = [
+    "MissingValueImputer",
+    "QuantileNormalizer",
+    "LogTransform",
+    "variance_filter",
+    "fold_change_filter",
+]
+
+
+class MissingValueImputer:
+    """Replace NaN entries by the per-gene training mean or median.
+
+    ``GeneExpressionMatrix`` itself rejects NaNs, so this imputer works
+    on raw arrays and *produces* a matrix::
+
+        imputer = MissingValueImputer("median").fit(raw_values)
+        matrix = imputer.to_matrix(raw_values, labels)
+    """
+
+    def __init__(self, strategy: str = "mean") -> None:
+        if strategy not in ("mean", "median"):
+            raise DataError(f"strategy must be 'mean' or 'median', got {strategy!r}")
+        self.strategy = strategy
+        self._fill: np.ndarray | None = None
+
+    def fit(self, values) -> "MissingValueImputer":
+        """Learn per-gene fill values from the finite entries."""
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise DataError(f"expected a 2-D array, got shape {values.shape}")
+        import warnings
+
+        with warnings.catch_warnings():
+            # An all-NaN gene produces a "Mean of empty slice" warning and
+            # a NaN fill value, which is handled explicitly below.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            if self.strategy == "mean":
+                fill = np.nanmean(values, axis=0)
+            else:
+                fill = np.nanmedian(values, axis=0)
+        # A gene with no finite value at all imputes to zero.
+        fill = np.where(np.isfinite(fill), fill, 0.0)
+        self._fill = fill
+        return self
+
+    def transform(self, values) -> np.ndarray:
+        """Return a copy of ``values`` with NaNs replaced."""
+        if self._fill is None:
+            raise DataError("transform() called before fit()")
+        values = np.asarray(values, dtype=float)
+        if values.shape[1] != self._fill.shape[0]:
+            raise DataError(
+                f"{values.shape[1]} genes, imputer fitted on "
+                f"{self._fill.shape[0]}"
+            )
+        filled = values.copy()
+        missing = ~np.isfinite(filled)
+        filled[missing] = np.broadcast_to(self._fill, filled.shape)[missing]
+        return filled
+
+    def to_matrix(self, values, labels, gene_names=None, name="imputed") -> GeneExpressionMatrix:
+        """Impute and wrap into a :class:`GeneExpressionMatrix`."""
+        return GeneExpressionMatrix.from_arrays(
+            self.transform(values), labels, gene_names=gene_names, name=name
+        )
+
+
+class QuantileNormalizer:
+    """Quantile normalization: give every sample the same distribution.
+
+    The reference distribution is the mean order statistic over the
+    training samples; ``transform`` maps each sample's ranks onto it
+    (ties share their average reference value).
+    """
+
+    def __init__(self) -> None:
+        self._reference: np.ndarray | None = None
+
+    def fit(self, matrix: GeneExpressionMatrix) -> "QuantileNormalizer":
+        sorted_values = np.sort(matrix.values, axis=1)
+        self._reference = sorted_values.mean(axis=0)
+        return self
+
+    def transform(self, matrix: GeneExpressionMatrix) -> GeneExpressionMatrix:
+        if self._reference is None:
+            raise DataError("transform() called before fit()")
+        if matrix.n_genes != self._reference.shape[0]:
+            raise DataError(
+                f"{matrix.n_genes} genes, normalizer fitted on "
+                f"{self._reference.shape[0]}"
+            )
+        normalized = np.empty_like(matrix.values)
+        for sample in range(matrix.n_samples):
+            order = np.argsort(matrix.values[sample], kind="stable")
+            normalized[sample, order] = self._reference
+        return GeneExpressionMatrix(
+            values=normalized,
+            labels=matrix.labels,
+            gene_names=matrix.gene_names,
+            name=f"{matrix.name}/qnorm",
+        )
+
+    def fit_transform(self, matrix: GeneExpressionMatrix) -> GeneExpressionMatrix:
+        return self.fit(matrix).transform(matrix)
+
+
+class LogTransform:
+    """``log2(x + offset)`` with a validity check for raw intensities."""
+
+    def __init__(self, offset: float = 1.0) -> None:
+        self.offset = offset
+
+    def transform(self, matrix: GeneExpressionMatrix) -> GeneExpressionMatrix:
+        shifted = matrix.values + self.offset
+        if (shifted <= 0).any():
+            raise DataError(
+                "log transform needs x + offset > 0 everywhere; raise the "
+                f"offset (currently {self.offset})"
+            )
+        return GeneExpressionMatrix(
+            values=np.log2(shifted),
+            labels=matrix.labels,
+            gene_names=matrix.gene_names,
+            name=f"{matrix.name}/log2",
+        )
+
+
+def variance_filter(
+    matrix: GeneExpressionMatrix, keep: int
+) -> GeneExpressionMatrix:
+    """Keep the ``keep`` genes with the highest expression variance.
+
+    Ties are broken by gene index for determinism.
+    """
+    if keep < 1:
+        raise DataError(f"keep must be >= 1, got {keep}")
+    keep = min(keep, matrix.n_genes)
+    variances = matrix.values.var(axis=0)
+    order = sorted(range(matrix.n_genes), key=lambda j: (-variances[j], j))
+    selected = sorted(order[:keep])
+    return matrix.select_genes(selected, name=f"{matrix.name}/var{keep}")
+
+
+def fold_change_filter(
+    matrix: GeneExpressionMatrix,
+    min_ratio: float = 2.0,
+    min_difference: float = 0.0,
+    epsilon: float = 1e-9,
+) -> GeneExpressionMatrix:
+    """Keep genes whose max/min ratio and max-min spread clear thresholds.
+
+    The classic microarray filter (e.g. the colon-tumor publication kept
+    genes with max/min >= 15 and max-min >= 500).  Ratios are computed on
+    values shifted to be positive when necessary.
+    """
+    if min_ratio < 1.0:
+        raise DataError(f"min_ratio must be >= 1, got {min_ratio}")
+    highs = matrix.values.max(axis=0)
+    lows = matrix.values.min(axis=0)
+    shift = np.minimum(lows, 0.0)
+    ratio = (highs - shift + epsilon) / (lows - shift + epsilon)
+    spread = highs - lows
+    selected = [
+        j
+        for j in range(matrix.n_genes)
+        if ratio[j] >= min_ratio and spread[j] >= min_difference
+    ]
+    if not selected:
+        raise DataError(
+            "fold-change filter removed every gene; lower the thresholds"
+        )
+    return matrix.select_genes(selected, name=f"{matrix.name}/fold")

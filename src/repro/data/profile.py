@@ -1,0 +1,137 @@
+"""Dataset profiling: know your table before you mine it.
+
+Whether row or column enumeration wins — and which ``minsup`` values are
+even attainable — is a property of the table's shape and support
+distribution.  :func:`profile_dataset` computes the pre-mining
+diagnostics this library's own experiments rely on:
+
+* shape: rows, items, density, max row length (the ``i`` of the paper's
+  ``2^i`` argument);
+* class balance per label;
+* item-support distribution (max / quartiles) — with equal-depth
+  discretization the max item support caps every rule's antecedent
+  support, which is why the paper's Figure 10 sweeps single-digit
+  ``minsup`` values;
+* a recommended enumeration direction (the COBBLER shape rule) and a
+  recommended ``minsup`` sweep.
+
+:func:`profile_report` renders everything as plain text; the CLI exposes
+it as ``farmer profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..errors import DataError
+from .dataset import ItemizedDataset
+
+__all__ = ["DatasetProfile", "profile_dataset", "profile_report"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Pre-mining diagnostics of an itemized dataset.
+
+    Attributes mirror :func:`profile_dataset`'s docstring; see there.
+    """
+
+    name: str
+    n_rows: int
+    n_items: int
+    n_occurring_items: int
+    density: float
+    max_row_length: int
+    class_counts: dict[Hashable, int]
+    max_item_support: int
+    item_support_quartiles: tuple[int, int, int]
+    recommended_direction: str
+    recommended_minsup_grid: tuple[int, ...]
+
+    @property
+    def shape_ratio(self) -> float:
+        """Items-to-rows ratio — >> 1 means row enumeration territory."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.n_occurring_items / self.n_rows
+
+
+def profile_dataset(dataset: ItemizedDataset) -> DatasetProfile:
+    """Compute a :class:`DatasetProfile` for ``dataset``."""
+    if dataset.n_rows == 0:
+        raise DataError("cannot profile an empty dataset")
+
+    supports = [0] * dataset.n_items
+    for row in dataset.rows:
+        for item in row:
+            supports[item] += 1
+    occurring = sorted(s for s in supports if s > 0)
+    if not occurring:
+        max_support = 0
+        quartiles = (0, 0, 0)
+    else:
+        max_support = occurring[-1]
+        quartiles = (
+            occurring[len(occurring) // 4],
+            occurring[len(occurring) // 2],
+            occurring[(3 * len(occurring)) // 4],
+        )
+
+    n_occurring = len(occurring)
+    # The COBBLER shape rule: column enumeration once items are
+    # decisively the smaller dimension.
+    if n_occurring < 0.5 * dataset.n_rows:
+        direction = "column enumeration (items << rows)"
+    else:
+        direction = "row enumeration (rows << items)"
+
+    # A useful minsup sweep runs just below the support ceiling: rules
+    # cannot be supported by more rows than their rarest item.
+    ceiling = max_support
+    grid = tuple(
+        value
+        for value in range(ceiling, max(1, ceiling - 4), -1)
+        if value >= 1
+    )
+
+    return DatasetProfile(
+        name=dataset.name,
+        n_rows=dataset.n_rows,
+        n_items=dataset.n_items,
+        n_occurring_items=n_occurring,
+        density=dataset.density(),
+        max_row_length=dataset.max_row_length(),
+        class_counts={
+            label: dataset.class_count(label)
+            for label in dataset.class_labels
+        },
+        max_item_support=max_support,
+        item_support_quartiles=quartiles,
+        recommended_direction=direction,
+        recommended_minsup_grid=grid,
+    )
+
+
+def profile_report(profile: DatasetProfile) -> str:
+    """Render a profile as aligned plain text."""
+    classes = ", ".join(
+        f"{label}: {count}" for label, count in profile.class_counts.items()
+    )
+    q1, median, q3 = profile.item_support_quartiles
+    lines = [
+        f"dataset profile: {profile.name}",
+        f"  shape            : {profile.n_rows} rows x "
+        f"{profile.n_occurring_items} occurring items "
+        f"(vocabulary {profile.n_items}); "
+        f"items:rows = {profile.shape_ratio:.1f}",
+        f"  density          : {profile.density:.3f} "
+        f"(max row length {profile.max_row_length})",
+        f"  classes          : {classes}",
+        f"  item support     : max {profile.max_item_support}, "
+        f"quartiles {q1}/{median}/{q3} rows",
+        f"  enumeration      : {profile.recommended_direction}",
+        f"  minsup sweep     : {list(profile.recommended_minsup_grid)} "
+        "(the max item support caps every rule's antecedent support)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class.  The subclasses
+distinguish the three failure domains a user can hit: malformed input data,
+invalid mining parameters, and exhausted resource budgets (the harness uses
+the latter to reproduce the paper's "baseline did not finish" outcomes
+without hanging the benchmark suite).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DataError",
+    "ConstraintError",
+    "BudgetExceeded",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DataError(ReproError, ValueError):
+    """Raised when an input dataset or matrix is malformed.
+
+    Examples: a label vector whose length does not match the number of
+    rows, an item id outside the vocabulary, or a file in an unrecognised
+    format.
+    """
+
+
+class ConstraintError(ReproError, ValueError):
+    """Raised when mining constraints are invalid.
+
+    Examples: a negative ``minsup``, a confidence outside ``[0, 1]``, or a
+    consequent class that does not occur in the dataset.
+    """
+
+
+class BudgetExceeded(ReproError, RuntimeError):
+    """Raised when a miner exceeds its node or wall-clock budget.
+
+    The experiment harness converts this into a ``timeout`` cell, mirroring
+    the missing CHARM/ColumnE data points in the paper's Figure 10(a, b)
+    (runs that ran out of memory or "ran for several days").
+    """
+
+    def __init__(self, message: str, *, nodes_expanded: int = 0) -> None:
+        super().__init__(message)
+        #: Number of search-tree nodes expanded before the budget tripped.
+        self.nodes_expanded = nodes_expanded

@@ -1,0 +1,63 @@
+"""Experiment modules regenerating every table and figure of the paper.
+
+One module per paper artifact (see DESIGN.md §4 for the full index):
+
+* :mod:`~repro.experiments.table1`  — Table 1 dataset characteristics.
+* :mod:`~repro.experiments.fig10`   — Figure 10(a-f), runtime vs minsup.
+* :mod:`~repro.experiments.fig11`   — Figure 11(a-f), runtime vs minconf.
+* :mod:`~repro.experiments.table2`  — Table 2 classification accuracy.
+* :mod:`~repro.experiments.scaling` — Section 4.1.3 row replication.
+* :mod:`~repro.experiments.ablation` — pruning & MineLB ablations (ours).
+"""
+
+from .ablation import (
+    minelb_ablation_report,
+    naive_lower_bounds,
+    pruning_ablation_report,
+    run_minelb_ablation,
+    run_pruning_ablation,
+)
+from .crossover import crossover_report, run_crossover, run_tall_crossover
+from .fig10 import fig10_report, run_fig10
+from .fig11 import fig11_report, run_fig11
+from .harness import Series, TimedRun, format_series, format_table, timed
+from .plots import ascii_chart
+from .report import markdown_report, write_report
+from .scaling import run_scaling, scaling_report
+from .table1 import run_table1, table1_report
+from .table2 import PAPER_TABLE2, run_table2, table2_report
+from .workloads import MINCONF_GRID, MINSUP_GRIDS, Workload, build_workload
+
+__all__ = [
+    "MINCONF_GRID",
+    "MINSUP_GRIDS",
+    "PAPER_TABLE2",
+    "Series",
+    "TimedRun",
+    "Workload",
+    "ascii_chart",
+    "build_workload",
+    "crossover_report",
+    "fig10_report",
+    "fig11_report",
+    "format_series",
+    "format_table",
+    "markdown_report",
+    "minelb_ablation_report",
+    "naive_lower_bounds",
+    "pruning_ablation_report",
+    "run_crossover",
+    "run_fig10",
+    "run_fig11",
+    "run_minelb_ablation",
+    "run_pruning_ablation",
+    "run_scaling",
+    "run_table1",
+    "run_table2",
+    "run_tall_crossover",
+    "scaling_report",
+    "table1_report",
+    "table2_report",
+    "timed",
+    "write_report",
+]

@@ -1,0 +1,145 @@
+"""Experiment X4: the enumeration-direction crossover (COBBLER's motive).
+
+The authors' SSDBM'04 follow-up (and their talk's "length and row ratio"
+plots) observe that neither enumeration direction wins everywhere: row
+enumeration dominates when columns >> rows, column enumeration when rows
+>> columns, and COBBLER's dynamic switching should track the better of
+the two as the ratio moves.
+
+This experiment sweeps the gene count of a fixed-row synthetic cohort and
+times closed-pattern mining by CARPENTER (pure row enumeration), CHARM
+(pure column enumeration) and COBBLER (dynamic).  Expected shape: the
+CARPENTER and CHARM curves cross as genes grow; COBBLER stays near the
+lower envelope.
+"""
+
+from __future__ import annotations
+
+from ..baselines.carpenter import Carpenter
+from ..baselines.charm import Charm
+from ..core.enumeration import SearchBudget
+from ..data.discretize import EqualDepthDiscretizer
+from ..data.registry import load
+from ..extensions.cobbler import Cobbler
+from .harness import Series, format_series, timed
+
+__all__ = ["run_crossover", "run_tall_crossover", "crossover_report"]
+
+
+def run_crossover(
+    dataset: str = "CT",
+    gene_counts: tuple[int, ...] = (100, 300, 600, 1000),
+    minsup: int = 4,
+    timeout: float = 120.0,
+) -> list[Series]:
+    """Sweep the gene count; time the three closed-pattern miners."""
+    spec_cols = {"CT": 2000, "ALL": 7129, "BC": 24481, "PC": 12600, "LC": 12533}
+    paper_cols = spec_cols[dataset.upper()]
+
+    carpenter = Series("CARPENTER (rows)")
+    charm = Series("CHARM (columns)")
+    cobbler = Series("COBBLER (dynamic)")
+    for genes in gene_counts:
+        matrix = load(dataset, scale=genes / paper_cols)
+        data = EqualDepthDiscretizer(n_buckets=10).fit_transform(matrix)
+
+        carpenter.add(
+            genes,
+            timed(
+                lambda: Carpenter(
+                    minsup=minsup, budget=SearchBudget(max_seconds=timeout)
+                ).mine(data)
+            ),
+        )
+        charm.add(
+            genes,
+            timed(
+                lambda: Charm(
+                    minsup=minsup, budget=SearchBudget(max_seconds=timeout)
+                ).mine(data)
+            ),
+        )
+        cobbler.add(
+            genes,
+            timed(
+                lambda: Cobbler(
+                    minsup=minsup, budget=SearchBudget(max_seconds=timeout)
+                ).mine(data)
+            ),
+        )
+    return [carpenter, charm, cobbler]
+
+
+def run_tall_crossover(
+    dataset: str = "CT",
+    factors: tuple[int, ...] = (2, 5, 10),
+    genes: int = 64,
+    base_minsup: int = 4,
+    timeout: float = 120.0,
+) -> list[Series]:
+    """The opposite regime: few genes, replicated rows (rows >> columns).
+
+    Here column enumeration should win and COBBLER should switch into it
+    — the other half of the crossover story.
+    """
+    spec_cols = {"CT": 2000, "ALL": 7129, "BC": 24481, "PC": 12600, "LC": 12533}
+    matrix = load(dataset, scale=genes / spec_cols[dataset.upper()])
+    base = EqualDepthDiscretizer(n_buckets=10).fit_transform(matrix)
+
+    carpenter = Series("CARPENTER (rows)")
+    charm = Series("CHARM (columns)")
+    cobbler = Series("COBBLER (dynamic)")
+    for factor in factors:
+        data = base.replicate(factor)
+        minsup = base_minsup * factor
+        carpenter.add(
+            factor,
+            timed(
+                lambda: Carpenter(
+                    minsup=minsup, budget=SearchBudget(max_seconds=timeout)
+                ).mine(data)
+            ),
+        )
+        charm.add(
+            factor,
+            timed(
+                lambda: Charm(
+                    minsup=minsup, budget=SearchBudget(max_seconds=timeout)
+                ).mine(data)
+            ),
+        )
+        cobbler.add(
+            factor,
+            timed(
+                lambda: Cobbler(
+                    minsup=minsup, budget=SearchBudget(max_seconds=timeout)
+                ).mine(data)
+            ),
+        )
+    return [carpenter, charm, cobbler]
+
+
+def crossover_report(
+    wide: list[Series],
+    tall: list[Series] | None = None,
+    dataset: str = "CT",
+) -> str:
+    """Render the crossover sweeps."""
+    parts = [
+        format_series(
+            f"Enumeration-direction crossover ({dataset}, wide regime): "
+            "closed-pattern mining runtime vs gene count (fixed rows)",
+            "genes",
+            wide,
+        )
+    ]
+    if tall is not None:
+        parts.append(
+            format_series(
+                f"Enumeration-direction crossover ({dataset}, tall regime): "
+                "runtime vs row-replication factor (few genes)",
+                "factor",
+                tall,
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,107 @@
+"""Figure 10: runtime vs ``minsup`` — FARMER vs ColumnE vs CHARM.
+
+Reproduces the paper's first experiment set (Section 4.1.1): on each of
+the five datasets, sweep ``minsup`` with ``minconf = minchi = 0``
+(disabling FARMER's confidence and chi-square pruning, as the paper
+does), timing FARMER, ColumnE and CHARM; and count the discovered IRGs
+(Figure 10(f)).
+
+Expected shape (paper): FARMER is fastest everywhere, the gap growing as
+``minsup`` falls; CHARM cannot finish at all on the widest datasets
+(BC, LC) — reproduced here as ``timeout`` cells under the per-run budget.
+"""
+
+from __future__ import annotations
+
+from ..baselines.charm import Charm
+from ..baselines.columne import ColumnE
+from ..core.constraints import Constraints
+from ..core.enumeration import SearchBudget
+from ..core.farmer import Farmer
+from .harness import Series, TimedRun, format_series, timed
+from .workloads import DATASET_ORDER, Workload, build_workload
+
+__all__ = ["run_fig10", "fig10_report"]
+
+
+def _farmer_point(workload: Workload, minsup: int, timeout: float) -> TimedRun:
+    miner = Farmer(
+        constraints=Constraints(minsup=minsup, minconf=0.0, minchi=0.0),
+        budget=SearchBudget(max_seconds=timeout),
+    )
+    return timed(lambda: miner.mine(workload.data, workload.consequent).groups)
+
+
+def _columne_point(workload: Workload, minsup: int, timeout: float) -> TimedRun:
+    miner = ColumnE(
+        constraints=Constraints(minsup=minsup, minconf=0.0, minchi=0.0),
+        budget=SearchBudget(max_seconds=timeout),
+    )
+    return timed(lambda: miner.mine(workload.data, workload.consequent))
+
+
+def _charm_point(workload: Workload, minsup: int, timeout: float) -> TimedRun:
+    miner = Charm(minsup=minsup, budget=SearchBudget(max_seconds=timeout))
+    return timed(lambda: miner.mine(workload.data))
+
+
+def run_fig10(
+    datasets: tuple[str, ...] = DATASET_ORDER,
+    scale: float = 0.08,
+    timeout: float = 60.0,
+    minsup_grid: list[int] | None = None,
+) -> dict[str, list[Series]]:
+    """Run the Figure 10 sweep; returns per-dataset series.
+
+    Each dataset maps to four series: FARMER, ColumnE, CHARM runtimes and
+    the IRG count (the count series stores the number in ``count`` with
+    FARMER's runtime).  ``timeout`` is the per-point budget; a baseline
+    exceeding it yields a ``timeout`` cell, and once a baseline times out
+    at some ``minsup`` it is skipped at lower values (runtime grows
+    monotonically as ``minsup`` falls, matching the paper's missing
+    curves).
+    """
+    results: dict[str, list[Series]] = {}
+    for name in datasets:
+        workload = build_workload(name, scale=scale)
+        grid = minsup_grid if minsup_grid is not None else list(workload.minsup_grid)
+        farmer = Series("FARMER")
+        columne = Series("ColumnE")
+        charm = Series("CHARM")
+        irgs = Series("#IRGs")
+        columne_dead = charm_dead = False
+        for minsup in grid:
+            farmer_run = _farmer_point(workload, minsup, timeout)
+            farmer.add(minsup, farmer_run)
+            irgs.add(minsup, farmer_run)
+
+            if columne_dead:
+                columne.add(minsup, TimedRun(timeout, 0, "timeout"))
+            else:
+                run = _columne_point(workload, minsup, timeout)
+                columne.add(minsup, run)
+                columne_dead = not run.ok
+
+            if charm_dead:
+                charm.add(minsup, TimedRun(timeout, 0, "timeout"))
+            else:
+                run = _charm_point(workload, minsup, timeout)
+                charm.add(minsup, run)
+                charm_dead = not run.ok
+        results[name] = [farmer, columne, charm, irgs]
+    return results
+
+
+def fig10_report(results: dict[str, list[Series]]) -> str:
+    """Render the Figure 10 sweep as plain-text tables."""
+    sections = []
+    for name, series in results.items():
+        sections.append(
+            format_series(
+                f"Figure 10 ({name}): runtime vs minsup "
+                "(minconf=0, minchi=0; cells are 'seconds (result count)')",
+                "minsup",
+                series,
+            )
+        )
+    return "\n\n".join(sections)

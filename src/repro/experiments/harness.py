@@ -1,0 +1,114 @@
+"""Shared experiment machinery: timed runs, series, table rendering.
+
+Every figure/table module in this package produces plain data structures
+(:class:`TimedRun` cells and :class:`Series` curves) that the benchmarks,
+the CLI and ``examples/reproduce_paper.py`` all render through the same
+formatters — so EXPERIMENTS.md, the benchmark output and the CLI agree
+byte-for-byte on what a result row looks like.
+
+A cell whose miner exceeds its :class:`~repro.core.enumeration.
+SearchBudget` is recorded as a ``timeout`` rather than an error: the
+paper's own Figure 10(a, b) has missing CHARM curves ("runs out of
+memory") and ColumnE runs "of more than 1 day", and the harness preserves
+that outcome class.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import BudgetExceeded
+
+__all__ = ["TimedRun", "Series", "timed", "format_table", "format_series"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimedRun:
+    """One timed miner invocation.
+
+    Attributes:
+        seconds: wall-clock runtime; meaningful only when ``ok``.
+        count: size of the result (groups/itemsets found); 0 on timeout.
+        status: ``"ok"`` or ``"timeout"``.
+    """
+
+    seconds: float
+    count: int
+    status: str = "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def cell(self) -> str:
+        """Render as a table cell, e.g. ``"0.41s (153)"`` or ``"timeout"``."""
+        if not self.ok:
+            return "timeout"
+        return f"{self.seconds:.3f}s ({self.count})"
+
+
+def timed(run: Callable[[], Sequence]) -> TimedRun:
+    """Execute ``run``, timing it and converting budget trips to timeouts.
+
+    ``run`` must return a sized result (its length becomes ``count``).
+    """
+    started = time.perf_counter()
+    try:
+        result = run()
+    except BudgetExceeded:
+        return TimedRun(
+            seconds=time.perf_counter() - started, count=0, status="timeout"
+        )
+    return TimedRun(seconds=time.perf_counter() - started, count=len(result))
+
+
+@dataclass
+class Series:
+    """A named curve for one of the paper's figures.
+
+    Attributes:
+        name: legend label, e.g. ``"FARMER"``.
+        xs: x-axis values (minsup or minconf).
+        ys: one :class:`TimedRun` per x value.
+    """
+
+    name: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[TimedRun] = field(default_factory=list)
+
+    def add(self, x: float, run: TimedRun) -> None:
+        self.xs.append(x)
+        self.ys.append(run)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (monospace, padded columns)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in cells))
+        if cells
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values)).rstrip()
+
+    out = [line(list(headers)), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(title: str, x_label: str, series: Sequence[Series]) -> str:
+    """Render several curves sharing an x-axis as one aligned table."""
+    if not series:
+        return title
+    headers = [x_label] + [curve.name for curve in series]
+    rows = []
+    for index, x in enumerate(series[0].xs):
+        row: list[object] = [x]
+        for curve in series:
+            row.append(curve.ys[index].cell() if index < len(curve.ys) else "-")
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"

@@ -1,0 +1,119 @@
+"""ASCII rendering of the paper's figures.
+
+The evaluation figures are log-scale runtime curves; this module draws
+them in plain text so a terminal-only reproduction still *looks* like
+Figure 10 ("y-axes in logarithmic scale").  One letter per series,
+``*`` where curves overlap, timeout points dropped::
+
+    Figure 10 (BC): runtime vs minsup    [F]ARMER [C]olumnE [H]CHARM
+    36.885s |H   H   H   H
+            |
+            | ...
+    0.487s  |F
+            +---------------
+             9   8   7   6
+
+No plotting dependency needed; the benchmarks and
+``examples/reproduce_paper.py --charts`` use it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .harness import Series
+
+__all__ = ["ascii_chart"]
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.1f}s"
+    return f"{value:.3f}s"
+
+
+def ascii_chart(
+    title: str,
+    series: list[Series],
+    height: int = 12,
+    log_y: bool = True,
+) -> str:
+    """Render runtime curves as an ASCII chart.
+
+    Args:
+        title: chart heading.
+        series: curves sharing an x grid; only ``ok`` points are drawn.
+        height: number of plot rows.
+        log_y: log-scale the y axis (like the paper's figures).
+
+    Returns the chart as a multi-line string; series are marked with the
+    first letter of their name (uppercased), overlaps with ``*``.
+    """
+    points: list[tuple[int, float, str]] = []  # (x index, seconds, marker)
+    markers = []
+    used: set[str] = set()
+    for curve in series:
+        # First unused letter of the name keeps markers distinct
+        # (e.g. ColumnE -> C, CHARM -> H).
+        marker = next(
+            (
+                letter.upper()
+                for letter in curve.name
+                if letter.isalpha() and letter.upper() not in used
+            ),
+            "?",
+        )
+        used.add(marker)
+        markers.append(f"[{marker}]{curve.name}")
+        for index, run in enumerate(curve.ys):
+            if run.ok and run.seconds > 0:
+                points.append((index, run.seconds, marker))
+    if not points:
+        return f"{title}\n(no completed points to plot)"
+
+    xs = series[0].xs
+    n_columns = len(xs)
+    values = [seconds for _, seconds, _ in points]
+    low, high = min(values), max(values)
+
+    def scale(value: float) -> float:
+        if log_y:
+            if high == low:
+                return 0.5
+            return (math.log10(value) - math.log10(low)) / (
+                math.log10(high) - math.log10(low)
+            )
+        if high == low:
+            return 0.5
+        return (value - low) / (high - low)
+
+    column_width = 6
+    grid = [
+        [" "] * (n_columns * column_width) for _ in range(height)
+    ]
+    for x_index, seconds, marker in points:
+        row = height - 1 - int(round(scale(seconds) * (height - 1)))
+        column = x_index * column_width
+        cell = grid[row][column]
+        grid[row][column] = "*" if cell not in (" ", marker) else marker
+
+    label_width = max(len(_format_seconds(high)), len(_format_seconds(low))) + 1
+    lines = [f"{title}    " + " ".join(markers)]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _format_seconds(high).rjust(label_width)
+        elif row_index == height - 1:
+            label = _format_seconds(low).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |" + "".join(row).rstrip())
+    lines.append(" " * label_width + " +" + "-" * (n_columns * column_width))
+    axis = " " * (label_width + 2)
+    for x in xs:
+        axis += str(x).ljust(column_width)
+    lines.append(axis.rstrip())
+    if log_y:
+        lines.append(" " * (label_width + 2) + "(log-scale y, like the paper)")
+    return "\n".join(lines)

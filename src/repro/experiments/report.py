@@ -1,0 +1,169 @@
+"""Markdown report generation for experiment runs.
+
+``EXPERIMENTS.md`` in this repository records one run; this module lets a
+user regenerate that kind of record from their own runs (different
+scales, seeds, datasets) without hand-editing::
+
+    from repro import experiments
+    from repro.experiments.report import markdown_report, write_report
+
+    sections = {
+        "table1": experiments.run_table1(),
+        "fig10": experiments.run_fig10(("CT", "ALL")),
+        "table2": experiments.run_table2(("CT",)),
+    }
+    write_report("MY_RUN.md", sections, scale=0.08)
+
+Only the artifacts present in ``sections`` are rendered; each renders as
+a Markdown section with GitHub-style tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from .harness import Series
+from .table2 import PAPER_TABLE2
+
+__all__ = ["markdown_report", "write_report"]
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def _render_table1(rows: list[dict]) -> str:
+    body = [
+        [
+            r["dataset"],
+            r["n_rows"],
+            r["paper_cols"],
+            r["generated_cols"],
+            f"{r['class1']} / {r['class0']}",
+            r["n_class1"],
+        ]
+        for r in rows
+    ]
+    return "## Table 1 — dataset characteristics\n\n" + _markdown_table(
+        ["dataset", "# row", "# col paper", "# col ours", "classes", "# class 1"],
+        body,
+    )
+
+
+def _render_figure(
+    title: str, x_label: str, results: dict[str, list[Series]]
+) -> str:
+    sections = [f"## {title}"]
+    for name, series in results.items():
+        headers = [x_label] + [curve.name for curve in series]
+        rows = []
+        for index, x in enumerate(series[0].xs):
+            row: list[object] = [x]
+            for curve in series:
+                row.append(
+                    curve.ys[index].cell() if index < len(curve.ys) else "-"
+                )
+            rows.append(row)
+        sections.append(f"### {name}\n\n" + _markdown_table(headers, rows))
+    return "\n\n".join(sections)
+
+
+def _render_table2(rows: list[dict]) -> str:
+    body = []
+    for row in rows:
+        paper = PAPER_TABLE2.get(row["dataset"], {})
+        body.append(
+            [
+                row["dataset"],
+                f"{row['n_train']}/{row['n_test']}",
+                f"{row['IRG']:.2%}",
+                f"{paper.get('IRG', float('nan')):.2%}" if paper else "-",
+                f"{row['CBA']:.2%}",
+                f"{row['SVM']:.2%}",
+            ]
+        )
+    if rows:
+        count = len(rows)
+        body.append(
+            [
+                "**average**",
+                "",
+                f"{sum(r['IRG'] for r in rows) / count:.2%}",
+                "83.03%" if len(rows) == 5 else "-",
+                f"{sum(r['CBA'] for r in rows) / count:.2%}",
+                f"{sum(r['SVM'] for r in rows) / count:.2%}",
+            ]
+        )
+    return (
+        "## Table 2 — classification accuracy\n\n"
+        + _markdown_table(
+            ["dataset", "train/test", "IRG ours", "IRG paper", "CBA ours", "SVM ours"],
+            body,
+        )
+    )
+
+
+def _render_scaling(series: list[Series]) -> str:
+    headers = ["factor"] + [curve.name for curve in series]
+    rows = []
+    for index, x in enumerate(series[0].xs):
+        rows.append([x] + [curve.ys[index].cell() for curve in series])
+    return "## Row-replication scaling\n\n" + _markdown_table(headers, rows)
+
+
+def _render_ablation(rows: list[dict]) -> str:
+    body = [
+        [r["config"], f"{r['seconds']:.3f}s", r["nodes"], r["groups"], r["status"]]
+        for r in rows
+    ]
+    return "## Pruning ablation\n\n" + _markdown_table(
+        ["configuration", "runtime", "nodes", "IRGs", "status"], body
+    )
+
+
+_RENDERERS = {
+    "table1": _render_table1,
+    "fig10": lambda results: _render_figure(
+        "Figure 10 — runtime vs minsup", "minsup", results
+    ),
+    "fig11": lambda results: _render_figure(
+        "Figure 11 — runtime vs minconf", "minconf", results
+    ),
+    "table2": _render_table2,
+    "scaling": _render_scaling,
+    "ablation": _render_ablation,
+}
+
+
+def markdown_report(sections: dict[str, object], scale: float | None = None) -> str:
+    """Render the given experiment outputs as one Markdown document.
+
+    Args:
+        sections: artifact name -> the corresponding ``run_*`` output;
+            recognized names: ``table1 fig10 fig11 table2 scaling
+            ablation``.  Unknown names raise ``KeyError``.
+        scale: the gene-count scale used, recorded in the preamble.
+    """
+    parts = ["# FARMER reproduction — experiment run"]
+    if scale is not None:
+        parts.append(f"Gene-count scale: `{scale}` of the paper's columns.")
+    for name, payload in sections.items():
+        renderer = _RENDERERS[name]
+        parts.append(renderer(payload))
+    return "\n\n".join(parts) + "\n"
+
+
+def write_report(
+    path: str | Path, sections: dict[str, object], scale: float | None = None
+) -> Path:
+    """Render and write the report; returns the path written."""
+    path = Path(path)
+    path.write_text(markdown_report(sections, scale=scale), encoding="utf-8")
+    return path

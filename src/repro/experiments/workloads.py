@@ -1,0 +1,75 @@
+"""Workload construction shared by the figure/table experiments.
+
+One place decides how a paper dataset becomes a miner-ready workload:
+registry generation -> equal-depth discretization (the paper's setting
+for the efficiency experiments) -> per-dataset parameter grids.
+
+The ``minsup`` grids track each dataset's row count: with 10 equal-depth
+buckets an item supports about ``n/10`` rows, which caps every rule's
+antecedent support — the paper's Figure 10 x-axes (single-digit minsup
+on the small datasets) reflect the same ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..data.dataset import ItemizedDataset
+from ..data.discretize import EqualDepthDiscretizer
+from ..data.registry import PAPER_DATASETS, load
+
+__all__ = ["Workload", "build_workload", "MINSUP_GRIDS", "MINCONF_GRID", "DATASET_ORDER"]
+
+#: Dataset presentation order used by the paper's figures.
+DATASET_ORDER = ("LC", "BC", "PC", "ALL", "CT")
+
+#: Per-dataset minsup sweeps (descending, like the paper's x-axes).
+MINSUP_GRIDS: dict[str, list[int]] = {
+    "LC": [16, 14, 12, 11],
+    "BC": [9, 8, 7, 6],
+    "PC": [12, 11, 10, 9],
+    "ALL": [7, 6, 5, 4],
+    "CT": [6, 5, 4, 3],
+}
+
+#: The minconf sweep of Figure 11 (the paper's 0 .. 99%).
+MINCONF_GRID: list[float] = [0.0, 0.5, 0.7, 0.8, 0.85, 0.9, 0.99]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A miner-ready dataset plus its experiment parameters.
+
+    Attributes:
+        name: dataset code (``LC`` etc.).
+        data: the equal-depth discretized dataset.
+        consequent: class 1 of the dataset (the paper's consequent for
+            every experiment).
+        minsup_grid: the Figure 10 sweep for this dataset.
+        fig11_minsup: the low fixed minsup used in the Figure 11 sweep.
+    """
+
+    name: str
+    data: ItemizedDataset
+    consequent: str
+    minsup_grid: tuple[int, ...]
+    fig11_minsup: int
+
+
+@lru_cache(maxsize=32)
+def build_workload(
+    name: str, scale: float = 0.08, n_buckets: int = 10, seed: int | None = None
+) -> Workload:
+    """Generate + discretize one paper dataset (cached per parameters)."""
+    spec = PAPER_DATASETS[name.upper()]
+    matrix = load(name, scale=scale, seed=seed)
+    data = EqualDepthDiscretizer(n_buckets=n_buckets).fit_transform(matrix)
+    grid = MINSUP_GRIDS[spec.name]
+    return Workload(
+        name=spec.name,
+        data=data,
+        consequent=spec.class1,
+        minsup_grid=tuple(grid),
+        fig11_minsup=grid[-1],
+    )

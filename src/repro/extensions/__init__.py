@@ -1,0 +1,38 @@
+"""Extensions beyond the paper's core: the authors' follow-up ideas.
+
+* :class:`~repro.extensions.cobbler.Cobbler` — combined row+column
+  enumeration with dynamic switching (the SSDBM'04 follow-up).
+* :func:`~repro.extensions.topk.mine_topk_irgs` — top-k-by-confidence IRG
+  mining on a relaxation ladder.
+* :mod:`~repro.extensions.gene_network` — gene association networks from
+  rule groups (the introduction's second motivating application).
+* :mod:`~repro.extensions.measures` — mining under lift / conviction /
+  correlation constraints (the paper's footnote 3).
+* :mod:`~repro.extensions.emerging` — emerging-pattern borders from rule
+  groups and the CAEP classifier (references [9], [13]).
+"""
+
+from .cobbler import Cobbler, mine_closed_cobbler
+from .emerging import CAEPClassifier, EmergingPattern, mine_emerging_patterns
+from .gene_network import build_gene_network, gene_modules, gene_of_item
+from .measures import (
+    constraints_for_measures,
+    filter_groups,
+    mine_irgs_with_measures,
+)
+from .topk import mine_topk_irgs
+
+__all__ = [
+    "CAEPClassifier",
+    "Cobbler",
+    "EmergingPattern",
+    "build_gene_network",
+    "constraints_for_measures",
+    "filter_groups",
+    "gene_modules",
+    "gene_of_item",
+    "mine_closed_cobbler",
+    "mine_emerging_patterns",
+    "mine_irgs_with_measures",
+    "mine_topk_irgs",
+]

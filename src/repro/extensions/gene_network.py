@@ -1,0 +1,128 @@
+"""Gene association networks from rule groups (extension).
+
+The paper's introduction motivates association rules on microarray data
+with two applications; the second is that "association rules can be used
+to build gene networks since they can capture the associations among
+genes" [7].  This extension realizes it: genes whose discretized items
+co-occur in the upper bound of the same interesting rule group are
+associated — the more groups they share and the more confident those
+groups, the stronger the association.
+
+Built on :mod:`networkx`; the graph's nodes are gene names, edges carry
+
+* ``weight`` — sum over shared rule groups of the group's confidence;
+* ``count`` — number of shared rule groups;
+* each node carries ``groups`` — how many rule groups mention the gene.
+
+:func:`gene_modules` then reads off co-regulation modules as the
+connected components above an edge-weight floor — on the synthetic
+registry datasets these recover the planted co-regulated blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from ..core.rulegroup import RuleGroup
+from ..data.dataset import ItemizedDataset
+from ..errors import DataError
+
+__all__ = ["build_gene_network", "gene_modules", "gene_of_item"]
+
+
+def gene_of_item(dataset: ItemizedDataset, item: int) -> str:
+    """The gene name behind a discretized item.
+
+    Items produced by this package's discretizers are named
+    ``"<gene>@[low,high)"``; for foreign datasets without that convention
+    the whole item name is treated as the gene.
+    """
+    name = dataset.item_name(item)
+    gene, separator, _ = name.partition("@")
+    return gene if separator else name
+
+
+def build_gene_network(
+    dataset: ItemizedDataset,
+    groups: Iterable[RuleGroup],
+    min_confidence: float = 0.0,
+) -> nx.Graph:
+    """Build the gene co-association graph from mined rule groups.
+
+    Args:
+        dataset: the dataset the groups were mined from (for item names).
+        groups: rule groups (upper bounds are used).
+        min_confidence: ignore groups below this confidence.
+
+    Returns:
+        An undirected :class:`networkx.Graph` (see module docstring for
+        the attribute schema).
+    """
+    graph = nx.Graph()
+    for group in groups:
+        if group.confidence < min_confidence:
+            continue
+        genes = sorted({gene_of_item(dataset, item) for item in group.upper})
+        for gene in genes:
+            if graph.has_node(gene):
+                graph.nodes[gene]["groups"] += 1
+            else:
+                graph.add_node(gene, groups=1)
+        for index, left in enumerate(genes):
+            for right in genes[index + 1 :]:
+                if graph.has_edge(left, right):
+                    edge = graph.edges[left, right]
+                    edge["weight"] += group.confidence
+                    edge["count"] += 1
+                else:
+                    graph.add_edge(
+                        left, right, weight=group.confidence, count=1
+                    )
+    return graph
+
+
+def gene_modules(
+    graph: nx.Graph, min_edge_weight: float = 1.0
+) -> list[frozenset[str]]:
+    """Co-regulation modules: components of the weight-filtered graph.
+
+    Args:
+        graph: output of :func:`build_gene_network`.
+        min_edge_weight: drop edges lighter than this before reading
+            components; singleton components are dropped.
+
+    Returns:
+        Modules sorted by (size desc, lexicographic) for determinism.
+    """
+    if min_edge_weight < 0:
+        raise DataError(
+            f"min_edge_weight must be >= 0, got {min_edge_weight}"
+        )
+    strong = nx.Graph()
+    strong.add_nodes_from(graph.nodes)
+    strong.add_edges_from(
+        (left, right)
+        for left, right, data in graph.edges(data=True)
+        if data.get("weight", 0.0) >= min_edge_weight
+    )
+    modules = [
+        frozenset(component)
+        for component in nx.connected_components(strong)
+        if len(component) > 1
+    ]
+    modules.sort(key=lambda module: (-len(module), sorted(module)))
+    return modules
+
+
+def consequent_networks(
+    dataset: ItemizedDataset,
+    groups_by_class: dict[Hashable, list[RuleGroup]],
+    min_confidence: float = 0.0,
+) -> dict[Hashable, nx.Graph]:
+    """One gene network per class label (convenience for reports)."""
+    return {
+        label: build_gene_network(dataset, groups, min_confidence)
+        for label, groups in groups_by_class.items()
+    }

@@ -1,0 +1,144 @@
+"""Mining with lift / conviction / correlation constraints (extension).
+
+Footnote 3 of the paper: "Other constraints such as lift, conviction,
+entropy gain, gini and correlation coefficient can be handled similarly."
+This module makes that concrete for the three measures that reduce
+*exactly* to constraints FARMER already prunes with, so the full pruning
+machinery applies unchanged:
+
+* ``lift(γ) >= t``        ⇔ ``conf(γ) >= t * m / n``;
+* ``conviction(γ) >= t``  ⇔ ``conf(γ) >= 1 - (1 - m/n) / t``;
+* ``correlation(γ) >= t`` (t > 0) ⇒ ``chi(γ) >= t² * n`` *given* the rule
+  is positively associated — correlation's sign is re-checked on output,
+  since chi-square is unsigned.
+
+Entropy gain and gini gain are not monotone transforms of (conf, sup) and
+are offered as post-filters (:func:`filter_groups`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core import measures
+from ..core.constraints import Constraints
+from ..core.enumeration import SearchBudget
+from ..core.farmer import Farmer, FarmerResult
+from ..core.rulegroup import RuleGroup
+from ..data.dataset import ItemizedDataset
+from ..errors import ConstraintError
+
+__all__ = ["constraints_for_measures", "mine_irgs_with_measures", "filter_groups"]
+
+
+def constraints_for_measures(
+    n: int,
+    m: int,
+    minsup: int = 1,
+    minconf: float = 0.0,
+    min_lift: float | None = None,
+    min_conviction: float | None = None,
+    min_correlation: float | None = None,
+) -> Constraints:
+    """Translate measure thresholds into (minconf, minchi) constraints.
+
+    Args:
+        n: dataset rows; ``m``: rows with the consequent.
+        minsup / minconf: the ordinary thresholds, combined with the
+            derived ones (the strictest confidence requirement wins).
+        min_lift: minimum lift (>= 0).
+        min_conviction: minimum conviction (> 0).
+        min_correlation: minimum phi coefficient (in (0, 1]); the caller
+            must post-check the association sign, which
+            :func:`mine_irgs_with_measures` does.
+    """
+    if m <= 0 or m > n:
+        raise ConstraintError(f"need 0 < m <= n, got m={m} n={n}")
+    confidence_floor = minconf
+    if min_lift is not None:
+        if min_lift < 0:
+            raise ConstraintError(f"min_lift must be >= 0, got {min_lift}")
+        confidence_floor = max(confidence_floor, min_lift * m / n)
+    if min_conviction is not None:
+        if min_conviction <= 0:
+            raise ConstraintError(
+                f"min_conviction must be > 0, got {min_conviction}"
+            )
+        confidence_floor = max(
+            confidence_floor, 1.0 - (1.0 - m / n) / min_conviction
+        )
+    minchi = 0.0
+    if min_correlation is not None:
+        if not 0.0 < min_correlation <= 1.0:
+            raise ConstraintError(
+                f"min_correlation must be in (0, 1], got {min_correlation}"
+            )
+        minchi = min_correlation * min_correlation * n
+    if confidence_floor > 1.0:
+        confidence_floor = 1.0
+    return Constraints(minsup=minsup, minconf=confidence_floor, minchi=minchi)
+
+
+def mine_irgs_with_measures(
+    dataset: ItemizedDataset,
+    consequent: Hashable,
+    minsup: int = 1,
+    minconf: float = 0.0,
+    min_lift: float | None = None,
+    min_conviction: float | None = None,
+    min_correlation: float | None = None,
+    budget: SearchBudget | None = None,
+) -> FarmerResult:
+    """FARMER with lift/conviction/correlation constraints.
+
+    The derived constraints drive FARMER's pruning; the exact measure
+    thresholds (including correlation's sign) are re-verified on the
+    output, so the result is exactly the IRGs meeting every requested
+    threshold.
+    """
+    n = dataset.n_rows
+    m = dataset.class_count(consequent)
+    constraints = constraints_for_measures(
+        n,
+        m,
+        minsup=minsup,
+        minconf=minconf,
+        min_lift=min_lift,
+        min_conviction=min_conviction,
+        min_correlation=min_correlation,
+    )
+    miner = Farmer(constraints=constraints, budget=budget or SearchBudget())
+    result = miner.mine(dataset, consequent)
+    if min_correlation is not None:
+        result.groups[:] = [
+            group
+            for group in result.groups
+            if measures.correlation(
+                group.antecedent_support, group.support, n, m
+            )
+            >= min_correlation
+        ]
+    return result
+
+
+def filter_groups(
+    groups: list[RuleGroup],
+    min_entropy_gain: float | None = None,
+    min_gini_gain: float | None = None,
+) -> list[RuleGroup]:
+    """Post-filter rule groups by the non-prunable measures."""
+    kept = []
+    for group in groups:
+        arguments = (group.antecedent_support, group.support, group.n, group.m)
+        if (
+            min_entropy_gain is not None
+            and measures.entropy_gain(*arguments) < min_entropy_gain
+        ):
+            continue
+        if (
+            min_gini_gain is not None
+            and measures.gini_gain(*arguments) < min_gini_gain
+        ):
+            continue
+        kept.append(group)
+    return kept

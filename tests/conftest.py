@@ -1,0 +1,57 @@
+"""Shared fixtures: the paper's running example and dataset factories."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.dataset import ItemizedDataset
+
+
+def letter_items(letters: str) -> list[int]:
+    """Map 'aceh' -> [0, 2, 4, 7] (the paper's a..t item alphabet)."""
+    return [ord(letter) - ord("a") for letter in letters]
+
+
+def itemset_to_letters(items) -> str:
+    """Inverse of :func:`letter_items`, sorted."""
+    return "".join(sorted(chr(i + ord("a")) for i in items))
+
+
+@pytest.fixture
+def paper_dataset() -> ItemizedDataset:
+    """Figure 1(a): 5 rows over items a..t, classes C C C ~C ~C."""
+    rows = [
+        letter_items("abclos"),
+        letter_items("adehplr"),
+        letter_items("acehoqt"),
+        letter_items("aefhpr"),
+        letter_items("bdfglqst"),
+    ]
+    labels = ["C", "C", "C", "N", "N"]
+    names = [chr(ord("a") + index) for index in range(20)]
+    return ItemizedDataset.from_lists(
+        rows, labels, n_items=20, item_names=names, name="figure1"
+    )
+
+
+def random_dataset(
+    seed: int,
+    max_rows: int = 9,
+    max_items: int = 10,
+    ensure_label: str = "C",
+) -> ItemizedDataset:
+    """Small random labelled dataset for oracle comparisons."""
+    rng = random.Random(seed)
+    n_rows = rng.randint(2, max_rows)
+    n_items = rng.randint(2, max_items)
+    density = rng.uniform(0.15, 0.85)
+    rows = [
+        [item for item in range(n_items) if rng.random() < density]
+        for _ in range(n_rows)
+    ]
+    labels = [rng.choice("CD") for _ in range(n_rows)]
+    if ensure_label not in labels:
+        labels[0] = ensure_label
+    return ItemizedDataset.from_lists(rows, labels, n_items=n_items)

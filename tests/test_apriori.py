@@ -1,0 +1,106 @@
+"""Unit tests for Apriori frequent itemsets and CBA-RG rule generation."""
+
+from itertools import combinations
+
+import pytest
+
+from conftest import random_dataset
+
+from repro.baselines.apriori import AprioriConfig, frequent_itemsets, mine_cars
+from repro.core.closure import rows_of
+from repro.data.dataset import ItemizedDataset
+from repro.errors import BudgetExceeded, ConstraintError
+
+
+def brute_force_frequent(data, minsup, max_length=None):
+    result = {}
+    items = range(data.n_items)
+    top = data.n_items if max_length is None else min(max_length, data.n_items)
+    for size in range(1, top + 1):
+        for subset in combinations(items, size):
+            support = len(rows_of(data, subset))
+            if support >= minsup:
+                result[frozenset(subset)] = support
+    return result
+
+
+class TestFrequentItemsets:
+    def test_against_brute_force(self):
+        for seed in range(20):
+            data = random_dataset(seed + 700, max_rows=7, max_items=7)
+            for minsup in (1, 2, 3):
+                got = frequent_itemsets(data, AprioriConfig(minsup=minsup))
+                assert got == brute_force_frequent(data, minsup), (seed, minsup)
+
+    def test_max_length(self):
+        data = ItemizedDataset.from_lists(
+            [[0, 1, 2], [0, 1, 2]], ["a", "b"], n_items=3
+        )
+        got = frequent_itemsets(data, AprioriConfig(minsup=1, max_length=2))
+        assert got == brute_force_frequent(data, 1, max_length=2)
+
+    def test_paper_example_counts(self, paper_dataset):
+        got = frequent_itemsets(paper_dataset, AprioriConfig(minsup=3))
+        # a appears in 4 rows; aeh in 3 rows (the Example 2 group).
+        assert got[frozenset({0})] == 4
+        assert got[frozenset({0, 4, 7})] == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ConstraintError):
+            AprioriConfig(minsup=0)
+        with pytest.raises(ConstraintError):
+            AprioriConfig(max_length=0)
+
+    def test_budget(self, paper_dataset):
+        from repro.core.enumeration import SearchBudget
+
+        config = AprioriConfig(minsup=1, budget=SearchBudget(max_nodes=3))
+        with pytest.raises(BudgetExceeded):
+            frequent_itemsets(paper_dataset, config)
+
+
+class TestMineCars:
+    def test_rules_have_valid_stats(self, paper_dataset):
+        rules = mine_cars(paper_dataset, minsup=2, minconf=0.6, max_length=3)
+        assert rules
+        for rule in rules:
+            rows = rows_of(paper_dataset, rule.antecedent)
+            matching = sum(
+                1
+                for index in rows
+                if paper_dataset.labels[index] == rule.consequent
+            )
+            assert rule.support == matching
+            assert rule.antecedent_support == len(rows)
+            assert rule.confidence >= 0.6
+            assert rule.support >= 2
+
+    def test_precedence_order(self, paper_dataset):
+        rules = mine_cars(paper_dataset, minsup=1, minconf=0.5, max_length=2)
+        keys = [(-r.confidence, -r.support, len(r.antecedent)) for r in rules]
+        assert keys == sorted(keys)
+
+    def test_both_classes_represented(self, paper_dataset):
+        rules = mine_cars(paper_dataset, minsup=2, minconf=0.5, max_length=2)
+        assert {rule.consequent for rule in rules} == {"C", "N"}
+
+    def test_minconf_validation(self, paper_dataset):
+        with pytest.raises(ConstraintError):
+            mine_cars(paper_dataset, minsup=1, minconf=1.5)
+
+    def test_completeness_against_brute_force(self):
+        for seed in range(10):
+            data = random_dataset(seed + 800, max_rows=6, max_items=6)
+            rules = mine_cars(data, minsup=1, minconf=0.0)
+            got = {(rule.antecedent, rule.consequent) for rule in rules}
+            expected = set()
+            for size in range(1, data.n_items + 1):
+                for subset in combinations(range(data.n_items), size):
+                    rows = rows_of(data, subset)
+                    for label in data.class_labels:
+                        support = sum(
+                            1 for i in rows if data.labels[i] == label
+                        )
+                        if support >= 1:
+                            expected.add((frozenset(subset), label))
+            assert got == expected, seed

@@ -1,0 +1,100 @@
+"""Unit tests for the bitset algebra."""
+
+import pytest
+
+from repro.core import bitset
+
+
+class TestFromToIndices:
+    def test_round_trip(self):
+        assert bitset.to_indices(bitset.from_indices([5, 0, 2])) == [0, 2, 5]
+
+    def test_empty(self):
+        assert bitset.from_indices([]) == bitset.EMPTY
+        assert bitset.to_indices(0) == []
+
+    def test_duplicates_collapse(self):
+        assert bitset.from_indices([3, 3, 3]) == 1 << 3
+
+    def test_large_index(self):
+        mask = bitset.from_indices([1000])
+        assert bitset.to_indices(mask) == [1000]
+
+
+class TestIterBits:
+    def test_ascending_order(self):
+        assert list(bitset.iter_bits(0b101101)) == [0, 2, 3, 5]
+
+    def test_empty(self):
+        assert list(bitset.iter_bits(0)) == []
+
+    def test_single(self):
+        assert list(bitset.iter_bits(1 << 63)) == [63]
+
+
+class TestCountContains:
+    def test_bit_count(self):
+        assert bitset.bit_count(0) == 0
+        assert bitset.bit_count(0b1011) == 3
+
+    def test_contains(self):
+        mask = bitset.from_indices([1, 4])
+        assert bitset.contains(mask, 1)
+        assert bitset.contains(mask, 4)
+        assert not bitset.contains(mask, 0)
+        assert not bitset.contains(mask, 5)
+
+
+class TestAddRemove:
+    def test_add(self):
+        assert bitset.add(0, 3) == 0b1000
+        assert bitset.add(0b1000, 3) == 0b1000
+
+    def test_remove(self):
+        assert bitset.remove(0b1010, 1) == 0b1000
+
+    def test_remove_absent_is_noop(self):
+        assert bitset.remove(0b1000, 1) == 0b1000
+
+
+class TestSubset:
+    def test_is_subset(self):
+        assert bitset.is_subset(0b0101, 0b1101)
+        assert bitset.is_subset(0, 0b1101)
+        assert not bitset.is_subset(0b0011, 0b0001)
+
+    def test_is_proper_subset(self):
+        assert bitset.is_proper_subset(0b01, 0b11)
+        assert not bitset.is_proper_subset(0b11, 0b11)
+        assert not bitset.is_proper_subset(0b100, 0b011)
+
+
+class TestUniverseComplement:
+    def test_universe(self):
+        assert bitset.universe(0) == 0
+        assert bitset.universe(3) == 0b111
+
+    def test_complement(self):
+        assert bitset.complement(0b010, 3) == 0b101
+        assert bitset.complement(0, 4) == 0b1111
+
+
+class TestExtremes:
+    def test_lowest_highest(self):
+        assert bitset.lowest_bit(0b10100) == 2
+        assert bitset.highest_bit(0b10100) == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bitset.lowest_bit(0)
+        with pytest.raises(ValueError):
+            bitset.highest_bit(0)
+
+
+class TestBelowMaskSingletons:
+    def test_below_mask(self):
+        assert bitset.below_mask(0) == 0
+        assert bitset.below_mask(3) == 0b111
+
+    def test_singletons(self):
+        assert list(bitset.singletons(0b1010)) == [0b10, 0b1000]

@@ -1,0 +1,150 @@
+"""Unit tests for the Pruning Strategy 3 bound calculators.
+
+Each bound is validated against exhaustive enumeration on the paper's
+running example: for every node of the row-enumeration tree, the bound
+computed from the node's state must dominate the true statistic of every
+rule group discoverable in that node's subtree.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from conftest import letter_items
+
+from repro.core import closure
+from repro.core.bounds import (
+    chi_bound,
+    confidence_bound,
+    loose_support_bound,
+    tight_support_bound,
+)
+from repro.core.measures import chi_square
+
+
+class TestLooseSupportBound:
+    def test_negative_rm_freezes_support(self):
+        assert loose_support_bound(4, 10, rm_is_positive=False) == 4
+
+    def test_positive_rm_adds_candidates(self):
+        assert loose_support_bound(4, 10, rm_is_positive=True) == 14
+
+    def test_zero_candidates(self):
+        assert loose_support_bound(4, 0, rm_is_positive=True) == 4
+
+
+class TestTightSupportBound:
+    def test_uses_max_per_tuple(self):
+        assert tight_support_bound(4, 3, rm_is_positive=True) == 7
+
+    def test_negative_rm(self):
+        assert tight_support_bound(4, 3, rm_is_positive=False) == 4
+
+    def test_tight_never_exceeds_loose(self):
+        # max-per-tuple <= total candidates, always.
+        for candidates in range(6):
+            for per_tuple in range(candidates + 1):
+                tight = tight_support_bound(2, per_tuple, True)
+                loose = loose_support_bound(2, candidates, True)
+                assert tight <= loose
+
+
+class TestConfidenceBound:
+    def test_formula(self):
+        assert confidence_bound(6, 2) == pytest.approx(0.75)
+
+    def test_zero_denominator(self):
+        assert confidence_bound(0, 0) == 0.0
+
+    def test_monotone_in_support(self):
+        assert confidence_bound(8, 2) > confidence_bound(6, 2)
+
+    def test_antitone_in_negatives(self):
+        assert confidence_bound(6, 4) < confidence_bound(6, 2)
+
+
+class TestChiBound:
+    def test_dominates_node_chi(self):
+        for supp in range(0, 6):
+            for supn in range(0, 6):
+                bound = chi_bound(supp, supn, 12, 6)
+                if supp <= 6 and supn <= 6:
+                    assert bound >= chi_square(supp + supn, supp, 12, 6) - 1e-9
+
+
+class TestBoundsAgainstSubtreeTruth:
+    """On Figure 1's table: each subtree's real best statistics never
+    exceed the bounds computed at the subtree root."""
+
+    def _subtree_groups(self, dataset, node_rows, candidates, allowed):
+        """Rule-group stats *discovered* in the node's subtree.
+
+        Groups whose support set escapes ``allowed`` (the node's own
+        support set plus its candidates) are exactly the ones Pruning 2
+        hands to earlier branches — the bounds of Lemmas 3.7-3.9 only
+        claim to cover what the subtree itself reports.
+        """
+        stats = []
+        for size in range(len(candidates) + 1):
+            for extra in combinations(candidates, size):
+                rows = frozenset(node_rows) | frozenset(extra)
+                items = closure.items_of(dataset, rows)
+                if not items:
+                    continue
+                support_set = closure.rows_of(dataset, items)
+                if not support_set <= allowed:
+                    continue
+                supp = sum(
+                    1 for r in support_set if dataset.labels[r] == "C"
+                )
+                supn = len(support_set) - supp
+                stats.append((supp, supn))
+        return stats
+
+    def test_all_two_row_nodes(self, paper_dataset):
+        n, m = 5, 3
+        for first in range(5):
+            for second in range(first + 1, 5):
+                node = [first, second]
+                candidates = [r for r in range(second + 1, 5)]
+                positive_candidates = [r for r in candidates if r < m]
+                node_items = closure.items_of(paper_dataset, node)
+                if not node_items:
+                    continue
+                support_set = closure.rows_of(paper_dataset, node_items)
+                supp_total = sum(
+                    1 for r in support_set if paper_dataset.labels[r] == "C"
+                )
+                supn_total = len(support_set) - supp_total
+                rm_positive = second < m
+
+                us2 = loose_support_bound(
+                    supp_total, len(positive_candidates), rm_positive
+                )
+                uc = confidence_bound(us2, supn_total)
+                chi_cap = chi_bound(supp_total, supn_total, n, m)
+
+                allowed = support_set | set(candidates)
+                for supp, supn in self._subtree_groups(
+                    paper_dataset, node, candidates, allowed
+                ):
+                    assert supp <= us2, (node, supp, us2)
+                    if supp + supn:
+                        assert supp / (supp + supn) <= uc + 1e-9, (node,)
+                    assert (
+                        chi_square(supp + supn, supp, n, m) <= chi_cap + 1e-9
+                    ), (node,)
+
+    def test_example6_confidence_prune(self, paper_dataset):
+        """Example 6: at node {1,3,4} the rule is a -> C with conf 0.75;
+        since row 4 is negative, no descendant can beat 0.75."""
+        items = closure.items_of(paper_dataset, [0, 2, 3])
+        assert items == frozenset(letter_items("a"))
+        support_set = closure.rows_of(paper_dataset, items)
+        supp = sum(1 for r in support_set if paper_dataset.labels[r] == "C")
+        supn = len(support_set) - supp
+        bound = confidence_bound(
+            loose_support_bound(supp, 0, rm_is_positive=False), supn
+        )
+        assert bound == pytest.approx(0.75)
+        assert bound < 0.95  # the example's minconf

@@ -1,0 +1,99 @@
+"""Unit tests for the CBA classifier (rule generation + CBA-CB M1)."""
+
+import pytest
+
+from repro.classify.cba import CBAClassifier
+from repro.data.dataset import ItemizedDataset
+
+
+def conjunctive_data():
+    """Class 'a' iff items {0,1} together; singletons are ambiguous."""
+    rows = [
+        [0, 1, 4],
+        [0, 1, 5],
+        [0, 1],
+        [0, 2],
+        [1, 3],
+        [2, 3],
+    ]
+    labels = ["a", "a", "a", "b", "b", "b"]
+    return ItemizedDataset.from_lists(rows, labels, n_items=6)
+
+
+class TestRuleSources:
+    @pytest.mark.parametrize("source", ["farmer", "apriori"])
+    def test_fits_and_classifies(self, source):
+        data = conjunctive_data()
+        classifier = CBAClassifier(
+            minsup_fraction=0.5, minconf=0.8, rule_source=source
+        ).fit(data)
+        assert classifier.accuracy(data) >= 5 / 6
+
+    def test_sources_agree_on_predictions(self):
+        data = conjunctive_data()
+        farmer_clf = CBAClassifier(
+            minsup_fraction=0.5, minconf=0.8, rule_source="farmer"
+        ).fit(data)
+        apriori_clf = CBAClassifier(
+            minsup_fraction=0.5, minconf=0.8, rule_source="apriori",
+            max_length=None,
+        ).fit(data)
+        assert farmer_clf.predict(data) == apriori_clf.predict(data)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            CBAClassifier(rule_source="magic")
+
+
+class TestM1Builder:
+    def test_rules_in_precedence_order(self):
+        classifier = CBAClassifier(minsup_fraction=0.3, minconf=0.5).fit(
+            conjunctive_data()
+        )
+        keys = [
+            (-rule.confidence, -rule.support, len(rule.antecedent))
+            for rule in classifier.rules
+        ]
+        assert keys == sorted(keys)
+
+    def test_default_class_set(self):
+        classifier = CBAClassifier().fit(conjunctive_data())
+        assert classifier.default_class in ("a", "b")
+
+    def test_no_rules_falls_back_to_majority(self):
+        data = ItemizedDataset.from_lists(
+            [[0], [1], [2], [3]], ["a", "b", "a", "b"], n_items=4
+        )
+        classifier = CBAClassifier(minsup_fraction=1.0, minconf=1.0).fit(data)
+        assert classifier.rules == []
+        assert classifier.predict_row(frozenset({0})) == classifier.default_class
+
+    def test_total_error_cut(self):
+        """The kept prefix never has more training errors than any other
+        prefix (M1's minimum-total-error guarantee)."""
+        data = conjunctive_data()
+        classifier = CBAClassifier(minsup_fraction=0.3, minconf=0.5).fit(data)
+        kept_errors = sum(
+            1
+            for row, label in zip(data.rows, data.labels)
+            if classifier.predict_row(row) != label
+        )
+        majority_errors = min(
+            sum(1 for label in data.labels if label != candidate)
+            for candidate in data.class_labels
+        )
+        assert kept_errors <= majority_errors
+
+    def test_first_matching_rule_wins(self):
+        data = conjunctive_data()
+        classifier = CBAClassifier(minsup_fraction=0.3, minconf=0.5).fit(data)
+        if classifier.rules:
+            first = classifier.rules[0]
+            sample = set(first.antecedent)
+            assert classifier.predict_row(frozenset(sample)) == first.consequent
+
+    def test_deterministic(self):
+        data = conjunctive_data()
+        first = CBAClassifier().fit(data)
+        second = CBAClassifier().fit(data)
+        assert first.predict(data) == second.predict(data)

@@ -1,0 +1,137 @@
+"""Unit tests for the farmer CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+        capsys.readouterr()
+
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(["mine", "--dataset", "CT"])
+        assert args.minsup == 5
+        assert args.buckets == 10
+
+    def test_mutually_exclusive_source(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "--dataset", "CT", "--tsv", "x.tsv"]
+            )
+        capsys.readouterr()
+
+
+class TestMine:
+    def test_mine_registry(self, capsys):
+        code = main(
+            [
+                "mine",
+                "--dataset",
+                "CT",
+                "--scale",
+                "0.01",
+                "--minsup",
+                "5",
+                "--top",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "interesting rule groups" in out
+
+    def test_mine_with_lower_bounds(self, capsys):
+        code = main(
+            [
+                "mine",
+                "--dataset",
+                "CT",
+                "--scale",
+                "0.01",
+                "--minsup",
+                "6",
+                "--minconf",
+                "0.9",
+                "--lower-bounds",
+                "--top",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lower" in out or "0 interesting" in out
+
+
+class TestGenerateAndRoundTrip:
+    def test_generate_then_mine_tsv(self, tmp_path, capsys):
+        tsv = tmp_path / "ct.tsv"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--dataset",
+                    "CT",
+                    "--scale",
+                    "0.01",
+                    "--out",
+                    str(tsv),
+                ]
+            )
+            == 0
+        )
+        assert tsv.exists()
+        capsys.readouterr()
+        code = main(
+            ["mine", "--tsv", str(tsv), "--minsup", "5", "--top", "1"]
+        )
+        assert code == 0
+        assert "interesting rule groups" in capsys.readouterr().out
+
+
+class TestClassify:
+    def test_classify_svm(self, capsys):
+        code = main(
+            ["classify", "--dataset", "CT", "--scale", "0.01", "--classifier", "svm"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "test accuracy" in out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        code = main(["experiment", "table1", "--scale", "0.01"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+        assert "24481" in out  # the paper's BC column count
+
+    def test_fig10_tiny(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "fig10",
+                "--datasets",
+                "CT",
+                "--scale",
+                "0.01",
+                "--timeout",
+                "20",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FARMER" in out and "CHARM" in out
+
+
+class TestErrors:
+    def test_repro_error_is_reported(self, tmp_path, capsys):
+        missing = tmp_path / "nope.tsv"
+        missing.write_text("bad\t1\n")
+        code = main(["mine", "--tsv", str(missing), "--minsup", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err

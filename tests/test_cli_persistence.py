@@ -1,0 +1,99 @@
+"""CLI tests for the mine --save / validate round trip and classifiers."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSaveValidate:
+    def test_round_trip(self, tmp_path, capsys):
+        groups_path = tmp_path / "ct.irgs"
+        code = main(
+            [
+                "mine",
+                "--dataset",
+                "CT",
+                "--scale",
+                "0.01",
+                "--minsup",
+                "5",
+                "--top",
+                "0",
+                "--save",
+                str(groups_path),
+            ]
+        )
+        assert code == 0
+        assert groups_path.exists()
+        capsys.readouterr()
+
+        code = main(
+            [
+                "validate",
+                "--dataset",
+                "CT",
+                "--scale",
+                "0.01",
+                "--groups",
+                str(groups_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all invariants hold" in out
+
+    def test_validate_catches_corruption(self, tmp_path, capsys):
+        groups_path = tmp_path / "ct.irgs"
+        main(
+            [
+                "mine",
+                "--dataset",
+                "CT",
+                "--scale",
+                "0.01",
+                "--minsup",
+                "6",
+                "--top",
+                "0",
+                "--save",
+                str(groups_path),
+            ]
+        )
+        capsys.readouterr()
+        # Validate against a *different* dataset (more genes, different
+        # cut points): invariants must break.  Note small scales clamp to
+        # the generator's 64-gene floor, so 0.05 (100 genes) is the
+        # nearest genuinely different workload.
+        code = main(
+            [
+                "validate",
+                "--dataset",
+                "CT",
+                "--scale",
+                "0.05",
+                "--groups",
+                str(groups_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "problems" in out
+
+
+class TestClassifierChoices:
+    @pytest.mark.parametrize("name", ["tree", "cba"])
+    def test_classifier_runs(self, name, capsys):
+        code = main(
+            [
+                "classify",
+                "--dataset",
+                "CT",
+                "--scale",
+                "0.01",
+                "--classifier",
+                name,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "test accuracy" in out

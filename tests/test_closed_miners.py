@@ -1,0 +1,139 @@
+"""CHARM / CLOSET+ / CARPENTER / COBBLER vs the brute-force oracle.
+
+The four closed-itemset miners use four different search strategies
+(IT-tree, FP-tree, row enumeration, dynamic combined enumeration); this
+module pins their agreement on the paper example and on randomized data,
+plus per-miner unit behaviour.
+"""
+
+import pytest
+
+from conftest import itemset_to_letters, random_dataset
+
+from repro.baselines import (
+    Carpenter,
+    Charm,
+    ClosetPlus,
+    all_closed_itemsets,
+    mine_closed_carpenter,
+    mine_closed_charm,
+    mine_closed_closet,
+)
+from repro.core import bitset
+from repro.data.dataset import ItemizedDataset
+from repro.errors import BudgetExceeded, ConstraintError
+from repro.extensions import mine_closed_cobbler
+
+MINERS = {
+    "charm": mine_closed_charm,
+    "closet": mine_closed_closet,
+    "carpenter": mine_closed_carpenter,
+    "cobbler": mine_closed_cobbler,
+}
+
+
+@pytest.mark.parametrize("miner_name", sorted(MINERS))
+class TestAgainstOracle:
+    def test_paper_example(self, paper_dataset, miner_name):
+        mine = MINERS[miner_name]
+        for minsup in (1, 2, 3):
+            expected = all_closed_itemsets(paper_dataset, minsup=minsup)
+            got = {closed.items for closed in mine(paper_dataset, minsup=minsup)}
+            assert got == expected, minsup
+
+    def test_randomized(self, miner_name):
+        mine = MINERS[miner_name]
+        for seed in range(30):
+            data = random_dataset(seed + 300)
+            for minsup in (1, 2):
+                expected = all_closed_itemsets(data, minsup=minsup)
+                got = {c.items for c in mine(data, minsup=minsup)}
+                assert got == expected, (seed, minsup)
+
+    def test_supports_and_row_masks(self, paper_dataset, miner_name):
+        mine = MINERS[miner_name]
+        for closed in mine(paper_dataset, minsup=1):
+            rows = [
+                index
+                for index, row in enumerate(paper_dataset.rows)
+                if closed.items <= row
+            ]
+            assert closed.support == len(rows)
+            assert bitset.to_indices(closed.row_mask) == rows
+
+    def test_empty_dataset(self, miner_name):
+        mine = MINERS[miner_name]
+        data = ItemizedDataset.from_lists([], [], n_items=0)
+        assert mine(data, minsup=1) == []
+
+    def test_minsup_validation(self, miner_name):
+        mine = MINERS[miner_name]
+        data = ItemizedDataset.from_lists([[0]], ["x"], n_items=1)
+        with pytest.raises(ConstraintError):
+            mine(data, minsup=0)
+
+
+class TestPaperClosedSets:
+    def test_aeh_found_at_minsup_3(self, paper_dataset):
+        closed = {
+            itemset_to_letters(c.items)
+            for c in mine_closed_charm(paper_dataset, minsup=3)
+        }
+        assert "aeh" in closed
+        assert "a" in closed
+
+    def test_results_sorted_by_support(self, paper_dataset):
+        results = mine_closed_charm(paper_dataset, minsup=1)
+        supports = [c.support for c in results]
+        assert supports == sorted(supports, reverse=True)
+
+
+class TestBudgets:
+    def test_charm_budget(self, paper_dataset):
+        from repro.core.enumeration import SearchBudget
+
+        with pytest.raises(BudgetExceeded):
+            Charm(minsup=1, budget=SearchBudget(max_nodes=2)).mine(paper_dataset)
+
+    def test_carpenter_budget(self, paper_dataset):
+        from repro.core.enumeration import SearchBudget
+
+        with pytest.raises(BudgetExceeded):
+            Carpenter(minsup=1, budget=SearchBudget(max_nodes=2)).mine(
+                paper_dataset
+            )
+
+    def test_closet_budget(self, paper_dataset):
+        from repro.core.enumeration import SearchBudget
+
+        with pytest.raises(BudgetExceeded):
+            ClosetPlus(minsup=1, budget=SearchBudget(max_nodes=1)).mine(
+                paper_dataset
+            )
+
+
+class TestCobblerSwitching:
+    def test_switch_ratios_agree(self, paper_dataset):
+        expected = all_closed_itemsets(paper_dataset, minsup=1)
+        for ratio in (0.1, 1.0, 1e9):
+            got = {
+                c.items
+                for c in mine_closed_cobbler(
+                    paper_dataset, minsup=1, switch_ratio=ratio
+                )
+            }
+            assert got == expected, ratio
+
+    def test_eager_switching_actually_switches(self):
+        from repro.extensions.cobbler import Cobbler
+
+        data = random_dataset(1234, max_rows=9, max_items=10)
+        miner = Cobbler(minsup=1, switch_ratio=1e9)
+        miner.mine(data)
+        assert miner.column_switches >= 1
+
+    def test_invalid_switch_ratio(self):
+        from repro.extensions.cobbler import Cobbler
+
+        with pytest.raises(ConstraintError):
+            Cobbler(minsup=1, switch_ratio=0.0)

@@ -1,0 +1,94 @@
+"""Tests for the closed-sets -> IRGs pipeline (CHARM as a FARMER stand-in)."""
+
+import pytest
+
+from conftest import random_dataset
+
+from repro import Constraints, mine_irgs
+from repro.baselines import mine_closed_carpenter, mine_closed_charm
+from repro.baselines.closed_to_irgs import (
+    groups_from_closed,
+    interesting_groups_from_closed,
+)
+from repro.errors import DataError
+
+
+class TestGroupsFromClosed:
+    def test_stats_match_farmer(self, paper_dataset):
+        closed = mine_closed_charm(paper_dataset, minsup=1)
+        groups = groups_from_closed(paper_dataset, closed, "C")
+        farmer_all = {
+            g.upper: (g.support, g.antecedent_support, g.rows)
+            for g in mine_irgs(paper_dataset, "C", minsup=0).groups
+        }
+        for group in groups:
+            if group.upper in farmer_all:
+                assert farmer_all[group.upper] == (
+                    group.support,
+                    group.antecedent_support,
+                    group.rows,
+                )
+
+    def test_sorted_subset_first(self, paper_dataset):
+        closed = mine_closed_charm(paper_dataset, minsup=1)
+        groups = groups_from_closed(paper_dataset, closed, "C")
+        sizes = [len(group.upper) for group in groups]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_consequent(self, paper_dataset):
+        closed = mine_closed_charm(paper_dataset, minsup=1)
+        with pytest.raises(DataError):
+            groups_from_closed(paper_dataset, closed, "NOPE")
+
+    def test_duplicate_support_set_rejected(self, paper_dataset):
+        closed = mine_closed_charm(paper_dataset, minsup=1)
+        with pytest.raises(DataError, match="duplicate"):
+            groups_from_closed(paper_dataset, closed + [closed[0]], "C")
+
+
+class TestInterestingGroupsFromClosed:
+    def test_charm_pipeline_equals_farmer_paper(self, paper_dataset):
+        closed = mine_closed_charm(paper_dataset, minsup=1)
+        pipeline = interesting_groups_from_closed(
+            paper_dataset, closed, "C", Constraints(minsup=1)
+        )
+        farmer = mine_irgs(paper_dataset, "C", minsup=1)
+        assert {g.upper for g in pipeline} == farmer.upper_antecedents()
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            dict(minsup=1, minconf=0.0),
+            dict(minsup=2, minconf=0.0),
+            dict(minsup=1, minconf=0.7),
+        ],
+        ids=str,
+    )
+    def test_charm_pipeline_equals_farmer_randomized(self, params):
+        for seed in range(20):
+            data = random_dataset(seed + 5000)
+            closed = mine_closed_charm(data, minsup=max(1, params["minsup"]))
+            pipeline = interesting_groups_from_closed(
+                data, closed, "C", Constraints(**params)
+            )
+            farmer = mine_irgs(data, "C", **params)
+            assert {g.upper for g in pipeline} == farmer.upper_antecedents(), (
+                seed,
+                params,
+            )
+
+    def test_carpenter_pipeline_equals_farmer(self, paper_dataset):
+        closed = mine_closed_carpenter(paper_dataset, minsup=1)
+        pipeline = interesting_groups_from_closed(
+            paper_dataset, closed, "C", Constraints(minsup=1, minconf=0.9)
+        )
+        farmer = mine_irgs(paper_dataset, "C", minsup=1, minconf=0.9)
+        assert {g.upper for g in pipeline} == farmer.upper_antecedents()
+
+    def test_other_consequent(self, paper_dataset):
+        closed = mine_closed_charm(paper_dataset, minsup=1)
+        pipeline = interesting_groups_from_closed(
+            paper_dataset, closed, "N", Constraints(minsup=2)
+        )
+        farmer = mine_irgs(paper_dataset, "N", minsup=2)
+        assert {g.upper for g in pipeline} == farmer.upper_antecedents()

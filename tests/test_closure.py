@@ -1,0 +1,77 @@
+"""Unit tests for the closure operators (Section 2.1's R and I)."""
+
+from conftest import letter_items, random_dataset
+
+from repro.core import closure
+
+
+class TestPaperExample1:
+    """Example 1 of the paper, on the Figure 1 table."""
+
+    def test_rows_of_aeh(self, paper_dataset):
+        assert closure.rows_of(paper_dataset, letter_items("aeh")) == {1, 2, 3}
+
+    def test_items_of_23(self, paper_dataset):
+        got = closure.items_of(paper_dataset, [1, 2])
+        assert got == frozenset(letter_items("aeh"))
+
+    def test_rows_of_empty_is_all(self, paper_dataset):
+        assert closure.rows_of(paper_dataset, []) == frozenset(range(5))
+
+    def test_items_of_empty_is_vocabulary(self, paper_dataset):
+        assert closure.items_of(paper_dataset, []) == frozenset(range(20))
+
+    def test_enumeration_tree_labels(self, paper_dataset):
+        # Spot-check node labels from Figure 3.
+        cases = {
+            (0, 1): "al",
+            (0, 2): "aco",
+            (1, 3): "aehpr",
+            (1, 4): "dl",
+            # Figure 3 labels node "35" as {q}, but Figure 1(b) puts item
+            # t in rows 3 and 5 too — the figure label is a typo.
+            (2, 4): "qt",
+            (3, 4): "f",
+            (0, 2, 4): "",
+            (1, 2, 3): "aeh",
+        }
+        for rows, letters in cases.items():
+            got = closure.items_of(paper_dataset, rows)
+            assert got == frozenset(letter_items(letters)), (rows, letters)
+
+
+class TestClosureLaws:
+    """Galois-connection laws, exercised on random datasets."""
+
+    def test_itemset_closure_is_extensive_and_idempotent(self):
+        for seed in range(20):
+            data = random_dataset(seed)
+            for start in range(data.n_items):
+                base = frozenset({start})
+                closed = closure.close_itemset(data, base)
+                if closure.rows_of(data, base):
+                    assert base <= closed
+                assert closure.close_itemset(data, closed) == closed
+
+    def test_rowset_closure_is_extensive_and_idempotent(self):
+        for seed in range(20):
+            data = random_dataset(seed + 100)
+            for row in range(data.n_rows):
+                base = frozenset({row})
+                closed = closure.close_rowset(data, base)
+                assert base <= closed
+                assert closure.close_rowset(data, closed) == closed
+
+    def test_monotone_in_reverse(self):
+        # Bigger itemset -> smaller (or equal) row support set.
+        for seed in range(20):
+            data = random_dataset(seed + 200)
+            if data.n_items < 2:
+                continue
+            small = closure.rows_of(data, [0])
+            large = closure.rows_of(data, [0, 1])
+            assert large <= small
+
+    def test_is_closed_itemset(self, paper_dataset):
+        assert closure.is_closed_itemset(paper_dataset, letter_items("aeh"))
+        assert not closure.is_closed_itemset(paper_dataset, letter_items("eh"))

@@ -1,0 +1,80 @@
+"""ColumnE (column-enumeration IRG miner) vs FARMER and the oracle."""
+
+import pytest
+
+from conftest import itemset_to_letters, random_dataset
+
+from repro import Constraints, SearchBudget, mine_irgs
+from repro.baselines import interesting_rule_groups, mine_irgs_columnwise
+from repro.baselines.columne import ColumnE
+from repro.errors import BudgetExceeded
+
+
+class TestPaperExample:
+    def test_same_irgs_as_farmer(self, paper_dataset):
+        farmer = mine_irgs(paper_dataset, "C", minsup=1)
+        columne = mine_irgs_columnwise(paper_dataset, "C", minsup=1)
+        assert {g.upper for g in columne} == farmer.upper_antecedents()
+
+    def test_letters(self, paper_dataset):
+        groups = mine_irgs_columnwise(paper_dataset, "C", minsup=1)
+        assert {itemset_to_letters(g.upper) for g in groups} == {
+            "aco",
+            "al",
+            "a",
+            "l",
+            "qt",
+        }
+
+    def test_statistics_match(self, paper_dataset):
+        farmer = {
+            g.upper: (g.support, g.antecedent_support, g.rows)
+            for g in mine_irgs(paper_dataset, "C", minsup=1).groups
+        }
+        for group in mine_irgs_columnwise(paper_dataset, "C", minsup=1):
+            assert farmer[group.upper] == (
+                group.support,
+                group.antecedent_support,
+                group.rows,
+            )
+
+
+class TestAgainstOracle:
+    def test_randomized_with_constraints(self):
+        for seed in range(30):
+            data = random_dataset(seed + 500)
+            for minsup, minconf in [(1, 0.0), (2, 0.0), (1, 0.7), (2, 0.5)]:
+                oracle = interesting_rule_groups(
+                    data, "C", Constraints(minsup=minsup, minconf=minconf)
+                )
+                got = mine_irgs_columnwise(
+                    data, "C", minsup=minsup, minconf=minconf
+                )
+                assert {g.upper for g in got} == {g.upper for g in oracle}, (
+                    seed,
+                    minsup,
+                    minconf,
+                )
+
+
+class TestOptions:
+    def test_budget(self, paper_dataset):
+        miner = ColumnE(
+            constraints=Constraints(minsup=1),
+            budget=SearchBudget(max_nodes=2),
+        )
+        with pytest.raises(BudgetExceeded):
+            miner.mine(paper_dataset, "C")
+
+    def test_lower_bounds(self, paper_dataset):
+        miner = ColumnE(
+            constraints=Constraints(minsup=1), compute_lower_bounds=True
+        )
+        groups = miner.mine(paper_dataset, "C")
+        assert all(group.lower_bounds is not None for group in groups)
+
+    def test_counters_populated(self, paper_dataset):
+        miner = ColumnE(constraints=Constraints(minsup=1))
+        miner.mine(paper_dataset, "C")
+        assert miner.counters.nodes > 0
+        assert miner.counters.groups_emitted == 5

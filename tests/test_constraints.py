@@ -1,0 +1,77 @@
+"""Unit tests for mining constraints."""
+
+import pytest
+
+from repro.core.constraints import Constraints
+from repro.core.measures import chi_square
+from repro.errors import ConstraintError
+
+
+class TestValidation:
+    def test_defaults(self):
+        constraints = Constraints()
+        assert constraints.minsup == 1
+        assert constraints.minconf == 0.0
+        assert constraints.minchi == 0.0
+
+    def test_negative_minsup_rejected(self):
+        with pytest.raises(ConstraintError):
+            Constraints(minsup=-1)
+
+    def test_non_integer_minsup_rejected(self):
+        with pytest.raises(ConstraintError):
+            Constraints(minsup=2.5)  # type: ignore[arg-type]
+
+    def test_minconf_range(self):
+        with pytest.raises(ConstraintError):
+            Constraints(minconf=1.5)
+        with pytest.raises(ConstraintError):
+            Constraints(minconf=-0.1)
+
+    def test_negative_minchi_rejected(self):
+        with pytest.raises(ConstraintError):
+            Constraints(minchi=-1.0)
+
+
+class TestFromFraction:
+    def test_rounds_up(self):
+        constraints = Constraints.from_fraction(10, 0.25)
+        assert constraints.minsup == 3  # ceil(2.5)
+
+    def test_exact_fraction(self):
+        assert Constraints.from_fraction(10, 0.3).minsup == 3
+
+    def test_zero_and_one(self):
+        assert Constraints.from_fraction(10, 0.0).minsup == 0
+        assert Constraints.from_fraction(10, 1.0).minsup == 10
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConstraintError):
+            Constraints.from_fraction(10, 1.5)
+
+
+class TestSatisfiedBy:
+    def test_support_threshold(self):
+        constraints = Constraints(minsup=3)
+        assert constraints.satisfied_by(3, 0, 10, 5)
+        assert not constraints.satisfied_by(2, 0, 10, 5)
+
+    def test_confidence_threshold(self):
+        constraints = Constraints(minsup=1, minconf=0.75)
+        assert constraints.satisfied_by(3, 1, 10, 5)
+        assert not constraints.satisfied_by(2, 1, 10, 5)
+
+    def test_zero_total_rejected(self):
+        assert not Constraints(minsup=0).satisfied_by(0, 0, 10, 5)
+
+    def test_chi_threshold(self):
+        # supp=5 supn=0 out of n=10, m=5: chi = 10.
+        chi = chi_square(5, 5, 10, 5)
+        assert Constraints(minsup=1, minchi=chi - 0.1).satisfied_by(5, 0, 10, 5)
+        assert not Constraints(minsup=1, minchi=chi + 0.1).satisfied_by(
+            5, 0, 10, 5
+        )
+
+    def test_chi_zero_disables_check(self):
+        # Independent rule (chi = 0) passes when minchi == 0.
+        assert Constraints(minsup=1, minchi=0.0).satisfied_by(5, 5, 20, 10)

@@ -1,0 +1,100 @@
+"""Unit tests for ItemizedDataset."""
+
+import pytest
+
+from repro.data.dataset import ItemizedDataset
+from repro.errors import DataError
+
+
+def small():
+    return ItemizedDataset.from_lists(
+        [[0, 1], [1, 2], [2]],
+        ["x", "y", "x"],
+        n_items=3,
+        item_names=["i0", "i1", "i2"],
+        name="small",
+    )
+
+
+class TestConstruction:
+    def test_from_lists_infers_vocabulary(self):
+        data = ItemizedDataset.from_lists([[0, 5]], ["x"])
+        assert data.n_items == 6
+
+    def test_from_lists_empty(self):
+        data = ItemizedDataset.from_lists([], [])
+        assert data.n_rows == 0
+        assert data.n_items == 0
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(DataError):
+            ItemizedDataset.from_lists([[0]], ["x", "y"], n_items=1)
+
+    def test_item_out_of_vocabulary(self):
+        with pytest.raises(DataError):
+            ItemizedDataset.from_lists([[7]], ["x"], n_items=3)
+
+    def test_item_names_length_mismatch(self):
+        with pytest.raises(DataError):
+            ItemizedDataset.from_lists(
+                [[0]], ["x"], n_items=2, item_names=["only-one"]
+            )
+
+
+class TestQueries:
+    def test_class_labels_order(self):
+        assert small().class_labels == ("x", "y")
+
+    def test_class_count(self):
+        data = small()
+        assert data.class_count("x") == 2
+        assert data.class_count("y") == 1
+        assert data.class_count("zzz") == 0
+
+    def test_item_name_fallback(self):
+        data = ItemizedDataset.from_lists([[0]], ["x"], n_items=1)
+        assert data.item_name(0) == "item0"
+        assert small().item_name(2) == "i2"
+
+    def test_format_itemset_sorted(self):
+        assert small().format_itemset([2, 0]) == "{i0, i2}"
+
+    def test_max_row_length(self):
+        assert small().max_row_length() == 2
+
+    def test_density(self):
+        # 5 item occurrences over 3 rows x 3 items.
+        assert small().density() == pytest.approx(5 / 9)
+
+    def test_summary_fields(self):
+        summary = small().summary()
+        assert summary["n_rows"] == 3
+        assert summary["class_counts"] == {"x": 2, "y": 1}
+
+
+class TestTransforms:
+    def test_select_rows(self):
+        subset = small().select_rows([2, 0])
+        assert subset.rows == (frozenset({2}), frozenset({0, 1}))
+        assert subset.labels == ("x", "x")
+
+    def test_select_rows_out_of_range(self):
+        with pytest.raises(DataError):
+            small().select_rows([9])
+
+    def test_replicate(self):
+        doubled = small().replicate(2)
+        assert doubled.n_rows == 6
+        assert doubled.labels == ("x", "y", "x") * 2
+        assert doubled.name == "smallx2"
+
+    def test_replicate_invalid(self):
+        with pytest.raises(DataError):
+            small().replicate(0)
+
+    def test_binarized_labels(self):
+        assert small().binarized_labels("x") == (True, False, True)
+
+    def test_binarized_unknown_label(self):
+        with pytest.raises(DataError):
+            small().binarized_labels("nope")

@@ -1,0 +1,148 @@
+"""Unit tests for equal-depth and entropy-MDL discretization."""
+
+import numpy as np
+import pytest
+
+from repro.data.discretize import EntropyMDLDiscretizer, EqualDepthDiscretizer
+from repro.data.matrix import GeneExpressionMatrix
+from repro.errors import DataError
+
+
+def matrix_from(values, labels):
+    return GeneExpressionMatrix.from_arrays(np.asarray(values, float), labels)
+
+
+class TestEqualDepth:
+    def test_one_item_per_gene_per_row(self):
+        rng = np.random.default_rng(0)
+        matrix = matrix_from(rng.normal(size=(30, 4)), ["a"] * 15 + ["b"] * 15)
+        data = EqualDepthDiscretizer(n_buckets=10).fit_transform(matrix)
+        for row in data.rows:
+            assert len(row) == 4  # exactly one bucket per gene
+
+    def test_buckets_roughly_equal_depth(self):
+        values = np.arange(100, dtype=float).reshape(100, 1)
+        matrix = matrix_from(values, ["a"] * 100)
+        discretizer = EqualDepthDiscretizer(n_buckets=10).fit(matrix)
+        data = discretizer.transform(matrix)
+        counts = {}
+        for row in data.rows:
+            (item,) = row
+            counts[item] = counts.get(item, 0) + 1
+        assert len(counts) == 10
+        assert set(counts.values()) == {10}
+
+    def test_constant_gene_single_bucket(self):
+        matrix = matrix_from([[1.0], [1.0], [1.0]], ["a", "a", "b"])
+        data = EqualDepthDiscretizer(n_buckets=10).fit_transform(matrix)
+        items = {next(iter(row)) for row in data.rows}
+        assert len(items) == 1
+
+    def test_transform_unseen_values(self):
+        train = matrix_from([[0.0], [1.0], [2.0], [3.0]], ["a"] * 4)
+        discretizer = EqualDepthDiscretizer(n_buckets=2).fit(train)
+        test = matrix_from([[-100.0], [100.0]], ["a", "a"])
+        data = discretizer.transform(test)
+        low = next(iter(data.rows[0]))
+        high = next(iter(data.rows[1]))
+        assert low != high  # extremes land in opposite buckets
+
+    def test_item_names_carry_gene(self):
+        matrix = GeneExpressionMatrix.from_arrays(
+            [[0.0, 1.0]], ["a"], gene_names=["TP53", "BRCA1"]
+        )
+        data = EqualDepthDiscretizer(n_buckets=2).fit(
+            matrix_from([[0.0, 1.0], [1.0, 0.0]], ["a", "b"])
+        ).transform(matrix)
+        names = {data.item_name(item) for item in data.rows[0]}
+        assert any(name.startswith("g0@") for name in names)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(DataError):
+            EqualDepthDiscretizer().transform(matrix_from([[0.0]], ["a"]))
+
+    def test_gene_count_mismatch(self):
+        discretizer = EqualDepthDiscretizer().fit(matrix_from([[0.0]], ["a"]))
+        with pytest.raises(DataError):
+            discretizer.transform(matrix_from([[0.0, 1.0]], ["a"]))
+
+    def test_invalid_buckets(self):
+        with pytest.raises(DataError):
+            EqualDepthDiscretizer(n_buckets=0)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(4)
+        matrix = matrix_from(rng.normal(size=(20, 3)), ["a"] * 10 + ["b"] * 10)
+        first = EqualDepthDiscretizer(5).fit_transform(matrix)
+        second = EqualDepthDiscretizer(5).fit_transform(matrix)
+        assert first.rows == second.rows
+
+
+class TestEntropyMDL:
+    def test_separable_gene_is_cut(self):
+        # Class a: values around 0, class b: values around 10.
+        values = [[v] for v in [0.0, 0.1, 0.2, 0.3, 10.0, 10.1, 10.2, 10.3]]
+        labels = ["a"] * 4 + ["b"] * 4
+        discretizer = EntropyMDLDiscretizer().fit(matrix_from(values, labels))
+        assert discretizer.n_kept_genes == 1
+        data = discretizer.transform(matrix_from(values, labels))
+        class_a_items = {next(iter(row)) for row in data.rows[:4]}
+        class_b_items = {next(iter(row)) for row in data.rows[4:]}
+        assert class_a_items.isdisjoint(class_b_items)
+
+    def test_noise_gene_is_dropped(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=(40, 1))
+        labels = ["a"] * 20 + ["b"] * 20
+        discretizer = EntropyMDLDiscretizer().fit(matrix_from(values, labels))
+        assert discretizer.n_kept_genes == 0
+        data = discretizer.transform(matrix_from(values, labels))
+        assert all(len(row) == 0 for row in data.rows)
+        assert data.n_items == 0
+
+    def test_cut_between_classes(self):
+        values = [[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]]
+        labels = ["a", "a", "a", "b", "b", "b"]
+        discretizer = EntropyMDLDiscretizer().fit(matrix_from(values, labels))
+        cuts = discretizer._cuts[0]
+        assert len(cuts) == 1
+        assert 2.0 < cuts[0] < 10.0
+
+    def test_ties_never_split(self):
+        # Identical values with different classes cannot be separated.
+        values = [[1.0], [1.0], [1.0], [1.0]]
+        labels = ["a", "b", "a", "b"]
+        discretizer = EntropyMDLDiscretizer().fit(matrix_from(values, labels))
+        assert discretizer.n_kept_genes == 0
+
+    def test_transform_before_fit(self):
+        with pytest.raises(DataError):
+            EntropyMDLDiscretizer().transform(matrix_from([[0.0]], ["a"]))
+
+    def test_max_depth_validation(self):
+        with pytest.raises(DataError):
+            EntropyMDLDiscretizer(max_depth=0)
+
+    def test_mixed_matrix(self):
+        # One informative gene + one noise gene: only one kept.
+        rng = np.random.default_rng(2)
+        informative = np.concatenate([rng.normal(0, 0.2, 20), rng.normal(5, 0.2, 20)])
+        noise = rng.normal(size=40)
+        values = np.column_stack([informative, noise])
+        labels = ["a"] * 20 + ["b"] * 20
+        discretizer = EntropyMDLDiscretizer().fit(matrix_from(values, labels))
+        assert discretizer.n_kept_genes == 1
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        values = np.column_stack(
+            [
+                np.concatenate([rng.normal(0, 1, 15), rng.normal(3, 1, 15)]),
+                rng.normal(size=30),
+            ]
+        )
+        labels = ["a"] * 15 + ["b"] * 15
+        matrix = matrix_from(values, labels)
+        first = EntropyMDLDiscretizer().fit_transform(matrix)
+        second = EntropyMDLDiscretizer().fit_transform(matrix)
+        assert first.rows == second.rows

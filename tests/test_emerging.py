@@ -1,0 +1,141 @@
+"""Tests for emerging patterns and the CAEP classifier."""
+
+import math
+
+import pytest
+
+from conftest import random_dataset
+
+from repro.core.closure import rows_of
+from repro.data.dataset import ItemizedDataset
+from repro.data.discretize import EntropyMDLDiscretizer
+from repro.data.synthetic import BlockSpec, make_microarray
+from repro.errors import ConstraintError
+from repro.extensions.emerging import (
+    CAEPClassifier,
+    mine_emerging_patterns,
+)
+
+
+def simple_data():
+    """Item 0 emerges in class a (3/3 vs 1/3); item 1 is flat."""
+    rows = [[0, 1], [0, 1], [0], [1], [0, 1], [1]]
+    labels = ["a", "a", "a", "b", "b", "b"]
+    return ItemizedDataset.from_lists(rows, labels, n_items=2)
+
+
+class TestMineEmergingPatterns:
+    def test_growth_rates_respect_threshold(self):
+        data = simple_data()
+        patterns = mine_emerging_patterns(data, "a", min_growth=2.0)
+        assert patterns
+        for pattern in patterns:
+            assert pattern.growth_rate >= 2.0
+
+    def test_growth_rate_value(self):
+        data = simple_data()
+        patterns = mine_emerging_patterns(data, "a", min_growth=2.0)
+        by_upper = {pattern.upper: pattern for pattern in patterns}
+        ep = by_upper.get(frozenset({0}))
+        assert ep is not None
+        assert ep.growth_rate == pytest.approx((3 / 3) / (1 / 3))
+        assert ep.relative_support == pytest.approx(1.0)
+
+    def test_jumping_ep_is_infinite(self):
+        rows = [[0], [0], [1], [1]]
+        data = ItemizedDataset.from_lists(
+            rows, ["a", "a", "b", "b"], n_items=2
+        )
+        patterns = mine_emerging_patterns(data, "a", min_growth=2.0)
+        jumping = [p for p in patterns if math.isinf(p.growth_rate)]
+        assert jumping
+        assert jumping[0].strength == jumping[0].relative_support
+
+    def test_bounds_generate_pattern_rows(self):
+        for seed in range(8):
+            data = random_dataset(seed + 4000)
+            try:
+                patterns = mine_emerging_patterns(data, "C", min_growth=1.5)
+            except ConstraintError:
+                continue  # single-class sample
+            for pattern in patterns[:5]:
+                for bound in pattern.bounds:
+                    assert rows_of(data, bound) == rows_of(
+                        data, pattern.upper
+                    )
+
+    def test_growth_confidence_equivalence(self):
+        """Every rule group above the derived minconf passes the exact
+        growth filter and vice versa (no group is silently lost)."""
+        from repro import mine_irgs
+
+        data = simple_data()
+        patterns = mine_emerging_patterns(data, "a", min_growth=2.0)
+        n, m = data.n_rows, data.class_count("a")
+        minconf = (2.0 * m) / (2.0 * m + (n - m))
+        groups = mine_irgs(
+            data, "a", minsup=1, minconf=minconf, compute_lower_bounds=True
+        ).groups
+        assert {p.upper for p in patterns} == {g.upper for g in groups}
+
+    def test_validation(self):
+        data = simple_data()
+        with pytest.raises(ConstraintError):
+            mine_emerging_patterns(data, "a", min_growth=1.0)
+        single = ItemizedDataset.from_lists([[0]], ["a"], n_items=1)
+        with pytest.raises(ConstraintError):
+            mine_emerging_patterns(single, "a", min_growth=2.0)
+
+    def test_sorted_strongest_first(self):
+        data = simple_data()
+        patterns = mine_emerging_patterns(data, "a", min_growth=1.5)
+        keys = [
+            (
+                -(1e18 if math.isinf(p.growth_rate) else p.growth_rate),
+                -p.relative_support,
+            )
+            for p in patterns
+        ]
+        assert keys == sorted(keys)
+
+
+class TestCAEPClassifier:
+    def block_matrix(self, seed=0, n=40):
+        blocks = [
+            BlockSpec(size=3, target_class=0, shift=5.0, penetrance=0.9),
+            BlockSpec(size=3, target_class=1, shift=5.0, penetrance=0.9),
+        ]
+        return make_microarray(
+            n_samples=n, n_genes=14, n_class1=n // 2, blocks=blocks,
+            n_subtypes=0, seed=seed,
+        )
+
+    def test_learns_block_signal(self):
+        matrix = self.block_matrix()
+        data = EntropyMDLDiscretizer().fit_transform(matrix)
+        classifier = CAEPClassifier().fit(data)
+        assert classifier.accuracy(data) >= 0.85
+
+    def test_generalizes(self):
+        train_matrix = self.block_matrix(seed=1, n=60)
+        test_matrix = self.block_matrix(seed=2, n=30)
+        discretizer = EntropyMDLDiscretizer().fit(train_matrix)
+        classifier = CAEPClassifier().fit(discretizer.transform(train_matrix))
+        assert classifier.accuracy(discretizer.transform(test_matrix)) >= 0.75
+
+    def test_unmatched_sample_gets_default(self):
+        data = simple_data()
+        classifier = CAEPClassifier(min_growth=1.5).fit(data)
+        assert classifier.predict_row(frozenset()) == classifier._default
+
+    def test_patterns_capped(self):
+        data = simple_data()
+        classifier = CAEPClassifier(min_growth=1.5, max_patterns=1).fit(data)
+        for label in ("a", "b"):
+            assert len(classifier.patterns_for(label)) <= 1
+
+    def test_deterministic(self):
+        data = simple_data()
+        first = CAEPClassifier(min_growth=1.5).fit(data).predict(data)
+        second = CAEPClassifier(min_growth=1.5).fit(data).predict(data)
+        assert first == second

@@ -1,0 +1,89 @@
+"""Unit tests for the shared enumeration machinery and budgets."""
+
+import time
+
+import pytest
+
+from repro.core.enumeration import (
+    NodeCounters,
+    SearchBudget,
+    extend_items,
+    scan_items,
+)
+from repro.errors import BudgetExceeded
+
+
+class TestExtendItems:
+    def test_filters_by_bit(self):
+        ids, masks = extend_items([0, 1, 2], [0b011, 0b100, 0b111], 0b100)
+        assert ids == [1, 2]
+        assert masks == [0b100, 0b111]
+
+    def test_empty_result(self):
+        ids, masks = extend_items([0], [0b001], 0b100)
+        assert ids == [] and masks == []
+
+    def test_preserves_order(self):
+        ids, _ = extend_items([5, 3, 9], [0b1, 0b1, 0b1], 0b1)
+        assert ids == [5, 3, 9]
+
+
+class TestScanItems:
+    def test_intersection_and_union(self):
+        intersection, union = scan_items([0b0110, 0b1110, 0b0111], 0b1111)
+        assert intersection == 0b0110
+        assert union == 0b1111
+
+    def test_empty_table_yields_full_mask(self):
+        intersection, union = scan_items([], 0b111)
+        assert intersection == 0b111
+        assert union == 0
+
+
+class TestSearchBudget:
+    def test_node_limit(self):
+        budget = SearchBudget(max_nodes=3)
+        budget.start()
+        for _ in range(3):
+            budget.tick()
+        with pytest.raises(BudgetExceeded) as info:
+            budget.tick()
+        assert info.value.nodes_expanded == 4
+
+    def test_unlimited_by_default(self):
+        budget = SearchBudget()
+        budget.start()
+        for _ in range(10_000):
+            budget.tick()
+        assert budget.nodes == 10_000
+
+    def test_restart_resets(self):
+        budget = SearchBudget(max_nodes=5)
+        budget.start()
+        for _ in range(5):
+            budget.tick()
+        budget.start()
+        budget.tick()
+        assert budget.nodes == 1
+
+    def test_time_limit_checked_in_batches(self):
+        budget = SearchBudget(max_seconds=0.0)
+        budget.start()
+        time.sleep(0.01)
+        # The first 255 ticks skip the clock check by design.
+        for _ in range(255):
+            budget.tick()
+        with pytest.raises(BudgetExceeded):
+            budget.tick()
+
+    def test_strict_flag_default(self):
+        assert SearchBudget().strict is True
+        assert SearchBudget(strict=False).strict is False
+
+
+class TestNodeCounters:
+    def test_defaults(self):
+        counters = NodeCounters()
+        assert counters.nodes == 0
+        assert counters.pruned_identified == 0
+        assert counters.groups_emitted == 0

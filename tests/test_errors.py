@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import BudgetExceeded, ConstraintError, DataError, ReproError
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exception_type in (DataError, ConstraintError, BudgetExceeded):
+            assert issubclass(exception_type, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Library validation errors also read as ValueErrors to generic
+        # callers.
+        assert issubclass(DataError, ValueError)
+        assert issubclass(ConstraintError, ValueError)
+        assert issubclass(BudgetExceeded, RuntimeError)
+
+    def test_budget_exceeded_carries_node_count(self):
+        error = BudgetExceeded("over", nodes_expanded=42)
+        assert error.nodes_expanded == 42
+        assert "over" in str(error)
+
+    def test_one_base_catches_everything(self, paper_dataset):
+        from repro import SearchBudget, mine_irgs
+
+        with pytest.raises(ReproError):
+            mine_irgs(paper_dataset, "missing-label")
+        with pytest.raises(ReproError):
+            mine_irgs(
+                paper_dataset, "C", budget=SearchBudget(max_nodes=1)
+            )

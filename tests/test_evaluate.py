@@ -1,0 +1,119 @@
+"""Unit tests for the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.classify.base import majority_label
+from repro.classify.evaluate import (
+    confusion_matrix,
+    cross_validate,
+    evaluate_matrix_based,
+    evaluate_rule_based,
+    split_matrix,
+)
+from repro.classify.irg import IRGClassifier
+from repro.classify.svm import LinearSVM
+from repro.data.matrix import GeneExpressionMatrix
+from repro.data.synthetic import BlockSpec, make_microarray
+from repro.errors import DataError
+
+
+def easy_matrix(seed=0, n=48):
+    blocks = [
+        BlockSpec(size=4, target_class=0, shift=5.0, penetrance=0.95, leakage=0.0),
+        BlockSpec(size=4, target_class=1, shift=5.0, penetrance=0.95, leakage=0.0),
+    ]
+    return make_microarray(
+        n_samples=n, n_genes=16, n_class1=n // 2, blocks=blocks,
+        n_subtypes=0, seed=seed,
+    )
+
+
+class TestSplitMatrix:
+    def test_partition(self):
+        matrix = easy_matrix()
+        train, test = split_matrix(matrix, range(0, 30), range(30, 48))
+        assert train.n_samples == 30
+        assert test.n_samples == 18
+
+    def test_overlap_rejected(self):
+        with pytest.raises(DataError):
+            split_matrix(easy_matrix(), [0, 1], [1, 2])
+
+
+def stratified_split(n=48):
+    """Class-1 samples come first in the generator's output, so take a
+    prefix of each class for training."""
+    half = n // 2
+    train = list(range(0, half // 2)) + list(range(half, half + half // 2))
+    test = [index for index in range(n) if index not in set(train)]
+    return train, test
+
+
+class TestProtocols:
+    def test_rule_based_protocol(self):
+        matrix = easy_matrix()
+        train_rows, test_rows = stratified_split()
+        train, test = split_matrix(matrix, train_rows, test_rows)
+        accuracy = evaluate_rule_based(IRGClassifier(), train, test)
+        assert 0.0 <= accuracy <= 1.0
+        assert accuracy >= 0.7
+
+    def test_matrix_based_protocol(self):
+        matrix = easy_matrix()
+        train_rows, test_rows = stratified_split()
+        train, test = split_matrix(matrix, train_rows, test_rows)
+        accuracy = evaluate_matrix_based(LinearSVM(seed=0), train, test)
+        assert accuracy >= 0.7
+
+    def test_discretizer_fitted_on_train_only(self):
+        """The test rows must not leak into discretizer fitting: a test
+        set with out-of-range values still transforms fine."""
+        matrix = easy_matrix()
+        train_rows, test_rows = stratified_split()
+        train, _ = split_matrix(matrix, train_rows, test_rows)
+        wild = GeneExpressionMatrix.from_arrays(
+            np.full((2, matrix.n_genes), 1e6),
+            ["class1", "class0"],
+            gene_names=matrix.gene_names,
+        )
+        accuracy = evaluate_rule_based(IRGClassifier(), train, wild)
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        counts = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert counts == {("a", "a"): 1, ("a", "b"): 1, ("b", "b"): 1}
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            confusion_matrix(["a"], ["a", "b"])
+
+
+class TestCrossValidate:
+    def test_fold_accuracies(self):
+        matrix = easy_matrix(n=40)
+        scores = cross_validate(matrix, lambda: LinearSVM(seed=0), n_folds=4)
+        assert len(scores) == 4
+        assert all(0.0 <= score <= 1.0 for score in scores)
+        assert sum(scores) / 4 >= 0.7
+
+    def test_rule_based_cross_validation(self):
+        matrix = easy_matrix(n=30)
+        scores = cross_validate(matrix, IRGClassifier, n_folds=3)
+        assert len(scores) == 3
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            cross_validate(easy_matrix(), IRGClassifier, n_folds=1)
+        with pytest.raises(DataError):
+            cross_validate(easy_matrix(n=4), IRGClassifier, n_folds=10)
+
+
+class TestMajorityLabel:
+    def test_majority(self):
+        assert majority_label(["a", "b", "a"]) == "a"
+
+    def test_tie_first_appearance(self):
+        assert majority_label(["b", "a", "a", "b"]) == "b"

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs end-to-end (tiny settings)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *arguments: str) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *arguments],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "interesting rule groups" in out
+        assert "upper" in out and "lower" in out
+
+    def test_leukemia_rule_discovery(self):
+        out = run_example("leukemia_rule_discovery.py", "--scale", "0.02")
+        assert "minsup sweep" in out
+        assert "minconf sweep" in out
+        assert "chi-square pruning" in out
+
+    def test_classifier_comparison(self):
+        out = run_example(
+            "classifier_comparison.py", "--datasets", "CT", "--scale", "0.02"
+        )
+        assert "IRG classifier" in out
+        assert "linear SVM" in out
+
+    def test_gene_network_analysis(self):
+        out = run_example("gene_network_analysis.py", "--scale", "0.02")
+        assert "gene network" in out
+        assert "modules" in out
+
+    @pytest.mark.parametrize("artifact", ["table1", "fig10"])
+    def test_reproduce_paper_quick(self, artifact):
+        out = run_example(
+            "reproduce_paper.py", "--quick", "--artifacts", artifact,
+            "--datasets", "CT",
+        )
+        assert "total:" in out
+
+    def test_reproduce_paper_charts(self):
+        out = run_example(
+            "reproduce_paper.py",
+            "--quick",
+            "--artifacts",
+            "fig10",
+            "--datasets",
+            "CT",
+            "--charts",
+        )
+        assert "log-scale" in out

@@ -1,0 +1,200 @@
+"""Unit/integration tests for the experiment harness (tiny scales)."""
+
+import pytest
+
+from repro.experiments import (
+    MINSUP_GRIDS,
+    Series,
+    TimedRun,
+    build_workload,
+    fig10_report,
+    fig11_report,
+    format_series,
+    format_table,
+    minelb_ablation_report,
+    naive_lower_bounds,
+    pruning_ablation_report,
+    run_fig10,
+    run_fig11,
+    run_minelb_ablation,
+    run_pruning_ablation,
+    run_scaling,
+    run_table1,
+    run_table2,
+    scaling_report,
+    table1_report,
+    table2_report,
+    timed,
+)
+from repro.errors import BudgetExceeded
+
+TINY = dict(scale=0.01)
+
+
+class TestHarness:
+    def test_timed_ok(self):
+        run = timed(lambda: [1, 2, 3])
+        assert run.ok and run.count == 3
+
+    def test_timed_budget_exceeded(self):
+        def boom():
+            raise BudgetExceeded("no")
+
+        run = timed(boom)
+        assert not run.ok
+        assert run.cell() == "timeout"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_series(self):
+        series = Series("S")
+        series.add(5, TimedRun(0.1, 7))
+        text = format_series("title", "minsup", [series])
+        assert "title" in text and "0.100s (7)" in text
+
+
+class TestWorkloads:
+    def test_build_workload_cached(self):
+        first = build_workload("CT", scale=0.01)
+        second = build_workload("CT", scale=0.01)
+        assert first is second
+
+    def test_grids_cover_all_datasets(self):
+        assert set(MINSUP_GRIDS) == {"LC", "BC", "PC", "ALL", "CT"}
+
+    def test_workload_fields(self):
+        workload = build_workload("ALL", scale=0.01)
+        assert workload.consequent == "ALL"
+        assert workload.fig11_minsup == workload.minsup_grid[-1]
+
+
+class TestTable1:
+    def test_rows_and_report(self):
+        rows = run_table1(("CT", "ALL"), scale=0.01)
+        assert [row["dataset"] for row in rows] == ["CT", "ALL"]
+        assert rows[0]["paper_cols"] == 2000
+        report = table1_report(rows)
+        assert "Table 1" in report and "negative" in report
+
+
+class TestFig10:
+    def test_single_dataset_sweep(self):
+        results = run_fig10(("CT",), timeout=30, minsup_grid=[6, 5], **TINY)
+        series = results["CT"]
+        names = [curve.name for curve in series]
+        assert names == ["FARMER", "ColumnE", "CHARM", "#IRGs"]
+        assert all(len(curve.xs) == 2 for curve in series)
+        report = fig10_report(results)
+        assert "Figure 10 (CT)" in report
+
+    def test_farmer_always_completes_at_tiny_scale(self):
+        results = run_fig10(("CT",), timeout=30, minsup_grid=[5], **TINY)
+        farmer = results["CT"][0]
+        assert all(run.ok for run in farmer.ys)
+
+    def test_miner_agreement_on_counts(self):
+        # FARMER and ColumnE must find the same number of IRGs.
+        results = run_fig10(("CT",), timeout=60, minsup_grid=[6], **TINY)
+        farmer, columne = results["CT"][0], results["CT"][1]
+        if columne.ys[0].ok:
+            assert columne.ys[0].count == farmer.ys[0].count
+
+
+class TestFig11:
+    def test_sweep_shape(self):
+        results = run_fig11(
+            ("CT",), timeout=30, minconf_grid=[0.0, 0.9], **TINY
+        )
+        chi_zero, chi_ten, irgs = results["CT"]
+        assert len(chi_zero.ys) == 2
+        assert len(chi_ten.ys) == 2
+        report = fig11_report(results)
+        assert "Figure 11 (CT)" in report
+
+    def test_irg_count_decreases_with_confidence(self):
+        results = run_fig11(
+            ("CT",), timeout=60, minconf_grid=[0.0, 0.99], **TINY
+        )
+        irgs = results["CT"][2]
+        assert irgs.ys[0].count >= irgs.ys[1].count
+
+    def test_chi_pruning_never_finds_more(self):
+        results = run_fig11(
+            ("CT",), timeout=60, minconf_grid=[0.5], **TINY
+        )
+        chi_zero, chi_ten, _ = results["CT"]
+        assert chi_ten.ys[0].count <= chi_zero.ys[0].count
+
+
+class TestTable2:
+    def test_single_dataset(self):
+        rows = run_table2(("CT",), scale=0.02)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["n_train"] == 47 and row["n_test"] == 15
+        for key in ("IRG", "CBA", "SVM"):
+            assert 0.0 <= row[key] <= 1.0
+        report = table2_report(rows)
+        assert "average" in report
+
+
+class TestScaling:
+    def test_two_factors(self):
+        series = run_scaling("CT", factors=(1, 2), timeout=30, **TINY)
+        assert [curve.name for curve in series] == [
+            "FARMER",
+            "CHARM",
+            "CARPENTER",
+        ]
+        assert all(len(curve.xs) == 2 for curve in series)
+        assert "factor" in scaling_report(series)
+
+
+class TestAblation:
+    def test_pruning_ablation_rows(self):
+        rows = run_pruning_ablation("CT", scale=0.01, timeout=30)
+        assert len(rows) == 5
+        finished = [row for row in rows if row["status"] == "ok"]
+        groups = {row["groups"] for row in finished}
+        assert len(groups) == 1  # identical output across configs
+        assert "Pruning ablation" in pruning_ablation_report(rows)
+
+    def test_minelb_ablation(self):
+        result = run_minelb_ablation("CT", scale=0.01, max_groups=5)
+        assert result["groups_timed"] >= 1
+        assert "MineLB" in minelb_ablation_report(result)
+
+    def test_naive_lower_bounds_matches_minelb(self, paper_dataset):
+        from repro import mine_irgs
+        from repro.core.minelb import lower_bounds_for_group
+
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        for group in result.groups:
+            assert set(naive_lower_bounds(paper_dataset, group)) == set(
+                lower_bounds_for_group(paper_dataset, group)
+            )
+
+
+class TestCrossover:
+    def test_wide_sweep_counts_agree(self):
+        from repro.experiments import crossover_report, run_crossover
+
+        series = run_crossover(gene_counts=(80,), minsup=5, timeout=60)
+        carpenter, charm, cobbler = series
+        assert (
+            carpenter.ys[0].count == charm.ys[0].count == cobbler.ys[0].count
+        )
+        assert "crossover" in crossover_report(series)
+
+    def test_tall_sweep_counts_agree(self):
+        from repro.experiments import run_tall_crossover
+
+        series = run_tall_crossover(factors=(2,), genes=20, timeout=60)
+        carpenter, charm, cobbler = series
+        assert (
+            carpenter.ys[0].count == charm.ys[0].count == cobbler.ys[0].count
+        )

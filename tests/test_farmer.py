@@ -1,0 +1,178 @@
+"""Unit tests for the FARMER miner on the paper's running example."""
+
+import pytest
+
+from conftest import itemset_to_letters, letter_items
+
+from repro import BudgetExceeded, Constraints, Farmer, SearchBudget, mine_irgs
+from repro.data.dataset import ItemizedDataset
+
+
+def upper_letters(result):
+    return {itemset_to_letters(group.upper) for group in result.groups}
+
+
+class TestPaperExample:
+    def test_irgs_on_figure1(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        # Hand-derived from Figure 3 (see DESIGN.md §6): the five IRGs.
+        assert upper_letters(result) == {"aco", "al", "a", "l", "qt"}
+
+    def test_group_statistics(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        by_upper = {
+            itemset_to_letters(group.upper): group for group in result.groups
+        }
+        aeh_absent = "aeh" not in by_upper  # dominated by "a" (conf 3/4)
+        assert aeh_absent
+        assert by_upper["a"].support == 3
+        assert by_upper["a"].antecedent_support == 4
+        assert by_upper["a"].rows == {0, 1, 2, 3}
+        assert by_upper["aco"].confidence == 1.0
+        assert by_upper["l"].confidence == pytest.approx(2 / 3)
+
+    def test_minconf_filters(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=1, minconf=0.9)
+        assert upper_letters(result) == {"aco", "al"}
+
+    def test_minsup_filters(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=3)
+        assert upper_letters(result) == {"a"}
+
+    def test_other_consequent(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "N", minsup=2)
+        # f is in rows 4,5 only: the pure-negative group.
+        assert "f" in upper_letters(result)
+
+    def test_lower_bounds_attached(self, paper_dataset):
+        result = mine_irgs(
+            paper_dataset, "C", minsup=1, compute_lower_bounds=True
+        )
+        by_upper = {
+            itemset_to_letters(group.upper): group for group in result.groups
+        }
+        aco = by_upper["aco"]
+        assert {itemset_to_letters(b) for b in aco.lower_bounds} == {"c", "o"}
+        al = by_upper["al"]
+        assert {itemset_to_letters(b) for b in al.lower_bounds} == {"al"}
+
+    def test_example5_pruning2_fires(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        # The paper's Example 5 prunes node {3,4}; with all prunings on,
+        # at least one Pruning-2 cut must fire on this dataset.
+        assert result.counters.pruned_identified >= 1
+
+    def test_example4_pruning1_compresses(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        # Example 4: row 4 is compressed at node {2,3}.
+        assert result.counters.rows_compressed >= 1
+
+
+class TestResultContainer:
+    def test_sorted_groups(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        ordered = result.sorted_groups()
+        confidences = [group.confidence for group in ordered]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_len(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        assert len(result) == 5
+
+    def test_elapsed_recorded(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        assert result.elapsed_seconds >= 0.0
+
+
+class TestEdgeCases:
+    def test_empty_items_dataset(self):
+        data = ItemizedDataset.from_lists([[], []], ["C", "D"], n_items=0)
+        result = mine_irgs(data, "C", minsup=1)
+        assert result.groups == []
+
+    def test_single_row(self):
+        data = ItemizedDataset.from_lists([[0, 1]], ["C"], n_items=2)
+        result = mine_irgs(data, "C", minsup=1)
+        assert [sorted(g.upper) for g in result.groups] == [[0, 1]]
+
+    def test_universal_items_reported_from_root(self):
+        # Pruning 1 compresses every row at the root; the vocabulary-wide
+        # group must still be reported (regression test).
+        data = ItemizedDataset.from_lists(
+            [[0, 1], [0, 1], [0, 1]], ["C", "C", "D"], n_items=2
+        )
+        result = mine_irgs(data, "C", minsup=1)
+        assert [sorted(g.upper) for g in result.groups] == [[0, 1]]
+        assert result.groups[0].antecedent_support == 3
+
+    def test_all_rows_same_class(self):
+        data = ItemizedDataset.from_lists(
+            [[0], [0, 1], [1]], ["C", "C", "C"], n_items=2
+        )
+        result = mine_irgs(data, "C", minsup=1)
+        for group in result.groups:
+            assert group.confidence == 1.0
+
+    def test_unknown_consequent_raises(self, paper_dataset):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError):
+            mine_irgs(paper_dataset, "NOPE", minsup=1)
+
+    def test_minsup_zero_behaves(self, paper_dataset):
+        # Zero-support antecedents are still never reported (a rule needs
+        # a non-empty antecedent support to have a confidence).
+        result = mine_irgs(paper_dataset, "C", minsup=0)
+        for group in result.groups:
+            assert group.antecedent_support >= 1
+
+
+class TestPrunings:
+    def test_unknown_pruning_rejected(self):
+        with pytest.raises(ValueError):
+            Farmer(prunings={"p9"})
+
+    def test_disabled_prunings_same_result(self, paper_dataset):
+        reference = mine_irgs(paper_dataset, "C", minsup=1, minconf=0.5)
+        for prunings in [(), ("p1",), ("p3",), ("p1", "p2"), ("p1", "p3")]:
+            result = mine_irgs(
+                paper_dataset, "C", minsup=1, minconf=0.5, prunings=prunings
+            )
+            assert (
+                result.upper_antecedents() == reference.upper_antecedents()
+            ), prunings
+
+    def test_disabling_prunings_costs_nodes(self, paper_dataset):
+        full = mine_irgs(paper_dataset, "C", minsup=2, minconf=0.8)
+        bare = mine_irgs(
+            paper_dataset, "C", minsup=2, minconf=0.8, prunings=()
+        )
+        assert bare.counters.nodes >= full.counters.nodes
+
+
+class TestBudget:
+    def test_node_budget_raises(self, paper_dataset):
+        with pytest.raises(BudgetExceeded) as info:
+            mine_irgs(
+                paper_dataset, "C", minsup=1, budget=SearchBudget(max_nodes=3)
+            )
+        assert info.value.nodes_expanded >= 3
+
+    def test_generous_budget_passes(self, paper_dataset):
+        result = mine_irgs(
+            paper_dataset,
+            "C",
+            minsup=1,
+            budget=SearchBudget(max_nodes=10_000, max_seconds=60),
+        )
+        assert len(result) == 5
+
+
+class TestMineTable:
+    def test_mine_table_equals_mine(self, paper_dataset):
+        from repro.data.transpose import TransposedTable
+
+        table = TransposedTable.build(paper_dataset, "C")
+        direct = Farmer(Constraints(minsup=1)).mine_table(table)
+        indirect = Farmer(Constraints(minsup=1)).mine(paper_dataset, "C")
+        assert direct.upper_antecedents() == indirect.upper_antecedents()

@@ -1,0 +1,160 @@
+"""Edge cases and robustness tests for the FARMER miner."""
+
+import pytest
+
+from repro import Constraints, Farmer, SearchBudget, mine_irgs
+from repro.baselines import interesting_rule_groups
+from repro.data.dataset import ItemizedDataset
+
+
+class TestMultiClass:
+    """The paper's datasets are binary, but consequent-vs-rest mining
+    must work for any number of labels."""
+
+    def three_class_data(self):
+        rows = [
+            [0, 1],
+            [0, 1],
+            [2, 3],
+            [2, 3],
+            [4, 5],
+            [4, 5],
+        ]
+        labels = ["x", "x", "y", "y", "z", "z"]
+        return ItemizedDataset.from_lists(rows, labels, n_items=6)
+
+    def test_each_consequent_mines_independently(self):
+        data = self.three_class_data()
+        for label, expected_items in [("x", {0, 1}), ("y", {2, 3}), ("z", {4, 5})]:
+            result = mine_irgs(data, label, minsup=2, minconf=0.9)
+            assert frozenset(expected_items) in result.upper_antecedents()
+
+    def test_matches_oracle_per_class(self):
+        data = self.three_class_data()
+        for label in data.class_labels:
+            oracle = interesting_rule_groups(
+                data, label, Constraints(minsup=1)
+            )
+            result = mine_irgs(data, label, minsup=1)
+            assert result.upper_antecedents() == {g.upper for g in oracle}
+
+    def test_m_counts_rest_as_negative(self):
+        data = self.three_class_data()
+        result = mine_irgs(data, "x", minsup=1)
+        for group in result.groups:
+            assert group.m == 2
+            assert group.n == 6
+
+
+class TestDegenerateRows:
+    def test_duplicate_rows(self):
+        data = ItemizedDataset.from_lists(
+            [[0, 1], [0, 1], [0, 1], [2]], ["C", "C", "D", "D"], n_items=3
+        )
+        result = mine_irgs(data, "C", minsup=1)
+        oracle = interesting_rule_groups(data, "C", Constraints(minsup=1))
+        assert result.upper_antecedents() == {g.upper for g in oracle}
+        by_upper = {g.upper: g for g in result.groups}
+        group = by_upper[frozenset({0, 1})]
+        assert group.antecedent_support == 3
+        assert group.support == 2
+
+    def test_rows_with_no_items(self):
+        data = ItemizedDataset.from_lists(
+            [[], [0], [], [0]], ["C", "C", "D", "D"], n_items=1
+        )
+        result = mine_irgs(data, "C", minsup=1)
+        assert result.upper_antecedents() == {frozenset({0})}
+
+    def test_single_positive_row(self):
+        data = ItemizedDataset.from_lists(
+            [[0, 1]] + [[2]] * 4, ["C", "D", "D", "D", "D"], n_items=3
+        )
+        result = mine_irgs(data, "C", minsup=1)
+        assert frozenset({0, 1}) in result.upper_antecedents()
+
+    def test_identical_dataset_rows_single_group(self):
+        data = ItemizedDataset.from_lists(
+            [[0, 1, 2]] * 5, ["C", "C", "C", "D", "D"], n_items=3
+        )
+        result = mine_irgs(data, "C", minsup=1)
+        assert len(result.groups) == 1
+        assert result.groups[0].antecedent_support == 5
+
+
+class TestBudgetSemantics:
+    def test_strict_budget_raises_and_preserves_recursion_limit(self, paper_dataset):
+        import sys
+
+        from repro.errors import BudgetExceeded
+
+        before = sys.getrecursionlimit()
+        with pytest.raises(BudgetExceeded):
+            mine_irgs(
+                paper_dataset, "C", minsup=1, budget=SearchBudget(max_nodes=2)
+            )
+        assert sys.getrecursionlimit() == before
+
+    def test_nonstrict_budget_returns_valid_partial(self, paper_dataset):
+        miner = Farmer(
+            constraints=Constraints(minsup=1),
+            budget=SearchBudget(max_nodes=4, strict=False),
+        )
+        result = miner.mine(paper_dataset, "C")
+        assert result.truncated
+        full = mine_irgs(paper_dataset, "C", minsup=1)
+        from repro.core.closure import rows_of
+
+        for group in result.groups:
+            # Partial groups are still genuine rule groups.
+            assert rows_of(paper_dataset, group.upper) == group.rows
+        assert len(result.groups) <= len(full.groups)
+
+    def test_nonstrict_full_run_not_truncated(self, paper_dataset):
+        miner = Farmer(
+            constraints=Constraints(minsup=1),
+            budget=SearchBudget(max_nodes=10_000, strict=False),
+        )
+        assert not miner.mine(paper_dataset, "C").truncated
+
+
+class TestReuse:
+    def test_miner_reusable_across_datasets(self, paper_dataset):
+        miner = Farmer(constraints=Constraints(minsup=1))
+        first = miner.mine(paper_dataset, "C")
+        other = ItemizedDataset.from_lists(
+            [[0], [1]], ["C", "D"], n_items=2
+        )
+        second = miner.mine(other, "C")
+        third = miner.mine(paper_dataset, "C")
+        assert first.upper_antecedents() == third.upper_antecedents()
+        assert second.upper_antecedents() == {frozenset({0})}
+
+    def test_results_independent_of_item_order(self):
+        """Renaming items must not change the (renamed) output."""
+        rows = [[0, 1, 2], [1, 2], [0, 3], [3]]
+        labels = ["C", "C", "D", "D"]
+        data = ItemizedDataset.from_lists(rows, labels, n_items=4)
+        permutation = {0: 3, 1: 0, 2: 2, 3: 1}
+        renamed_rows = [[permutation[i] for i in row] for row in rows]
+        renamed = ItemizedDataset.from_lists(renamed_rows, labels, n_items=4)
+
+        original = mine_irgs(data, "C", minsup=1).upper_antecedents()
+        mapped = {
+            frozenset(permutation[i] for i in upper) for upper in original
+        }
+        assert mapped == mine_irgs(renamed, "C", minsup=1).upper_antecedents()
+
+    def test_results_independent_of_row_order(self):
+        rows = [[0, 1], [1, 2], [0], [2]]
+        labels = ["C", "D", "C", "D"]
+        data = ItemizedDataset.from_lists(rows, labels, n_items=3)
+        shuffled = ItemizedDataset.from_lists(
+            [rows[2], rows[0], rows[3], rows[1]],
+            [labels[2], labels[0], labels[3], labels[1]],
+            n_items=3,
+        )
+        assert (
+            mine_irgs(data, "C", minsup=1).upper_antecedents()
+            == mine_irgs(shuffled, "C", minsup=1).upper_antecedents()
+        )

@@ -1,0 +1,125 @@
+"""Integration: FARMER vs the exhaustive oracle, with every pruning combo.
+
+These are the strongest correctness tests in the suite: on dozens of
+randomized datasets, the full IRG output (antecedents *and* statistics)
+must match the literal Definition 2.2 implementation, for every
+constraint setting and every pruning configuration.
+"""
+
+import pytest
+
+from conftest import random_dataset
+
+from repro import Constraints, mine_irgs
+from repro.baselines import all_rule_groups, interesting_rule_groups
+
+CONSTRAINT_GRID = [
+    dict(minsup=1, minconf=0.0, minchi=0.0),
+    dict(minsup=2, minconf=0.0, minchi=0.0),
+    dict(minsup=1, minconf=0.6, minchi=0.0),
+    dict(minsup=1, minconf=0.0, minchi=1.5),
+    dict(minsup=2, minconf=0.5, minchi=1.0),
+]
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("params", CONSTRAINT_GRID, ids=str)
+    def test_randomized_uppers_and_stats(self, params):
+        for seed in range(25):
+            data = random_dataset(seed)
+            oracle = interesting_rule_groups(data, "C", Constraints(**params))
+            result = mine_irgs(data, "C", **params)
+            expected = {
+                g.upper: (g.support, g.antecedent_support, g.rows)
+                for g in oracle
+            }
+            got = {
+                g.upper: (g.support, g.antecedent_support, g.rows)
+                for g in result.groups
+            }
+            assert got == expected, (seed, params)
+
+    def test_negative_consequent(self):
+        for seed in range(10):
+            data = random_dataset(seed + 50, ensure_label="D")
+            oracle = interesting_rule_groups(data, "D", Constraints(minsup=1))
+            result = mine_irgs(data, "D", minsup=1)
+            assert result.upper_antecedents() == {g.upper for g in oracle}
+
+
+class TestPruningAblation:
+    PRUNING_COMBOS = [
+        (),
+        ("p1",),
+        ("p2",),  # degrades to no-op without p1
+        ("p3",),
+        ("p1", "p2"),
+        ("p1", "p3"),
+        ("p2", "p3"),
+        ("p1", "p2", "p3"),
+    ]
+
+    @pytest.mark.parametrize("prunings", PRUNING_COMBOS, ids=str)
+    def test_all_combos_identical_output(self, prunings):
+        for seed in range(15):
+            data = random_dataset(seed + 60)
+            reference = mine_irgs(data, "C", minsup=1, minconf=0.5)
+            result = mine_irgs(
+                data, "C", minsup=1, minconf=0.5, prunings=prunings
+            )
+            assert (
+                result.upper_antecedents() == reference.upper_antecedents()
+            ), seed
+
+
+class TestRuleGroupDefinitions:
+    def test_uppers_are_closed(self):
+        """Every rule group's upper bound is a closed set (Lemma 2.1)."""
+        from repro.core.closure import close_itemset
+
+        for seed in range(15):
+            data = random_dataset(seed + 70)
+            for group in all_rule_groups(data, "C"):
+                assert close_itemset(data, group.upper) == group.upper
+
+    def test_support_sets_unique(self):
+        """One rule group per antecedent support set (Definition 2.1)."""
+        for seed in range(15):
+            data = random_dataset(seed + 80)
+            groups = all_rule_groups(data, "C")
+            row_sets = [group.rows for group in groups]
+            assert len(row_sets) == len(set(row_sets))
+
+    def test_irg_dominance_invariant(self):
+        """No admitted IRG has an admitted strict-subset with >= conf."""
+        for seed in range(15):
+            data = random_dataset(seed + 90)
+            admitted = interesting_rule_groups(data, "C", Constraints(minsup=1))
+            for group in admitted:
+                for other in admitted:
+                    if other.upper < group.upper:
+                        assert other.confidence < group.confidence
+
+    def test_rejected_groups_are_dominated(self):
+        """Constraint-satisfying groups NOT admitted have a dominating
+        admitted subset (completeness of the filter)."""
+        for seed in range(15):
+            data = random_dataset(seed + 95)
+            constraints = Constraints(minsup=1)
+            admitted = interesting_rule_groups(data, "C", constraints)
+            admitted_uppers = {g.upper for g in admitted}
+            for group in all_rule_groups(data, "C"):
+                if group.upper in admitted_uppers:
+                    continue
+                if not constraints.satisfied_by(
+                    group.support,
+                    group.antecedent_support - group.support,
+                    group.n,
+                    group.m,
+                ):
+                    continue
+                assert any(
+                    other.upper < group.upper
+                    and other.confidence >= group.confidence
+                    for other in admitted
+                ), (seed, sorted(group.upper))

@@ -1,0 +1,95 @@
+"""Unit tests for the gene-network extension."""
+
+from repro import mine_irgs
+from repro.data.dataset import ItemizedDataset
+from repro.data.discretize import EqualDepthDiscretizer
+from repro.data.synthetic import BlockSpec, make_microarray
+from repro.extensions import build_gene_network, gene_modules, gene_of_item
+
+
+def block_data():
+    """One tight co-regulated block whose active cluster (the 10 class-1
+    samples, 25% of rows) matches the top equal-depth bucket, so the
+    block's genes co-discretize into one multi-gene rule group."""
+    blocks = [
+        BlockSpec(size=3, target_class=0, shift=6.0, penetrance=1.0, leakage=0.0),
+    ]
+    matrix = make_microarray(
+        n_samples=40, n_genes=12, n_class1=10, blocks=blocks,
+        n_subtypes=0, block_gene_noise=0.1, seed=9,
+    )
+    return EqualDepthDiscretizer(n_buckets=4).fit_transform(matrix)
+
+
+class TestGeneOfItem:
+    def test_discretizer_names(self):
+        data = block_data()
+        item = next(iter(data.rows[0]))
+        assert gene_of_item(data, item).startswith("g")
+        assert "@" not in gene_of_item(data, item)
+
+    def test_plain_names(self):
+        data = ItemizedDataset.from_lists(
+            [[0]], ["x"], n_items=1, item_names=["TP53"]
+        )
+        assert gene_of_item(data, 0) == "TP53"
+
+
+class TestBuildNetwork:
+    def test_block_genes_connected(self):
+        data = block_data()
+        result = mine_irgs(data, "class1", minsup=8, minconf=0.9)
+        graph = build_gene_network(data, result.groups)
+        # The class-1 block occupies genes g0..g2.
+        assert graph.has_edge("g0", "g1") or graph.has_edge("g0", "g2")
+
+    def test_edge_attributes(self):
+        data = block_data()
+        result = mine_irgs(data, "class1", minsup=8, minconf=0.9)
+        graph = build_gene_network(data, result.groups)
+        for _, _, attrs in graph.edges(data=True):
+            assert attrs["count"] >= 1
+            assert attrs["weight"] > 0.0
+
+    def test_min_confidence_filter(self):
+        data = block_data()
+        result = mine_irgs(data, "class1", minsup=5)
+        all_edges = build_gene_network(data, result.groups).number_of_edges()
+        strict = build_gene_network(
+            data, result.groups, min_confidence=1.1
+        ).number_of_edges()
+        assert strict == 0
+        assert all_edges >= strict
+
+    def test_empty_groups(self):
+        data = block_data()
+        graph = build_gene_network(data, [])
+        assert graph.number_of_nodes() == 0
+
+
+class TestGeneModules:
+    def test_recovers_planted_block(self):
+        data = block_data()
+        result = mine_irgs(data, "class1", minsup=8, minconf=0.9)
+        graph = build_gene_network(data, result.groups)
+        modules = gene_modules(graph, min_edge_weight=0.5)
+        block_genes = {"g0", "g1", "g2"}
+        assert any(block_genes <= module for module in modules)
+
+    def test_weight_floor_splits(self):
+        data = block_data()
+        result = mine_irgs(data, "class1", minsup=5)
+        graph = build_gene_network(data, result.groups)
+        low = gene_modules(graph, min_edge_weight=0.0)
+        high = gene_modules(graph, min_edge_weight=1e9)
+        assert high == []
+        assert len(low) >= len(high)
+
+    def test_sorted_output(self):
+        data = block_data()
+        result = mine_irgs(data, "class1", minsup=5)
+        modules = gene_modules(
+            build_gene_network(data, result.groups), min_edge_weight=0.5
+        )
+        sizes = [len(module) for module in modules]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,97 @@
+"""Golden regression tests: pinned numbers for the registry workloads.
+
+The registry datasets are pure functions of their seeds, and every miner
+is deterministic, so exact counts are stable across runs and platforms.
+If one of these fails after a code change, either the change altered
+mining semantics (a bug — the oracle tests should also fail) or it
+intentionally altered the generator (update the goldens *and* the
+recorded numbers in EXPERIMENTS.md together).
+"""
+
+import pytest
+
+from repro import mine_irgs
+from repro.baselines import mine_closed_charm
+from repro.data.discretize import EqualDepthDiscretizer
+from repro.data.registry import PAPER_DATASETS, load
+
+
+@pytest.fixture(scope="module")
+def ct_small():
+    matrix = load("CT", scale=0.02)
+    return EqualDepthDiscretizer(n_buckets=10).fit_transform(matrix)
+
+
+class TestGeneratorGoldens:
+    def test_ct_matrix_fingerprint(self):
+        matrix = load("CT", scale=0.02)
+        assert matrix.n_samples == 62
+        assert matrix.n_genes == 64
+        # A few fixed cells pin the RNG stream end-to-end.
+        assert matrix.values[0, 0] == pytest.approx(1.2117620649612577)
+        assert matrix.values[61, 63] == pytest.approx(-0.8372009252055121)
+
+    def test_all_matrix_fingerprint(self):
+        matrix = load("ALL", scale=0.02)
+        assert matrix.n_samples == 72
+        assert matrix.values[0, 0] == pytest.approx(0.1492119443097944)
+
+    def test_discretized_shape(self, ct_small):
+        assert ct_small.n_rows == 62
+        assert ct_small.n_items == 640
+        assert ct_small.max_row_length() == 64
+
+
+class TestMiningGoldens:
+    @pytest.mark.parametrize(
+        ("minsup", "expected_irgs"),
+        [(6, 87), (5, 237), (4, 441)],
+    )
+    def test_ct_irg_counts(self, ct_small, minsup, expected_irgs):
+        result = mine_irgs(ct_small, "negative", minsup=minsup)
+        assert len(result.groups) == expected_irgs
+
+    def test_ct_irg_counts_with_confidence(self, ct_small):
+        result = mine_irgs(ct_small, "negative", minsup=5, minconf=0.9)
+        assert len(result.groups) == 68
+
+    def test_ct_closed_set_count(self, ct_small):
+        closed = mine_closed_charm(ct_small, minsup=5)
+        assert len(closed) == 711
+
+    def test_counts_stable_across_pruning_configs(self, ct_small):
+        for prunings in [(), ("p1", "p2", "p3")]:
+            result = mine_irgs(
+                ct_small, "negative", minsup=6, prunings=prunings
+            )
+            assert len(result.groups) == 87
+
+
+class TestRegistryGoldens:
+    def test_table1_constants(self):
+        rows = {
+            "BC": (97, 24481, 46),
+            "LC": (181, 12533, 31),
+            "CT": (62, 2000, 40),
+            "PC": (136, 12600, 52),
+            "ALL": (72, 7129, 47),
+        }
+        for name, (n_rows, paper_cols, n_class1) in rows.items():
+            spec = PAPER_DATASETS[name]
+            assert (spec.n_rows, spec.paper_cols, spec.n_class1) == (
+                n_rows,
+                paper_cols,
+                n_class1,
+            )
+
+    def test_table2_split_sizes(self):
+        sizes = {
+            "BC": (78, 19),
+            "LC": (32, 149),
+            "CT": (47, 15),
+            "PC": (102, 34),
+            "ALL": (38, 34),
+        }
+        for name, (train, test) in sizes.items():
+            spec = PAPER_DATASETS[name]
+            assert (spec.n_train, spec.n_test) == (train, test)

@@ -1,0 +1,128 @@
+"""End-to-end integration on realistic (small-scale) microarray workloads.
+
+These tests run the full pipeline — registry generation, equal-depth
+discretization, mining with all engines, classification — at a scale a CI
+machine handles in seconds, pinning the cross-system agreements the paper
+relies on.
+"""
+
+import pytest
+
+from repro import Constraints, Farmer, SearchBudget, mine_irgs
+from repro.baselines import (
+    mine_closed_carpenter,
+    mine_closed_charm,
+    mine_closed_closet,
+    mine_irgs_columnwise,
+)
+from repro.data.discretize import EqualDepthDiscretizer
+from repro.data.registry import PAPER_DATASETS, load
+from repro.extensions import mine_closed_cobbler
+
+
+@pytest.fixture(scope="module")
+def ct_workload():
+    matrix = load("CT", scale=0.01)
+    data = EqualDepthDiscretizer(n_buckets=10).fit_transform(matrix)
+    return data, PAPER_DATASETS["CT"].class1
+
+
+class TestMinerAgreementAtScale:
+    def test_farmer_equals_columne(self, ct_workload):
+        data, consequent = ct_workload
+        farmer = mine_irgs(data, consequent, minsup=5, minconf=0.0)
+        columne = mine_irgs_columnwise(data, consequent, minsup=5)
+        assert farmer.upper_antecedents() == {g.upper for g in columne}
+        assert len(farmer.groups) > 0
+
+    def test_closed_miners_agree(self, ct_workload):
+        data, _ = ct_workload
+        charm = {c.items for c in mine_closed_charm(data, minsup=5)}
+        closet = {c.items for c in mine_closed_closet(data, minsup=5)}
+        carpenter = {c.items for c in mine_closed_carpenter(data, minsup=5)}
+        cobbler = {c.items for c in mine_closed_cobbler(data, minsup=5)}
+        assert charm == closet == carpenter == cobbler
+        assert len(charm) > 0
+
+    def test_irgs_are_subset_of_closed_sets(self, ct_workload):
+        """Every IRG upper bound is a closed itemset (Lemma 2.1)."""
+        data, consequent = ct_workload
+        farmer = mine_irgs(data, consequent, minsup=5)
+        closed = {c.items for c in mine_closed_charm(data, minsup=5)}
+        for upper in farmer.upper_antecedents():
+            assert upper in closed
+
+
+class TestMonotonicities:
+    """The count/pruning monotonicities behind Figures 10 and 11."""
+
+    def test_irg_count_grows_as_minsup_falls(self, ct_workload):
+        data, consequent = ct_workload
+        counts = [
+            len(mine_irgs(data, consequent, minsup=minsup).groups)
+            for minsup in (6, 5, 4)
+        ]
+        assert counts == sorted(counts)
+
+    def test_irg_count_falls_as_minconf_rises(self, ct_workload):
+        data, consequent = ct_workload
+        counts = [
+            len(mine_irgs(data, consequent, minsup=4, minconf=c).groups)
+            for c in (0.0, 0.7, 0.99)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_confidence_pruning_reduces_nodes(self, ct_workload):
+        data, consequent = ct_workload
+        low = mine_irgs(data, consequent, minsup=4, minconf=0.0)
+        high = mine_irgs(data, consequent, minsup=4, minconf=0.95)
+        assert high.counters.nodes <= low.counters.nodes
+
+    def test_chi_pruning_reduces_nodes(self, ct_workload):
+        data, consequent = ct_workload
+        without = mine_irgs(data, consequent, minsup=4, minconf=0.8, minchi=0.0)
+        with_chi = mine_irgs(
+            data, consequent, minsup=4, minconf=0.8, minchi=10.0
+        )
+        assert with_chi.counters.nodes <= without.counters.nodes
+        assert len(with_chi.groups) <= len(without.groups)
+
+    def test_chi_filter_consistency(self, ct_workload):
+        """Groups surviving minchi=10 all have chi >= 10, and they are a
+        subset of the minchi=0 result... interestingness caveat: pruning
+        by chi changes the comparison pool, so subset holds on uppers
+        satisfying chi."""
+        data, consequent = ct_workload
+        strict = mine_irgs(data, consequent, minsup=4, minchi=10.0)
+        for group in strict.groups:
+            assert group.chi_square >= 10.0
+
+
+class TestReplication:
+    def test_replicated_dataset_scales_counts(self, ct_workload):
+        data, consequent = ct_workload
+        doubled = data.replicate(2)
+        base = mine_irgs(data, consequent, minsup=5)
+        scaled = mine_irgs(doubled, consequent, minsup=10)
+        # Same patterns exist with doubled support.
+        assert scaled.upper_antecedents() == base.upper_antecedents()
+        base_stats = {g.upper: g.support for g in base.groups}
+        for group in scaled.groups:
+            assert group.support == 2 * base_stats[group.upper]
+
+
+class TestTruncatedMining:
+    def test_non_strict_budget_returns_partial(self, ct_workload):
+        data, consequent = ct_workload
+        miner = Farmer(
+            constraints=Constraints(minsup=4),
+            budget=SearchBudget(max_nodes=200, strict=False),
+        )
+        result = miner.mine(data, consequent)
+        assert result.truncated
+        full = mine_irgs(data, consequent, minsup=4)
+        assert len(result.groups) <= len(full.groups)
+        # Partial groups are still genuine rule groups.
+        full_uppers = full.upper_antecedents()
+        for group in result.groups:
+            assert group.upper in full_uppers or group.antecedent_support > 0

@@ -1,0 +1,109 @@
+"""Unit tests for dataset and matrix persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ItemizedDataset
+from repro.data.io import (
+    load_expression,
+    load_itemized,
+    save_expression,
+    save_itemized,
+)
+from repro.data.matrix import GeneExpressionMatrix
+from repro.errors import DataError
+
+
+class TestItemizedRoundTrip:
+    def test_round_trip(self, tmp_path):
+        data = ItemizedDataset.from_lists(
+            [[0, 2], [1], []],
+            ["C", "D", "C"],
+            n_items=3,
+            item_names=["alpha", "beta", "gamma"],
+            name="rt",
+        )
+        path = tmp_path / "data.items"
+        save_itemized(data, path)
+        loaded = load_itemized(path)
+        assert loaded.rows == data.rows
+        assert loaded.labels == ("C", "D", "C")
+        assert loaded.n_items == 3
+        assert loaded.item_names == ("alpha", "beta", "gamma")
+        assert loaded.name == "rt"
+
+    def test_round_trip_without_names(self, tmp_path):
+        data = ItemizedDataset.from_lists([[0]], ["x"], n_items=1)
+        path = tmp_path / "plain.items"
+        save_itemized(data, path)
+        assert load_itemized(path).item_names is None
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.items"
+        path.write_text("not a dataset\n")
+        with pytest.raises(DataError):
+            load_itemized(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "nohdr.items"
+        path.write_text("# repro-itemized v1\nC\t0 1\n")
+        with pytest.raises(DataError, match="n_items"):
+            load_itemized(path)
+
+    def test_bad_item_id(self, tmp_path):
+        path = tmp_path / "badid.items"
+        path.write_text("# repro-itemized v1\n# n_items 3\nC\t0 zebra\n")
+        with pytest.raises(DataError, match="badid.items:3"):
+            load_itemized(path)
+
+    def test_missing_tab(self, tmp_path):
+        path = tmp_path / "notab.items"
+        path.write_text("# repro-itemized v1\n# n_items 3\njust-a-label\n")
+        with pytest.raises(DataError, match="tab"):
+            load_itemized(path)
+
+
+class TestExpressionRoundTrip:
+    def test_round_trip(self, tmp_path):
+        matrix = GeneExpressionMatrix.from_arrays(
+            [[1.5, -2.25], [0.0, 3.125]],
+            ["t", "n"],
+            gene_names=["gA", "gB"],
+            name="expr",
+        )
+        path = tmp_path / "expr.tsv"
+        save_expression(matrix, path)
+        loaded = load_expression(path)
+        assert np.array_equal(loaded.values, matrix.values)
+        assert loaded.labels == ("t", "n")
+        assert loaded.gene_names == ("gA", "gB")
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        matrix = GeneExpressionMatrix.from_arrays([[1.0]], ["a"])
+        path = tmp_path / "mystem.tsv"
+        save_expression(matrix, path)
+        assert load_expression(path).name == "mystem"
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("nope\t1\n")
+        with pytest.raises(DataError, match="header"):
+            load_expression(path)
+
+    def test_field_count_mismatch(self, tmp_path):
+        path = tmp_path / "short.tsv"
+        path.write_text("label\tg0\tg1\na\t1.0\n")
+        with pytest.raises(DataError, match="expected 3 fields"):
+            load_expression(path)
+
+    def test_bad_value(self, tmp_path):
+        path = tmp_path / "badval.tsv"
+        path.write_text("label\tg0\na\tnot-a-number\n")
+        with pytest.raises(DataError, match="bad value"):
+            load_expression(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_expression(path)

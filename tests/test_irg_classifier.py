@@ -1,0 +1,110 @@
+"""Unit tests for the IRG classifier (Section 4.2)."""
+
+import pytest
+
+from repro.classify.irg import IRGClassifier
+from repro.data.dataset import ItemizedDataset
+from repro.data.discretize import EntropyMDLDiscretizer
+from repro.data.synthetic import BlockSpec, make_microarray
+
+
+def block_matrix(seed=0, n=40):
+    """Two clean blocks, one per class: an easy, learnable task."""
+    blocks = [
+        BlockSpec(size=4, target_class=0, shift=5.0, penetrance=0.95, leakage=0.0),
+        BlockSpec(size=4, target_class=1, shift=5.0, penetrance=0.95, leakage=0.0),
+    ]
+    return make_microarray(
+        n_samples=n,
+        n_genes=20,
+        n_class1=n // 2,
+        blocks=blocks,
+        n_subtypes=0,
+        seed=seed,
+    )
+
+
+def itemized(seed=0, n=40):
+    matrix = block_matrix(seed, n)
+    return EntropyMDLDiscretizer().fit_transform(matrix)
+
+
+class TestFit:
+    def test_learns_block_signal(self):
+        data = itemized()
+        classifier = IRGClassifier().fit(data)
+        assert classifier.accuracy(data) >= 0.85
+
+    def test_rules_present_for_both_classes(self):
+        # Without coverage pruning (whose error cut may drop one class's
+        # rules when the default already handles it), both classes mine.
+        classifier = IRGClassifier(coverage_pruning=False).fit(itemized())
+        consequents = {group.consequent for group in classifier.rules}
+        assert consequents == {"class1", "class0"}
+
+    def test_rules_sorted_by_confidence(self):
+        classifier = IRGClassifier(coverage_pruning=False).fit(itemized())
+        confidences = [group.confidence for group in classifier.rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_coverage_pruning_reduces_rules(self):
+        data = itemized()
+        pruned = IRGClassifier(coverage_pruning=True).fit(data)
+        unpruned = IRGClassifier(coverage_pruning=False).fit(data)
+        assert len(pruned.rules) <= len(unpruned.rules)
+
+    def test_default_class_set(self):
+        classifier = IRGClassifier().fit(itemized())
+        assert classifier.default_class in ("class1", "class0")
+
+    def test_deterministic(self):
+        data = itemized()
+        first = IRGClassifier().fit(data)
+        second = IRGClassifier().fit(data)
+        assert first.predict(data) == second.predict(data)
+
+
+class TestPredict:
+    def test_unmatched_row_gets_default(self):
+        classifier = IRGClassifier().fit(itemized())
+        # An empty row matches no rule group (lower bounds are non-empty).
+        assert classifier.predict_row(frozenset()) == classifier.default_class
+
+    def test_generalizes_to_fresh_samples(self):
+        train_matrix = block_matrix(seed=1, n=60)
+        test_matrix = block_matrix(seed=2, n=30)
+        discretizer = EntropyMDLDiscretizer().fit(train_matrix)
+        classifier = IRGClassifier().fit(discretizer.transform(train_matrix))
+        accuracy = classifier.accuracy(discretizer.transform(test_matrix))
+        assert accuracy >= 0.8
+
+    def test_lower_bound_matching(self):
+        """A sample containing only a group's lower bound must match."""
+        data = ItemizedDataset.from_lists(
+            [[0, 1, 2], [0, 1, 2], [0, 1, 2], [3], [3], [3]],
+            ["a", "a", "a", "b", "b", "b"],
+            n_items=4,
+        )
+        classifier = IRGClassifier(minsup_fraction=0.5, minconf=0.8).fit(data)
+        # Upper bound for class a is {0,1,2}; lower bounds are singletons.
+        assert classifier.predict_row(frozenset({0})) == "a"
+        assert classifier.predict_row(frozenset({3})) == "b"
+
+
+class TestBudget:
+    def test_truncated_mining_still_fits(self):
+        from repro.core.enumeration import SearchBudget
+
+        data = itemized()
+        classifier = IRGClassifier(
+            budget=SearchBudget(max_nodes=50, strict=False)
+        ).fit(data)
+        # Few (possibly zero) rules, but fit must complete and predict.
+        assert classifier.predict_row(frozenset()) is not None
+
+    def test_empty_ruleset_falls_back_to_majority(self):
+        data = ItemizedDataset.from_lists(
+            [[0], [1], [2]], ["a", "a", "b"], n_items=3
+        )
+        classifier = IRGClassifier(minsup_fraction=1.0, minconf=1.0).fit(data)
+        assert classifier.predict_row(frozenset({2})) in ("a", "b")

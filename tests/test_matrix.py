@@ -1,0 +1,98 @@
+"""Unit tests for GeneExpressionMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.data.matrix import GeneExpressionMatrix
+from repro.errors import DataError
+
+
+def sample_matrix():
+    return GeneExpressionMatrix.from_arrays(
+        [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]],
+        ["t", "n"],
+        gene_names=["g0", "g1", "g2"],
+        name="m",
+    )
+
+
+class TestValidation:
+    def test_shape_and_counts(self):
+        matrix = sample_matrix()
+        assert matrix.n_samples == 2
+        assert matrix.n_genes == 3
+
+    def test_label_mismatch(self):
+        with pytest.raises(DataError):
+            GeneExpressionMatrix.from_arrays([[1.0]], ["a", "b"])
+
+    def test_gene_name_mismatch(self):
+        with pytest.raises(DataError):
+            GeneExpressionMatrix.from_arrays(
+                [[1.0, 2.0]], ["a"], gene_names=["only"]
+            )
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataError):
+            GeneExpressionMatrix.from_arrays([[float("nan")]], ["a"])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DataError):
+            GeneExpressionMatrix(
+                values=np.zeros(3), labels=("a",), gene_names=("g",)
+            )
+
+    def test_default_gene_names(self):
+        matrix = GeneExpressionMatrix.from_arrays([[1.0, 2.0]], ["a"])
+        assert matrix.gene_names == ("g0", "g1")
+
+
+class TestQueries:
+    def test_class_labels(self):
+        assert sample_matrix().class_labels == ("t", "n")
+
+    def test_class_count(self):
+        assert sample_matrix().class_count("t") == 1
+        assert sample_matrix().class_count("zzz") == 0
+
+    def test_summary(self):
+        summary = sample_matrix().summary()
+        assert summary["n_samples"] == 2
+        assert summary["class_counts"] == {"t": 1, "n": 1}
+
+
+class TestTransforms:
+    def test_select_samples(self):
+        sub = sample_matrix().select_samples([1])
+        assert sub.n_samples == 1
+        assert sub.labels == ("n",)
+        assert sub.values[0, 0] == 4.0
+
+    def test_select_samples_out_of_range(self):
+        with pytest.raises(DataError):
+            sample_matrix().select_samples([5])
+
+    def test_select_genes(self):
+        sub = sample_matrix().select_genes([2, 0])
+        assert sub.gene_names == ("g2", "g0")
+        assert sub.values[0].tolist() == [3.0, 1.0]
+
+    def test_select_genes_out_of_range(self):
+        with pytest.raises(DataError):
+            sample_matrix().select_genes([7])
+
+    def test_standardized_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        matrix = GeneExpressionMatrix.from_arrays(
+            rng.normal(3.0, 2.0, size=(50, 4)), ["a"] * 50
+        )
+        z = matrix.standardized()
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standardized_constant_gene(self):
+        matrix = GeneExpressionMatrix.from_arrays(
+            [[5.0], [5.0]], ["a", "b"]
+        )
+        z = matrix.standardized()
+        assert np.allclose(z, 0.0)

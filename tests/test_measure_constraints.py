@@ -1,0 +1,108 @@
+"""Tests for footnote-3 measure constraints (extension)."""
+
+import pytest
+
+from conftest import random_dataset
+
+from repro import mine_irgs
+from repro.core import measures
+from repro.errors import ConstraintError
+from repro.extensions import (
+    constraints_for_measures,
+    filter_groups,
+    mine_irgs_with_measures,
+)
+
+
+class TestConstraintTranslation:
+    def test_lift_reduces_to_confidence(self):
+        # m/n = 0.4; lift >= 2 means conf >= 0.8.
+        constraints = constraints_for_measures(10, 4, min_lift=2.0)
+        assert constraints.minconf == pytest.approx(0.8)
+
+    def test_conviction_reduces_to_confidence(self):
+        # m/n = 0.5; conviction >= 2 means conf >= 0.75.
+        constraints = constraints_for_measures(10, 5, min_conviction=2.0)
+        assert constraints.minconf == pytest.approx(0.75)
+
+    def test_correlation_reduces_to_chi(self):
+        constraints = constraints_for_measures(20, 8, min_correlation=0.5)
+        assert constraints.minchi == pytest.approx(5.0)  # 0.25 * 20
+
+    def test_strictest_confidence_wins(self):
+        constraints = constraints_for_measures(
+            10, 4, minconf=0.9, min_lift=2.0
+        )
+        assert constraints.minconf == pytest.approx(0.9)
+
+    def test_confidence_capped_at_one(self):
+        constraints = constraints_for_measures(10, 9, min_lift=5.0)
+        assert constraints.minconf == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConstraintError):
+            constraints_for_measures(10, 0, min_lift=1.0)
+        with pytest.raises(ConstraintError):
+            constraints_for_measures(10, 4, min_lift=-1.0)
+        with pytest.raises(ConstraintError):
+            constraints_for_measures(10, 4, min_conviction=0.0)
+        with pytest.raises(ConstraintError):
+            constraints_for_measures(10, 4, min_correlation=1.5)
+
+
+class TestMiningWithMeasures:
+    def test_lift_threshold_holds(self, paper_dataset):
+        result = mine_irgs_with_measures(
+            paper_dataset, "C", minsup=1, min_lift=1.5
+        )
+        for group in result.groups:
+            assert group.upper_rule.measure("lift") >= 1.5 - 1e-9
+
+    def test_equivalent_to_plain_confidence_mining(self, paper_dataset):
+        # lift >= 5/3 on this dataset (m/n = 3/5) == conf >= 1.0.
+        via_measures = mine_irgs_with_measures(
+            paper_dataset, "C", minsup=1, min_lift=5 / 3
+        )
+        via_confidence = mine_irgs(paper_dataset, "C", minsup=1, minconf=1.0)
+        assert (
+            via_measures.upper_antecedents()
+            == via_confidence.upper_antecedents()
+        )
+
+    def test_correlation_sign_post_check(self):
+        for seed in range(10):
+            data = random_dataset(seed + 2000)
+            result = mine_irgs_with_measures(
+                data, "C", minsup=1, min_correlation=0.3
+            )
+            for group in result.groups:
+                phi = measures.correlation(
+                    group.antecedent_support, group.support, group.n, group.m
+                )
+                assert phi >= 0.3 - 1e-9
+
+    def test_conviction_threshold_holds(self, paper_dataset):
+        result = mine_irgs_with_measures(
+            paper_dataset, "C", minsup=1, min_conviction=2.0
+        )
+        for group in result.groups:
+            assert group.upper_rule.measure("conviction") >= 2.0 - 1e-9
+
+
+class TestPostFilters:
+    def test_entropy_gain_filter(self, paper_dataset):
+        groups = mine_irgs(paper_dataset, "C", minsup=1).groups
+        kept = filter_groups(groups, min_entropy_gain=0.2)
+        assert len(kept) <= len(groups)
+        for group in kept:
+            assert group.upper_rule.measure("entropy_gain") >= 0.2
+
+    def test_gini_filter(self, paper_dataset):
+        groups = mine_irgs(paper_dataset, "C", minsup=1).groups
+        kept = filter_groups(groups, min_gini_gain=0.1)
+        for group in kept:
+            assert group.upper_rule.measure("gini_gain") >= 0.1
+
+    def test_no_thresholds_keeps_all(self, paper_dataset):
+        groups = mine_irgs(paper_dataset, "C", minsup=1).groups
+        assert filter_groups(groups) == groups

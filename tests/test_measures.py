@@ -1,0 +1,151 @@
+"""Unit tests for interestingness measures, incl. the Lemma 3.9 bound."""
+
+import math
+
+import pytest
+
+from repro.core import measures
+
+
+class TestConfidence:
+    def test_basic(self):
+        assert measures.confidence(4, 3) == pytest.approx(0.75)
+
+    def test_empty_antecedent_support(self):
+        assert measures.confidence(0, 0) == 0.0
+
+    def test_perfect(self):
+        assert measures.confidence(5, 5) == 1.0
+
+
+class TestChiSquare:
+    def test_matches_textbook_formula(self):
+        # x=|R(A)|=10, y=|R(A∪C)|=8, n=30, m=12: compute cells directly.
+        x, y, n, m = 10, 8, 30, 12
+        cells = [
+            (y, x * m / n),
+            (x - y, x * (n - m) / n),
+            (m - y, (n - x) * m / n),
+            (n - m - x + y, (n - x) * (n - m) / n),
+        ]
+        expected = sum((o - e) ** 2 / e for o, e in cells)
+        assert measures.chi_square(x, y, n, m) == pytest.approx(expected)
+
+    def test_degenerate_cases_are_zero(self):
+        assert measures.chi_square(0, 0, 10, 5) == 0.0
+        assert measures.chi_square(10, 5, 10, 5) == 0.0  # x == n
+        assert measures.chi_square(4, 0, 10, 0) == 0.0  # m == 0
+        assert measures.chi_square(4, 4, 10, 10) == 0.0  # m == n
+
+    def test_chi_at_full_table_is_zero(self):
+        # chi(n, m) = 0, the anchor of the Lemma 3.9 proof.
+        assert measures.chi_square(20, 8, 20, 8) == 0.0
+
+    def test_independent_is_zero(self):
+        # Perfectly proportional table: no association.
+        assert measures.chi_square(10, 5, 20, 10) == pytest.approx(0.0)
+
+    def test_positive_association(self):
+        assert measures.chi_square(5, 5, 10, 5) == pytest.approx(10.0)
+
+
+class TestChiSquareUpperBound:
+    def test_dominates_all_reachable_points(self):
+        # Enumerate the whole parallelogram of Lemma 3.9 and check the
+        # bound dominates chi at every feasible (x', y').
+        n, m = 12, 5
+        for x in range(1, n + 1):
+            for y in range(0, min(x, m) + 1):
+                if x - y > n - m:
+                    continue
+                bound = measures.chi_square_upper_bound(x, y, n, m)
+                for x2 in range(x, n + 1):
+                    for y2 in range(y, min(x2, m) + 1):
+                        if not (x - y <= x2 - y2 <= n - m):
+                            continue
+                        assert (
+                            measures.chi_square(x2, y2, n, m) <= bound + 1e-9
+                        ), (x, y, x2, y2)
+
+    def test_bound_at_least_current(self):
+        assert measures.chi_square_upper_bound(
+            6, 4, 20, 9
+        ) >= measures.chi_square(6, 4, 20, 9)
+
+
+class TestLift:
+    def test_above_one_for_enriched(self):
+        assert measures.lift(5, 5, 20, 10) == pytest.approx(2.0)
+
+    def test_zero_for_empty(self):
+        assert measures.lift(0, 0, 20, 10) == 0.0
+        assert measures.lift(5, 0, 20, 0) == 0.0
+
+
+class TestConviction:
+    def test_infinite_for_exact_rule(self):
+        assert measures.conviction(4, 4, 20, 10) == math.inf
+
+    def test_value(self):
+        # conf = 0.5, base negative rate = 0.5 -> conviction 1.0.
+        assert measures.conviction(4, 2, 20, 10) == pytest.approx(1.0)
+
+    def test_zero_for_empty(self):
+        assert measures.conviction(0, 0, 20, 10) == 0.0
+
+
+class TestEntropyGain:
+    def test_perfect_split_recovers_class_entropy(self):
+        # Antecedent exactly identifies the positive class.
+        gain = measures.entropy_gain(10, 10, 20, 10)
+        assert gain == pytest.approx(1.0)
+
+    def test_useless_split_is_zero(self):
+        assert measures.entropy_gain(10, 5, 20, 10) == pytest.approx(0.0)
+
+    def test_empty_dataset(self):
+        assert measures.entropy_gain(0, 0, 0, 0) == 0.0
+
+
+class TestGiniGain:
+    def test_perfect_split(self):
+        assert measures.gini_gain(10, 10, 20, 10) == pytest.approx(0.5)
+
+    def test_useless_split_is_zero(self):
+        assert measures.gini_gain(10, 5, 20, 10) == pytest.approx(0.0)
+
+
+class TestCorrelation:
+    def test_sign_and_chi_relation(self):
+        x, y, n, m = 6, 5, 20, 8
+        phi = measures.correlation(x, y, n, m)
+        assert phi > 0
+        assert phi**2 * n == pytest.approx(measures.chi_square(x, y, n, m))
+
+    def test_negative_association(self):
+        assert measures.correlation(6, 0, 20, 8) < 0
+
+    def test_degenerate(self):
+        assert measures.correlation(0, 0, 20, 8) == 0.0
+
+
+class TestTwoByTwo:
+    def test_cells(self):
+        table = measures.TwoByTwo(x=10, y=8, n=30, m=12)
+        assert table.cells == (8, 2, 4, 16)
+        assert sum(table.cells) == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measures.TwoByTwo(x=5, y=6, n=30, m=12)  # y > x
+        with pytest.raises(ValueError):
+            measures.TwoByTwo(x=5, y=2, n=30, m=40)  # m > n
+        with pytest.raises(ValueError):
+            measures.TwoByTwo(x=10, y=1, n=12, m=10)  # x-y > n-m
+
+
+class TestRegistry:
+    def test_all_measures_callable(self):
+        for name, function in measures.MEASURES.items():
+            value = function(6, 4, 20, 9)
+            assert isinstance(value, float), name

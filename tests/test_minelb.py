@@ -1,0 +1,156 @@
+"""Unit tests for MineLB (Figure 9, Lemmas 3.10-3.11)."""
+
+from itertools import combinations
+
+import pytest
+
+from conftest import itemset_to_letters, letter_items, random_dataset
+
+from repro import mine_irgs
+from repro.core.minelb import (
+    attach_lower_bounds,
+    lower_bounds_for_group,
+    mine_lower_bounds,
+)
+
+
+def naive(upper, outside):
+    """Smallest-first subset search; singleton floor (see MineLB docs)."""
+    projected = [frozenset(o) & upper for o in outside if frozenset(o) & upper != upper]
+    items = sorted(upper)
+    minimal = []
+    for size in range(1, len(items) + 1):
+        for subset in combinations(items, size):
+            candidate = frozenset(subset)
+            if any(candidate <= row for row in projected):
+                continue
+            if any(bound <= candidate for bound in minimal):
+                continue
+            minimal.append(candidate)
+    return set(minimal)
+
+
+class TestPaperExample7:
+    def test_worked_example(self):
+        upper = frozenset(letter_items("abcde"))
+        outside = [
+            frozenset(letter_items("abcf")),
+            frozenset(letter_items("cdeg")),
+        ]
+        bounds = mine_lower_bounds(upper, outside)
+        assert {itemset_to_letters(b) for b in bounds} == {"ad", "ae", "bd", "be"}
+
+    def test_intermediate_step(self):
+        # After adding only abc, the bounds are {d, e} (paper's step 2).
+        upper = frozenset(letter_items("abcde"))
+        bounds = mine_lower_bounds(upper, [frozenset(letter_items("abcf"))])
+        assert {itemset_to_letters(b) for b in bounds} == {"d", "e"}
+
+
+class TestConventions:
+    def test_no_outside_rows_gives_singletons(self):
+        bounds = mine_lower_bounds(frozenset({1, 2}), [])
+        assert set(bounds) == {frozenset({1}), frozenset({2})}
+
+    def test_empty_upper(self):
+        assert mine_lower_bounds(frozenset(), []) == (frozenset(),)
+
+    def test_outside_equal_to_upper_tolerated(self):
+        # A row supporting all of A is an inside row; passing it anyway
+        # must not corrupt the result.
+        bounds = mine_lower_bounds(
+            frozenset({1, 2}), [frozenset({1, 2}), frozenset({1})]
+        )
+        assert set(bounds) == {frozenset({2})}
+
+    def test_deterministic_order(self):
+        upper = frozenset("abcde")
+        outside = [frozenset("abcf"), frozenset("cdeg")]
+        first = mine_lower_bounds(upper, outside)
+        second = mine_lower_bounds(upper, list(reversed(outside)))
+        assert first == second
+
+
+class TestAgainstNaive:
+    def test_randomized(self):
+        import random
+
+        rng = random.Random(11)
+        for _ in range(80):
+            size = rng.randint(1, 7)
+            upper = frozenset(range(size))
+            outside = [
+                frozenset(i for i in range(size) if rng.random() < 0.5)
+                for _ in range(rng.randint(0, 6))
+            ]
+            outside = [o for o in outside if o != upper]
+            got = set(mine_lower_bounds(upper, outside))
+            if outside:
+                want = naive(upper, outside)
+            else:
+                # Non-empty-antecedent floor: singletons (see MineLB docs).
+                want = {frozenset({i}) for i in upper}
+            assert got == want, (upper, outside)
+
+
+class TestGroupIntegration:
+    def test_bounds_generate_same_rows(self, paper_dataset):
+        """Every lower bound must support exactly the group's rows."""
+        from repro.core.closure import rows_of
+
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        for group in result.groups:
+            bounds = lower_bounds_for_group(paper_dataset, group)
+            assert bounds
+            for bound in bounds:
+                assert rows_of(paper_dataset, bound) == group.rows, (
+                    sorted(group.upper),
+                    sorted(bound),
+                )
+
+    def test_bounds_are_minimal(self, paper_dataset):
+        from repro.core.closure import rows_of
+
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        for group in result.groups:
+            for bound in lower_bounds_for_group(paper_dataset, group):
+                for item in bound:
+                    smaller = bound - {item}
+                    if not smaller:
+                        continue
+                    assert rows_of(paper_dataset, smaller) != group.rows
+
+    def test_attach_lower_bounds(self, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=1)
+        group = attach_lower_bounds(paper_dataset, result.groups[0])
+        assert group.lower_bounds is not None
+        assert group.upper == result.groups[0].upper
+
+    def test_randomized_minimality_and_generation(self):
+        from repro.core.closure import rows_of
+
+        for seed in range(25):
+            data = random_dataset(seed + 900)
+            result = mine_irgs(data, "C", minsup=1)
+            for group in result.groups[:10]:
+                bounds = lower_bounds_for_group(data, group)
+                for bound in bounds:
+                    assert rows_of(data, bound) == group.rows
+                # No bound contains another.
+                for left in bounds:
+                    for right in bounds:
+                        if left is not right:
+                            assert not left < right
+
+
+class TestMemberRoundTrip:
+    def test_members_have_group_rows(self, paper_dataset):
+        """Lemma 2.2 round trip: every member generates the same rows."""
+        from repro.core.closure import rows_of
+
+        result = mine_irgs(
+            paper_dataset, "C", minsup=1, compute_lower_bounds=True
+        )
+        for group in result.groups:
+            for member in group.iter_members(limit=50):
+                assert rows_of(paper_dataset, member) == group.rows

@@ -1,0 +1,111 @@
+"""White-box tests of the baseline miners' internal machinery."""
+
+import pytest
+
+from repro.baselines.closet import _FPNode, _FPTree
+from repro.core import bitset
+from repro.data.dataset import ItemizedDataset
+
+
+class TestFPTree:
+    def test_shared_prefix_single_branch(self):
+        tree = _FPTree()
+        tree.insert([1, 2, 3], 1)
+        tree.insert([1, 2], 1)
+        assert len(tree.root.children) == 1
+        node = tree.root.children[1]
+        assert node.count == 2
+        assert node.children[2].count == 2
+
+    def test_header_links(self):
+        tree = _FPTree()
+        tree.insert([1, 2], 1)
+        tree.insert([3, 2], 1)
+        assert len(tree.header[2]) == 2
+        assert tree.item_supports() == {1: 1, 2: 2, 3: 1}
+
+    def test_single_path_detection(self):
+        tree = _FPTree()
+        tree.insert([1, 2, 3], 2)
+        assert tree.is_single_path()
+        assert tree.single_path() == [(1, 2), (2, 2), (3, 2)]
+        tree.insert([1, 4], 1)
+        assert not tree.is_single_path()
+
+    def test_empty_tree_is_single_path(self):
+        tree = _FPTree()
+        assert tree.is_single_path()
+        assert tree.single_path() == []
+
+    def test_counts_accumulate(self):
+        tree = _FPTree()
+        tree.insert([5], 3)
+        tree.insert([5], 4)
+        assert tree.root.children[5].count == 7
+
+    def test_node_slots(self):
+        node = _FPNode(item=1, parent=None)
+        with pytest.raises(AttributeError):
+            node.unexpected = 1  # __slots__ keeps nodes lean
+
+
+class TestCharmOrdering:
+    def test_results_independent_of_item_relabelling(self):
+        from repro.baselines.charm import mine_closed_charm
+
+        rows = [[0, 1, 2], [1, 2], [0, 3], [2, 3]]
+        data = ItemizedDataset.from_lists(
+            rows, ["a", "a", "b", "b"], n_items=4
+        )
+        permutation = {0: 2, 1: 3, 2: 0, 3: 1}
+        renamed = ItemizedDataset.from_lists(
+            [[permutation[i] for i in row] for row in rows],
+            ["a", "a", "b", "b"],
+            n_items=4,
+        )
+        original = {c.items for c in mine_closed_charm(data, minsup=1)}
+        mapped = {
+            frozenset(permutation[i] for i in items) for items in original
+        }
+        renamed_result = {
+            c.items for c in mine_closed_charm(renamed, minsup=1)
+        }
+        assert mapped == renamed_result
+
+    def test_row_masks_consistent(self, paper_dataset):
+        from repro.baselines.charm import mine_closed_charm
+
+        for closed in mine_closed_charm(paper_dataset, minsup=2):
+            rows = bitset.to_indices(closed.row_mask)
+            for row_index in rows:
+                assert closed.items <= paper_dataset.rows[row_index]
+            assert len(rows) == closed.support
+
+
+class TestCarpenterParity:
+    def test_matches_farmer_machinery_on_class_blind_view(self, paper_dataset):
+        """CARPENTER's closed sets == the union of upper bounds reachable
+        from both consequents at minsup counting all rows."""
+        from repro.baselines.carpenter import mine_closed_carpenter
+        from repro.core.closure import close_itemset
+
+        for closed in mine_closed_carpenter(paper_dataset, minsup=1):
+            assert close_itemset(paper_dataset, closed.items) == closed.items
+
+
+class TestColumnEInternals:
+    def test_closure_function(self, paper_dataset):
+        from conftest import letter_items
+
+        from repro.baselines.columne import ColumnE
+        from repro.core.constraints import Constraints
+        from repro.data.transpose import TransposedTable
+
+        miner = ColumnE(constraints=Constraints(minsup=1))
+        table = TransposedTable.build(paper_dataset, "C")
+        miner._table = table
+        miner._item_tids = table.item_masks
+        miner._n_items = len(table.item_masks)
+        tids = table.rows_of_itemset(letter_items("eh"))
+        closure = miner._closure(tids)
+        assert closure == frozenset(letter_items("aeh"))

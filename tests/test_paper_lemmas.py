@@ -1,0 +1,251 @@
+"""The paper's lemmas, tested as stated.
+
+Each test verifies one numbered claim from the paper directly against
+randomized datasets (and the running example), independently of the
+miner implementations — so a future refactor cannot silently weaken the
+theory the prunings rest on.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from conftest import letter_items, random_dataset
+
+from repro.core import closure
+from repro.core.measures import chi_square
+from repro.data.dataset import ItemizedDataset
+
+
+def rule_groups_by_support_set(data, consequent):
+    """All rule groups, keyed by antecedent support set (brute force)."""
+    groups = {}
+    for size in range(1, data.n_rows + 1):
+        for subset in combinations(range(data.n_rows), size):
+            upper = closure.items_of(data, subset)
+            if not upper:
+                continue
+            support_set = closure.rows_of(data, upper)
+            groups.setdefault(support_set, upper)
+    return groups
+
+
+class TestLemma21UniqueUpperBound:
+    """Lemma 2.1: a rule group has a unique upper bound."""
+
+    def test_all_antecedents_with_same_rows_share_one_maximal(self):
+        for seed in range(10):
+            data = random_dataset(seed + 7000, max_rows=6, max_items=6)
+            # For every itemset, its closure is the unique maximal
+            # antecedent among itemsets with the same support set.
+            by_rows = {}
+            for size in range(1, data.n_items + 1):
+                for itemset in combinations(range(data.n_items), size):
+                    rows = closure.rows_of(data, itemset)
+                    if not rows:
+                        continue
+                    by_rows.setdefault(rows, []).append(frozenset(itemset))
+            for rows, antecedents in by_rows.items():
+                maximal = [
+                    a
+                    for a in antecedents
+                    if not any(a < other for other in antecedents)
+                ]
+                assert len(maximal) == 1, rows
+                assert maximal[0] == closure.items_of(data, rows)
+
+
+class TestLemma22Membership:
+    """Lemma 2.2: anything between a lower and the upper bound is a
+    member (same support set)."""
+
+    def test_between_bounds_means_same_rows(self, paper_dataset):
+        upper = frozenset(letter_items("aeh"))
+        lower = frozenset(letter_items("e"))
+        target_rows = closure.rows_of(paper_dataset, upper)
+        assert closure.rows_of(paper_dataset, lower) == target_rows
+        for size in range(len(lower), len(upper) + 1):
+            for middle in combinations(sorted(upper), size):
+                candidate = frozenset(middle)
+                if lower <= candidate <= upper:
+                    assert (
+                        closure.rows_of(paper_dataset, candidate)
+                        == target_rows
+                    )
+
+
+class TestLemma31NodeLabelIsUpperBound:
+    """Lemma 3.1: I(X) is the upper bound of the group with support set
+    R(I(X))."""
+
+    def test_on_random_row_subsets(self):
+        for seed in range(10):
+            data = random_dataset(seed + 7100, max_rows=7, max_items=7)
+            for size in range(1, data.n_rows + 1):
+                for subset in combinations(range(data.n_rows), size):
+                    items = closure.items_of(data, subset)
+                    if not items:
+                        continue
+                    # I(X) is closed: no superset has the same rows.
+                    assert closure.close_itemset(data, items) == items
+
+
+class TestLemma32Completeness:
+    """Lemma 3.2: row enumeration reaches every rule group."""
+
+    def test_every_itemsets_group_is_reachable(self):
+        for seed in range(8):
+            data = random_dataset(seed + 7200, max_rows=6, max_items=6)
+            reachable = rule_groups_by_support_set(data, "C")
+            for size in range(1, data.n_items + 1):
+                for itemset in combinations(range(data.n_items), size):
+                    rows = closure.rows_of(data, itemset)
+                    if rows:
+                        assert rows in reachable, itemset
+
+
+class TestLemma33ConditionalTables:
+    """Lemma 3.3: TT|X restricted to r equals TT|X∪{r}."""
+
+    def test_filtering_commutes(self, paper_dataset):
+        from repro.core.enumeration import extend_items
+        from repro.data.transpose import TransposedTable
+
+        table = TransposedTable.build(paper_dataset, "C")
+        ids = list(range(len(table.item_masks)))
+        masks = list(table.item_masks)
+        # Build TT|{0,1} two ways: 0 then 1, and 1 then 0.
+        a_ids, a_masks = extend_items(*extend_items(ids, masks, 1 << 0), 1 << 1)
+        b_ids, b_masks = extend_items(*extend_items(ids, masks, 1 << 1), 1 << 0)
+        assert a_ids == b_ids and a_masks == b_masks
+        # And it equals the direct definition: items containing both rows.
+        expected = [
+            item
+            for item in ids
+            if {0, 1} <= set(
+                position
+                for position in range(table.n)
+                if table.item_masks[item] >> position & 1
+            )
+        ]
+        assert a_ids == expected
+
+
+class TestLemma35Pruning1:
+    """Lemma 3.5: a candidate in every tuple never changes I(X ∪ R')."""
+
+    def test_on_paper_example(self, paper_dataset):
+        # Row 4 (index 3) occurs in every tuple of TT|{2,3} (Example 4).
+        base = {1, 2}
+        always_present = 3
+        for extra_size in range(0, 2):
+            for extra in combinations({0, 4}, extra_size):
+                with_it = closure.items_of(
+                    paper_dataset, base | {always_present} | set(extra)
+                )
+                without_it = closure.items_of(
+                    paper_dataset, base | set(extra)
+                )
+                assert with_it == without_it
+
+    def test_randomized(self):
+        for seed in range(10):
+            data = random_dataset(seed + 7300, max_rows=6, max_items=6)
+            for base_size in range(1, data.n_rows):
+                for base in combinations(range(data.n_rows), base_size):
+                    items = closure.items_of(data, base)
+                    if not items:
+                        continue
+                    support = closure.rows_of(data, items)
+                    for row in support - set(base):
+                        assert closure.items_of(
+                            data, set(base) | {row}
+                        ) == items
+
+
+class TestLemma39ChiConvexity:
+    """Lemma 3.9: chi is maximized at a vertex of the parallelogram."""
+
+    def test_vertex_dominance_exhaustive(self):
+        n, m = 10, 4
+        for x in range(1, n + 1):
+            for y in range(0, min(x, m) + 1):
+                if x - y > n - m:
+                    continue
+                vertex_max = max(
+                    chi_square(x - y + m, m, n, m),
+                    chi_square(y + n - m, y, n, m),
+                    chi_square(x, y, n, m),
+                    chi_square(n, m, n, m),
+                )
+                interior_max = 0.0
+                for x2 in range(x, n + 1):
+                    for y2 in range(y, min(x2, m) + 1):
+                        if x - y <= x2 - y2 <= n - m:
+                            interior_max = max(
+                                interior_max, chi_square(x2, y2, n, m)
+                            )
+                assert interior_max <= vertex_max + 1e-9
+
+    def test_chi_of_full_table_is_zero(self):
+        # chi(n, m) = 0, the discarded vertex.
+        for n in range(2, 12):
+            for m in range(1, n):
+                assert chi_square(n, m, n, m) == 0.0
+
+
+class TestLemma310LowerBoundShape:
+    """Lemma 3.10: new lower bounds extend an invalidated one by one item
+    outside the added closed set."""
+
+    def test_incremental_step(self):
+        from repro.core.minelb import mine_lower_bounds
+
+        upper = frozenset(range(5))
+        first = frozenset({0, 1, 2})
+        before = set(mine_lower_bounds(upper, [first]))
+        second = frozenset({2, 3, 4})
+        after = set(mine_lower_bounds(upper, [first, second]))
+        fresh = after - before
+        gamma_1 = {bound for bound in before if bound <= second}
+        for bound in fresh:
+            # Lemma 3.10: fresh bound = l1 ∪ {i}, l1 ∈ Γ1 (an old bound
+            # swallowed by the new closed set), i ∈ upper − second.
+            assert any(
+                item in (upper - second) and (bound - {item}) in gamma_1
+                for item in bound
+            ), sorted(bound)
+
+
+class TestLemma311MaximalOutsideSetsSuffice:
+    """Lemma 3.11: adding a subset of an already-added closed set never
+    changes the lower bounds."""
+
+    def test_subset_addition_is_noop(self):
+        from repro.core.minelb import mine_lower_bounds
+
+        upper = frozenset(range(6))
+        big = frozenset({0, 1, 2, 3})
+        small = frozenset({1, 2})  # subset of big
+        with_big = mine_lower_bounds(upper, [big])
+        with_both = mine_lower_bounds(upper, [big, small])
+        assert set(with_big) == set(with_both)
+
+    def test_randomized(self):
+        import random
+
+        rng = random.Random(99)
+        from repro.core.minelb import mine_lower_bounds
+
+        for _ in range(30):
+            size = rng.randint(2, 6)
+            upper = frozenset(range(size))
+            big = frozenset(
+                i for i in range(size) if rng.random() < 0.7
+            ) - {rng.randrange(size)}
+            if big == upper or not big:
+                continue
+            small = frozenset(i for i in big if rng.random() < 0.6)
+            reference = set(mine_lower_bounds(upper, [big]))
+            with_subset = set(mine_lower_bounds(upper, [big, small]))
+            assert reference == with_subset

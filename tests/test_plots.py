@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII figure renderer."""
+
+from repro.experiments.harness import Series, TimedRun
+from repro.experiments.plots import ascii_chart
+
+
+def make_series():
+    farmer = Series(
+        "FARMER",
+        [9, 8, 7],
+        [TimedRun(0.5, 10), TimedRun(1.0, 20), TimedRun(2.0, 40)],
+    )
+    charm = Series(
+        "CHARM",
+        [9, 8, 7],
+        [TimedRun(30.0, 1), TimedRun(31.0, 1), TimedRun(32.0, 1)],
+    )
+    return farmer, charm
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self):
+        farmer, charm = make_series()
+        text = ascii_chart("Figure 10 (X)", [farmer, charm])
+        assert "Figure 10 (X)" in text
+        assert "[F]FARMER" in text
+        assert "[C]CHARM" in text
+
+    def test_distinct_markers_for_colliding_names(self):
+        columne = Series("ColumnE", [1], [TimedRun(1.0, 1)])
+        charm = Series("CHARM", [1], [TimedRun(2.0, 1)])
+        text = ascii_chart("t", [columne, charm])
+        assert "[C]ColumnE" in text
+        assert "[H]CHARM" in text
+
+    def test_extremes_labelled(self):
+        farmer, charm = make_series()
+        text = ascii_chart("t", [farmer, charm])
+        assert "0.500s" in text  # min
+        assert "32.0s" in text  # max
+
+    def test_log_scale_note(self):
+        farmer, _ = make_series()
+        assert "log-scale" in ascii_chart("t", [farmer])
+        assert "log-scale" not in ascii_chart("t", [farmer], log_y=False)
+
+    def test_x_axis_values(self):
+        farmer, _ = make_series()
+        text = ascii_chart("t", [farmer])
+        last_axis_line = [l for l in text.splitlines() if "9" in l][-1]
+        assert "8" in last_axis_line and "7" in last_axis_line
+
+    def test_timeout_points_dropped(self):
+        broken = Series(
+            "Broken", [1, 2], [TimedRun(1.0, 5), TimedRun(60.0, 0, "timeout")]
+        )
+        text = ascii_chart("t", [broken])
+        assert text.count("B") >= 1  # only the ok point plotted
+
+    def test_no_points(self):
+        empty = Series("Empty", [1], [TimedRun(60.0, 0, "timeout")])
+        assert "no completed points" in ascii_chart("t", [empty])
+
+    def test_flat_series(self):
+        flat = Series("Flat", [1, 2], [TimedRun(1.0, 1), TimedRun(1.0, 1)])
+        text = ascii_chart("t", [flat])
+        assert "F" in text

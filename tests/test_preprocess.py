@@ -1,0 +1,133 @@
+"""Unit tests for the preprocessing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.matrix import GeneExpressionMatrix
+from repro.data.preprocess import (
+    LogTransform,
+    MissingValueImputer,
+    QuantileNormalizer,
+    fold_change_filter,
+    variance_filter,
+)
+from repro.errors import DataError
+
+
+def matrix(values, labels=None):
+    values = np.asarray(values, dtype=float)
+    labels = labels or ["x"] * values.shape[0]
+    return GeneExpressionMatrix.from_arrays(values, labels)
+
+
+class TestImputer:
+    def test_mean_imputation(self):
+        raw = np.array([[1.0, np.nan], [3.0, 4.0]])
+        filled = MissingValueImputer("mean").fit(raw).transform(raw)
+        assert filled[0, 1] == 4.0
+        assert filled[0, 0] == 1.0
+
+    def test_median_imputation(self):
+        raw = np.array([[1.0], [np.nan], [9.0], [2.0]])
+        filled = MissingValueImputer("median").fit(raw).transform(raw)
+        assert filled[1, 0] == 2.0
+
+    def test_all_missing_gene_fills_zero(self):
+        raw = np.array([[np.nan], [np.nan]])
+        filled = MissingValueImputer().fit(raw).transform(raw)
+        assert (filled == 0.0).all()
+
+    def test_train_statistics_applied_to_test(self):
+        train = np.array([[10.0], [20.0]])
+        imputer = MissingValueImputer().fit(train)
+        test = np.array([[np.nan]])
+        assert imputer.transform(test)[0, 0] == 15.0
+
+    def test_to_matrix(self):
+        raw = np.array([[1.0, np.nan]])
+        result = MissingValueImputer().fit(raw).to_matrix(raw, ["a"])
+        assert isinstance(result, GeneExpressionMatrix)
+        assert np.isfinite(result.values).all()
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            MissingValueImputer("mode")
+        with pytest.raises(DataError):
+            MissingValueImputer().transform(np.zeros((1, 1)))
+        imputer = MissingValueImputer().fit(np.zeros((2, 3)))
+        with pytest.raises(DataError):
+            imputer.transform(np.zeros((2, 5)))
+
+
+class TestQuantileNormalizer:
+    def test_samples_share_distribution(self):
+        data = matrix([[1.0, 5.0, 3.0], [100.0, 2.0, 50.0]])
+        normalized = QuantileNormalizer().fit_transform(data)
+        first = np.sort(normalized.values[0])
+        second = np.sort(normalized.values[1])
+        assert np.allclose(first, second)
+
+    def test_rank_order_preserved(self):
+        data = matrix([[1.0, 5.0, 3.0]])
+        normalized = QuantileNormalizer().fit_transform(data)
+        assert (
+            np.argsort(normalized.values[0]).tolist()
+            == np.argsort(data.values[0]).tolist()
+        )
+
+    def test_transform_before_fit(self):
+        with pytest.raises(DataError):
+            QuantileNormalizer().transform(matrix([[1.0]]))
+
+    def test_gene_count_mismatch(self):
+        normalizer = QuantileNormalizer().fit(matrix([[1.0, 2.0]]))
+        with pytest.raises(DataError):
+            normalizer.transform(matrix([[1.0]]))
+
+
+class TestLogTransform:
+    def test_log2(self):
+        data = matrix([[1.0, 3.0]])
+        logged = LogTransform(offset=1.0).transform(data)
+        assert logged.values[0, 0] == pytest.approx(1.0)
+        assert logged.values[0, 1] == pytest.approx(2.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(DataError):
+            LogTransform(offset=0.0).transform(matrix([[0.0]]))
+
+
+class TestVarianceFilter:
+    def test_keeps_highest_variance(self):
+        data = matrix([[0.0, 0.0, -5.0], [0.0, 1.0, 5.0]])
+        kept = variance_filter(data, keep=1)
+        assert kept.gene_names == ("g2",)
+
+    def test_keep_larger_than_genes(self):
+        data = matrix([[1.0, 2.0]])
+        assert variance_filter(data, keep=10).n_genes == 2
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            variance_filter(matrix([[1.0]]), keep=0)
+
+
+class TestFoldChangeFilter:
+    def test_keeps_spread_genes(self):
+        data = matrix([[1.0, 1.0], [10.0, 1.1]])
+        kept = fold_change_filter(data, min_ratio=5.0, min_difference=2.0)
+        assert kept.gene_names == ("g0",)
+
+    def test_all_removed_raises(self):
+        data = matrix([[1.0], [1.0]])
+        with pytest.raises(DataError):
+            fold_change_filter(data, min_ratio=100.0, min_difference=50.0)
+
+    def test_negative_values_handled(self):
+        data = matrix([[-5.0, 0.0], [5.0, 0.1]])
+        kept = fold_change_filter(data, min_ratio=2.0, min_difference=1.0)
+        assert "g0" in kept.gene_names
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            fold_change_filter(matrix([[1.0]]), min_ratio=0.5)

@@ -1,0 +1,92 @@
+"""Tests for the dataset profiler."""
+
+import pytest
+
+from repro.data.dataset import ItemizedDataset
+from repro.data.profile import profile_dataset, profile_report
+from repro.errors import DataError
+
+
+def wide_dataset():
+    """3 rows, 9 items: row-enumeration territory."""
+    rows = [[0, 1, 2, 3], [2, 3, 4, 5], [5, 6, 7, 8]]
+    return ItemizedDataset.from_lists(
+        rows, ["a", "a", "b"], n_items=9, name="wide"
+    )
+
+
+def tall_dataset():
+    """12 rows, 2 items: column-enumeration territory."""
+    rows = [[0], [1], [0, 1]] * 4
+    return ItemizedDataset.from_lists(
+        rows, ["a", "b"] * 6, n_items=2, name="tall"
+    )
+
+
+class TestProfileDataset:
+    def test_shape_fields(self):
+        profile = profile_dataset(wide_dataset())
+        assert profile.n_rows == 3
+        assert profile.n_items == 9
+        assert profile.n_occurring_items == 9
+        assert profile.max_row_length == 4
+
+    def test_class_counts(self):
+        profile = profile_dataset(wide_dataset())
+        assert profile.class_counts == {"a": 2, "b": 1}
+
+    def test_item_supports(self):
+        profile = profile_dataset(wide_dataset())
+        assert profile.max_item_support == 2  # items 2, 3 and 5
+        assert profile.item_support_quartiles[1] in (1, 2)
+
+    def test_direction_wide(self):
+        assert "row enumeration" in profile_dataset(
+            wide_dataset()
+        ).recommended_direction
+
+    def test_direction_tall(self):
+        assert "column enumeration" in profile_dataset(
+            tall_dataset()
+        ).recommended_direction
+
+    def test_minsup_grid_below_ceiling(self):
+        profile = profile_dataset(tall_dataset())
+        assert all(
+            value <= profile.max_item_support
+            for value in profile.recommended_minsup_grid
+        )
+        assert all(value >= 1 for value in profile.recommended_minsup_grid)
+
+    def test_absent_items_excluded(self):
+        data = ItemizedDataset.from_lists([[0]], ["a"], n_items=5)
+        profile = profile_dataset(data)
+        assert profile.n_occurring_items == 1
+        assert profile.n_items == 5
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DataError):
+            profile_dataset(ItemizedDataset.from_lists([], [], n_items=0))
+
+    def test_shape_ratio(self):
+        assert profile_dataset(wide_dataset()).shape_ratio == pytest.approx(3.0)
+
+
+class TestProfileReport:
+    def test_report_mentions_key_facts(self):
+        text = profile_report(profile_dataset(wide_dataset()))
+        assert "wide" in text
+        assert "3 rows" in text
+        assert "row enumeration" in text
+        assert "minsup sweep" in text
+
+
+class TestCLIProfile:
+    def test_profile_command(self, capsys):
+        from repro.cli import main
+
+        code = main(["profile", "--dataset", "CT", "--scale", "0.01"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dataset profile" in out
+        assert "row enumeration" in out

@@ -1,0 +1,129 @@
+"""Property-based tests for persistence, validation and discretization."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Constraints, mine_irgs
+from repro.core.serialize import load_rule_groups, save_rule_groups
+from repro.core.validate import validate_result
+from repro.data.dataset import ItemizedDataset
+from repro.data.io import load_itemized, save_itemized
+
+
+@st.composite
+def datasets(draw, max_rows=7, max_items=8):
+    n_items = draw(st.integers(min_value=1, max_value=max_items))
+    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    rows = [
+        draw(
+            st.frozensets(
+                st.integers(min_value=0, max_value=n_items - 1),
+                max_size=n_items,
+            )
+        )
+        for _ in range(n_rows)
+    ]
+    labels = [draw(st.sampled_from(["C", "D"])) for _ in range(n_rows)]
+    labels[0] = "C"
+    return ItemizedDataset.from_lists(rows, labels, n_items=n_items)
+
+
+class TestSerializationProperties:
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_rule_groups_round_trip(self, data):
+        import tempfile
+        from pathlib import Path
+
+        result = mine_irgs(data, "C", minsup=1, compute_lower_bounds=True)
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "groups.irgs"
+            save_rule_groups(path, result.groups, constraints=result.constraints)
+            loaded, header = load_rule_groups(path)
+        assert {g.upper for g in loaded} == result.upper_antecedents()
+        assert header["count"] == len(result.groups)
+        for original, restored in zip(
+            sorted(result.groups, key=lambda g: sorted(g.upper)),
+            sorted(loaded, key=lambda g: sorted(g.upper)),
+        ):
+            assert original.rows == restored.rows
+            assert original.lower_bounds == restored.lower_bounds
+
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_loaded_groups_validate_clean(self, data):
+        import tempfile
+        from pathlib import Path
+
+        result = mine_irgs(data, "C", minsup=1)
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "groups.irgs"
+            save_rule_groups(path, result.groups)
+            loaded, _ = load_rule_groups(path)
+        assert (
+            validate_result(
+                data, loaded, consequent="C", constraints=Constraints(minsup=1)
+            )
+            == []
+        )
+
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_itemized_dataset_round_trip(self, data):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "data.items"
+            save_itemized(data, path)
+            loaded = load_itemized(path)
+        assert loaded.rows == data.rows
+        assert loaded.labels == data.labels
+        assert loaded.n_items == data.n_items
+
+
+class TestDiscretizationProperties:
+    @given(
+        st.integers(min_value=2, max_value=25),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equal_depth_one_item_per_gene(self, n_rows, n_genes, buckets, seed):
+        import numpy as np
+
+        from repro.data.discretize import EqualDepthDiscretizer
+        from repro.data.matrix import GeneExpressionMatrix
+
+        rng = np.random.default_rng(seed)
+        matrix = GeneExpressionMatrix.from_arrays(
+            rng.normal(size=(n_rows, n_genes)),
+            ["a"] * (n_rows // 2) + ["b"] * (n_rows - n_rows // 2),
+        )
+        data = EqualDepthDiscretizer(n_buckets=buckets).fit_transform(matrix)
+        for row in data.rows:
+            assert len(row) == n_genes
+        # Items never exceed the declared vocabulary.
+        for row in data.rows:
+            assert all(0 <= item < data.n_items for item in row)
+
+    @given(
+        st.integers(min_value=4, max_value=25),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equal_depth_monotone_in_value(self, n_rows, seed):
+        """Higher expression never lands in a lower bucket."""
+        import numpy as np
+
+        from repro.data.discretize import EqualDepthDiscretizer
+        from repro.data.matrix import GeneExpressionMatrix
+
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(n_rows, 1))
+        matrix = GeneExpressionMatrix.from_arrays(values, ["a"] * n_rows)
+        data = EqualDepthDiscretizer(n_buckets=4).fit_transform(matrix)
+        items = [next(iter(row)) for row in data.rows]
+        order = sorted(range(n_rows), key=lambda i: values[i, 0])
+        buckets_in_value_order = [items[i] for i in order]
+        assert buckets_in_value_order == sorted(buckets_in_value_order)

@@ -1,0 +1,59 @@
+"""Unit tests for the Markdown report generator."""
+
+import pytest
+
+from repro.experiments import (
+    run_fig10,
+    run_pruning_ablation,
+    run_scaling,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.report import markdown_report, write_report
+
+
+@pytest.fixture(scope="module")
+def sections():
+    return {
+        "table1": run_table1(("CT",), scale=0.01),
+        "fig10": run_fig10(("CT",), scale=0.01, timeout=30, minsup_grid=[5]),
+        "table2": run_table2(("CT",), scale=0.02),
+        "scaling": run_scaling("CT", factors=(1, 2), scale=0.01, timeout=30, min_genes=1),
+        "ablation": run_pruning_ablation("CT", scale=0.01, timeout=30),
+    }
+
+
+class TestMarkdownReport:
+    def test_contains_all_sections(self, sections):
+        text = markdown_report(sections, scale=0.01)
+        assert "# FARMER reproduction" in text
+        assert "## Table 1" in text
+        assert "## Figure 10" in text
+        assert "## Table 2" in text
+        assert "## Row-replication scaling" in text
+        assert "## Pruning ablation" in text
+        assert "`0.01`" in text
+
+    def test_markdown_tables_well_formed(self, sections):
+        text = markdown_report(sections)
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_table2_includes_paper_column(self, sections):
+        text = markdown_report({"table2": sections["table2"]})
+        assert "IRG paper" in text
+        assert "93.33%" in text  # the paper's CT IRG accuracy
+
+    def test_unknown_section_raises(self):
+        with pytest.raises(KeyError):
+            markdown_report({"fig99": []})
+
+    def test_write_report(self, tmp_path, sections):
+        path = write_report(tmp_path / "run.md", {"table1": sections["table1"]})
+        assert path.exists()
+        assert "## Table 1" in path.read_text()
+
+    def test_subset_of_sections(self, sections):
+        text = markdown_report({"table1": sections["table1"]})
+        assert "## Figure 10" not in text

@@ -1,0 +1,102 @@
+"""Unit tests for rule-group persistence."""
+
+import pytest
+
+from repro import Constraints, mine_irgs
+from repro.core.serialize import load_rule_groups, save_rule_groups
+from repro.errors import DataError
+
+
+@pytest.fixture
+def mined(paper_dataset):
+    result = mine_irgs(
+        paper_dataset, "C", minsup=1, compute_lower_bounds=True
+    )
+    return result
+
+
+class TestRoundTrip:
+    def test_groups_survive(self, tmp_path, mined):
+        path = tmp_path / "groups.irgs"
+        save_rule_groups(
+            path, mined.groups, constraints=mined.constraints,
+            dataset_name="figure1",
+        )
+        loaded, header = load_rule_groups(path)
+        assert {g.upper for g in loaded} == mined.upper_antecedents()
+        by_upper = {g.upper: g for g in loaded}
+        for group in mined.groups:
+            twin = by_upper[group.upper]
+            assert twin.rows == group.rows
+            assert twin.support == group.support
+            assert twin.lower_bounds == group.lower_bounds
+            assert twin.confidence == pytest.approx(group.confidence)
+
+    def test_header_metadata(self, tmp_path, mined):
+        path = tmp_path / "groups.irgs"
+        save_rule_groups(
+            path, mined.groups, constraints=Constraints(minsup=1),
+            dataset_name="figure1",
+        )
+        _, header = load_rule_groups(path)
+        assert header["dataset"] == "figure1"
+        assert header["consequent"] == "C"
+        assert header["n"] == 5 and header["m"] == 3
+        assert header["constraints"]["minsup"] == 1
+        assert header["count"] == len(mined.groups)
+
+    def test_groups_without_lower_bounds(self, tmp_path, paper_dataset):
+        result = mine_irgs(paper_dataset, "C", minsup=2)
+        path = tmp_path / "nolb.irgs"
+        save_rule_groups(path, result.groups)
+        loaded, _ = load_rule_groups(path)
+        assert all(group.lower_bounds is None for group in loaded)
+
+    def test_empty_result(self, tmp_path):
+        path = tmp_path / "empty.irgs"
+        save_rule_groups(path, [])
+        loaded, header = load_rule_groups(path)
+        assert loaded == [] and header["count"] == 0
+
+
+class TestValidation:
+    def test_mixed_consequents_rejected(self, tmp_path, paper_dataset):
+        c_groups = mine_irgs(paper_dataset, "C", minsup=1).groups
+        n_groups = mine_irgs(paper_dataset, "N", minsup=1).groups
+        with pytest.raises(DataError):
+            save_rule_groups(tmp_path / "x.irgs", c_groups + n_groups)
+
+    def test_bad_format(self, tmp_path):
+        path = tmp_path / "bad.irgs"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(DataError, match="format"):
+            load_rule_groups(path)
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "corrupt.irgs"
+        path.write_text("not json at all\n")
+        with pytest.raises(DataError):
+            load_rule_groups(path)
+
+    def test_count_mismatch(self, tmp_path, mined):
+        path = tmp_path / "short.irgs"
+        save_rule_groups(path, mined.groups)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one group
+        with pytest.raises(DataError, match="promises"):
+            load_rule_groups(path)
+
+    def test_corrupt_record(self, tmp_path, mined):
+        path = tmp_path / "rec.irgs"
+        save_rule_groups(path, mined.groups)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"upper": [0]}'  # missing fields
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DataError, match=":2"):
+            load_rule_groups(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "void.irgs"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_rule_groups(path)

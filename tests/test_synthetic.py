@@ -1,0 +1,146 @@
+"""Unit tests for the synthetic microarray generator and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import PAPER_DATASETS, load, train_test_rows
+from repro.data.synthetic import BlockSpec, default_blocks, make_microarray
+from repro.errors import DataError
+
+
+class TestBlockSpec:
+    def test_validation(self):
+        with pytest.raises(DataError):
+            BlockSpec(size=0, target_class=0)
+        with pytest.raises(DataError):
+            BlockSpec(size=3, target_class=2)
+        with pytest.raises(DataError):
+            BlockSpec(size=3, target_class=0, penetrance=1.5)
+
+    def test_default_blocks_alternate_classes(self):
+        blocks = default_blocks(4)
+        assert [block.target_class for block in blocks] == [0, 1, 0, 1]
+
+
+class TestMakeMicroarray:
+    def test_shape_and_labels(self):
+        matrix = make_microarray(
+            n_samples=20, n_genes=30, n_class1=8, blocks=2, seed=1
+        )
+        assert matrix.n_samples == 20
+        assert matrix.n_genes == 30
+        assert matrix.class_count("class1") == 8
+        assert matrix.labels[:8] == ("class1",) * 8
+
+    def test_deterministic(self):
+        first = make_microarray(20, 30, 8, blocks=2, seed=7)
+        second = make_microarray(20, 30, 8, blocks=2, seed=7)
+        assert np.array_equal(first.values, second.values)
+
+    def test_seed_changes_values(self):
+        first = make_microarray(20, 30, 8, blocks=2, seed=7)
+        second = make_microarray(20, 30, 8, blocks=2, seed=8)
+        assert not np.array_equal(first.values, second.values)
+
+    def test_block_genes_shifted_for_target_class(self):
+        block = BlockSpec(
+            size=5, target_class=0, shift=6.0, penetrance=1.0, leakage=0.0
+        )
+        matrix = make_microarray(
+            40, 20, 20, blocks=[block], n_subtypes=0, seed=3
+        )
+        block_mean_class1 = matrix.values[:20, :5].mean()
+        block_mean_class0 = matrix.values[20:, :5].mean()
+        assert block_mean_class1 > block_mean_class0 + 3.0
+
+    def test_invalid_class_count(self):
+        with pytest.raises(DataError):
+            make_microarray(10, 20, 0, blocks=1)
+        with pytest.raises(DataError):
+            make_microarray(10, 20, 10, blocks=1)
+
+    def test_blocks_exceed_genes(self):
+        with pytest.raises(DataError):
+            make_microarray(10, 4, 5, blocks=[BlockSpec(size=9, target_class=0)])
+
+    def test_single_subtype_rejected(self):
+        with pytest.raises(DataError):
+            make_microarray(10, 20, 5, blocks=1, n_subtypes=1)
+
+    def test_subtypes_add_gene_correlation(self):
+        flat = make_microarray(60, 40, 30, blocks=0, n_subtypes=0, seed=5)
+        structured = make_microarray(
+            60,
+            40,
+            30,
+            blocks=0,
+            n_subtypes=6,
+            subtype_strength=2.0,
+            subtype_fraction=1.0,
+            seed=5,
+        )
+
+        def mean_abs_offdiag(matrix):
+            corr = np.corrcoef(matrix.values, rowvar=False)
+            mask = ~np.eye(corr.shape[0], dtype=bool)
+            return np.abs(corr[mask]).mean()
+
+        assert mean_abs_offdiag(structured) > mean_abs_offdiag(flat) * 1.5
+
+
+class TestRegistry:
+    def test_all_specs_consistent(self):
+        for spec in PAPER_DATASETS.values():
+            assert spec.n_train + spec.n_test == spec.n_rows
+            assert 0 < spec.n_class1 < spec.n_rows
+
+    def test_load_matches_table1(self):
+        for name, spec in PAPER_DATASETS.items():
+            matrix = load(name, scale=0.02)
+            assert matrix.n_samples == spec.n_rows
+            assert matrix.class_count(spec.class1) == spec.n_class1
+            assert matrix.class_count(spec.class0) == spec.n_class0
+
+    def test_load_case_insensitive(self):
+        assert load("ct", scale=0.02).name == "CT"
+
+    def test_load_unknown(self):
+        with pytest.raises(DataError):
+            load("XX")
+
+    def test_load_invalid_scale(self):
+        with pytest.raises(DataError):
+            load("CT", scale=0.0)
+
+    def test_load_deterministic(self):
+        first = load("ALL", scale=0.02)
+        second = load("ALL", scale=0.02)
+        assert np.array_equal(first.values, second.values)
+
+    def test_scaled_cols(self):
+        spec = PAPER_DATASETS["CT"]
+        assert spec.scaled_cols(1.0) == 2000
+        assert spec.scaled_cols(1e-9) >= spec.n_blocks * 8  # floor
+
+
+class TestTrainTestSplit:
+    def test_sizes_match_table2(self):
+        for spec in PAPER_DATASETS.values():
+            train, test = train_test_rows(spec)
+            assert len(train) == spec.n_train
+            assert len(test) == spec.n_test
+            assert not set(train) & set(test)
+            assert sorted(train + test) == list(range(spec.n_rows))
+
+    def test_stratified(self):
+        spec = PAPER_DATASETS["PC"]
+        train, test = train_test_rows(spec)
+        train_class1 = sum(1 for index in train if index < spec.n_class1)
+        # Roughly proportional representation.
+        expected = spec.n_train * spec.n_class1 / spec.n_rows
+        assert abs(train_class1 - expected) <= 2
+
+    def test_deterministic_per_seed(self):
+        spec = PAPER_DATASETS["CT"]
+        assert train_test_rows(spec, seed=1) == train_test_rows(spec, seed=1)
+        assert train_test_rows(spec, seed=1) != train_test_rows(spec, seed=2)

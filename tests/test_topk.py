@@ -1,0 +1,50 @@
+"""Unit tests for top-k IRG mining (extension)."""
+
+import pytest
+
+from conftest import random_dataset
+
+from repro import mine_irgs
+from repro.errors import ConstraintError
+from repro.extensions import mine_topk_irgs
+
+
+class TestTopK:
+    def test_returns_at_most_k(self, paper_dataset):
+        groups = mine_topk_irgs(paper_dataset, "C", k=2, minsup=1)
+        assert len(groups) == 2
+
+    def test_sorted_by_confidence(self, paper_dataset):
+        groups = mine_topk_irgs(paper_dataset, "C", k=4, minsup=1)
+        confidences = [group.confidence for group in groups]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_matches_full_mine_prefix(self, paper_dataset):
+        full = mine_irgs(paper_dataset, "C", minsup=1).sorted_groups()
+        top = mine_topk_irgs(paper_dataset, "C", k=3, minsup=1)
+        assert [g.upper for g in top] == [g.upper for g in full[:3]]
+
+    def test_k_larger_than_population(self, paper_dataset):
+        groups = mine_topk_irgs(paper_dataset, "C", k=100, minsup=1)
+        assert len(groups) == 5  # the dataset only has 5 IRGs
+
+    def test_randomized_consistency(self):
+        for seed in range(10):
+            data = random_dataset(seed + 400)
+            full = mine_irgs(data, "C", minsup=1).sorted_groups()
+            top = mine_topk_irgs(data, "C", k=3, minsup=1)
+            assert [g.upper for g in top] == [g.upper for g in full[:3]]
+
+    def test_lower_bounds_option(self, paper_dataset):
+        groups = mine_topk_irgs(
+            paper_dataset, "C", k=2, minsup=1, compute_lower_bounds=True
+        )
+        assert all(group.lower_bounds for group in groups)
+
+    def test_validation(self, paper_dataset):
+        with pytest.raises(ConstraintError):
+            mine_topk_irgs(paper_dataset, "C", k=0)
+        with pytest.raises(ConstraintError):
+            mine_topk_irgs(paper_dataset, "C", k=1, relax_factor=1.5)
+        with pytest.raises(ConstraintError):
+            mine_topk_irgs(paper_dataset, "C", k=1, start_confidence=2.0)

@@ -1,0 +1,109 @@
+"""Tests for the enumeration-tree tracer — pinned to the paper's Figure 3."""
+
+import pytest
+
+from conftest import itemset_to_letters
+
+from repro import Constraints
+from repro.core.trace import TracingFarmer, render_tree
+
+
+@pytest.fixture
+def full_trace(paper_dataset):
+    """Trace with all prunings disabled: the complete Figure 3 tree,
+    minus nodes cut by the implicit empty-I(X) rule."""
+    miner = TracingFarmer(constraints=Constraints(minsup=1), prunings=())
+    miner.mine(paper_dataset, "C")
+    return miner.trace_root
+
+
+@pytest.fixture
+def pruned_trace(paper_dataset):
+    miner = TracingFarmer(constraints=Constraints(minsup=1))
+    miner.mine(paper_dataset, "C")
+    return miner.trace_root
+
+
+class TestFigure3Labels:
+    """Node labels of Figure 3, checked on the unpruned traversal."""
+
+    CASES = {
+        "12": "al",
+        "123": "a",
+        "124": "a",
+        "125": "l",
+        "13": "aco",
+        "14": "a",
+        "15": "bls",
+        "23": "aeh",
+        "234": "aeh",
+        "24": "aehpr",
+        "25": "dl",
+        "34": "aeh",
+        "45": "f",
+        "1234": "a",
+    }
+
+    def test_node_labels(self, full_trace):
+        for label, letters in self.CASES.items():
+            node = full_trace.find(label)
+            assert node is not None, label
+            assert itemset_to_letters(node.items) == letters, label
+
+    def test_root_is_empty_combination(self, full_trace):
+        assert full_trace.rows == ()
+        assert full_trace.row_label() == "{}"
+
+    def test_empty_label_nodes_have_no_children(self, full_trace):
+        # Node "135" has I(X) = {} in Figure 3: the search never creates
+        # it (empty conditional tables are the implicit pruning).
+        assert full_trace.find("135") is None
+
+    def test_children_in_ord_order(self, full_trace):
+        labels = [child.row_label() for child in full_trace.children]
+        assert labels == sorted(labels)
+
+    def test_support_stats(self, full_trace):
+        node = full_trace.find("23")
+        assert (node.supp, node.supn) == (2, 1)  # aeh covers rows 2,3,4
+
+
+class TestPrunedTrace:
+    def test_example5_node34_pruned(self, pruned_trace):
+        """The paper's Example 5: node {3,4} is cut by Pruning 2."""
+        node = pruned_trace.find("34")
+        assert node is not None
+        assert node.outcome == "pruned:identified"
+        assert node.children == []
+
+    def test_pruned_tree_is_smaller(self, full_trace, pruned_trace):
+        assert pruned_trace.size() < full_trace.size()
+
+    def test_reported_nodes_match_irgs(self, paper_dataset):
+        miner = TracingFarmer(constraints=Constraints(minsup=1))
+        result = miner.mine(paper_dataset, "C")
+        reported = set()
+
+        def collect(node):
+            if node.outcome == "reported":
+                reported.add(frozenset(node.items))
+            for child in node.children:
+                collect(child)
+
+        collect(miner.trace_root)
+        assert result.upper_antecedents() <= reported
+
+
+class TestRenderTree:
+    def test_render_contains_labels(self, full_trace, paper_dataset):
+        text = render_tree(full_trace, paper_dataset)
+        assert "12 -> I = {a, l}" in text
+        assert "23 -> I = {a, e, h}" in text
+
+    def test_max_depth(self, full_trace):
+        shallow = render_tree(full_trace, max_depth=1)
+        assert "123" not in shallow.replace("{}", "")
+
+    def test_pruning_markers_rendered(self, pruned_trace, paper_dataset):
+        text = render_tree(pruned_trace, paper_dataset)
+        assert "[pruned:identified]" in text

@@ -1,0 +1,87 @@
+"""Unit tests for the transposed table and the ORD row ordering."""
+
+import pytest
+
+from conftest import letter_items
+
+from repro.core import bitset
+from repro.data.dataset import ItemizedDataset
+from repro.data.transpose import TransposedTable, ord_permutation
+from repro.errors import DataError
+
+
+class TestOrdPermutation:
+    def test_positives_first_stable(self):
+        labels = ("N", "C", "N", "C", "C")
+        assert ord_permutation(labels, "C") == [1, 3, 4, 0, 2]
+
+    def test_all_positive(self):
+        assert ord_permutation(("C", "C"), "C") == [0, 1]
+
+
+class TestBuild:
+    def test_paper_table(self, paper_dataset):
+        """Figure 1(b): spot-check item row supports under ORD."""
+        table = TransposedTable.build(paper_dataset, "C")
+        assert table.n == 5
+        assert table.m == 3
+        # Rows already arrive C-first, so ORD order == original order.
+        assert table.ord_to_original == (0, 1, 2, 3, 4)
+        item_a = letter_items("a")[0]
+        assert bitset.to_indices(table.item_masks[item_a]) == [0, 1, 2, 3]
+        item_d = letter_items("d")[0]
+        assert bitset.to_indices(table.item_masks[item_d]) == [1, 4]
+
+    def test_reordering(self):
+        data = ItemizedDataset.from_lists(
+            [[0], [1], [0, 1]], ["N", "C", "N"], n_items=2
+        )
+        table = TransposedTable.build(data, "C")
+        assert table.ord_to_original == (1, 0, 2)
+        # Item 0 appears in original rows 0, 2 -> ORD positions 1, 2.
+        assert bitset.to_indices(table.item_masks[0]) == [1, 2]
+
+    def test_unknown_consequent(self, paper_dataset):
+        with pytest.raises(DataError):
+            TransposedTable.build(paper_dataset, "missing")
+
+
+class TestMasks:
+    def test_positive_negative_partition(self, paper_dataset):
+        table = TransposedTable.build(paper_dataset, "C")
+        assert table.positive_mask == 0b00111
+        assert table.negative_mask == 0b11000
+        assert table.positive_mask | table.negative_mask == table.all_rows_mask
+
+    def test_is_positive(self, paper_dataset):
+        table = TransposedTable.build(paper_dataset, "C")
+        assert table.is_positive(0) and table.is_positive(2)
+        assert not table.is_positive(3)
+
+    def test_support_counts(self, paper_dataset):
+        table = TransposedTable.build(paper_dataset, "C")
+        assert table.support_counts(0b01011) == (2, 1)
+
+
+class TestOperators:
+    def test_rows_of_itemset(self, paper_dataset):
+        table = TransposedTable.build(paper_dataset, "C")
+        mask = table.rows_of_itemset(letter_items("aeh"))
+        assert bitset.to_indices(mask) == [1, 2, 3]
+
+    def test_rows_of_empty_itemset(self, paper_dataset):
+        table = TransposedTable.build(paper_dataset, "C")
+        assert table.rows_of_itemset([]) == table.all_rows_mask
+
+    def test_items_of_rows(self, paper_dataset):
+        table = TransposedTable.build(paper_dataset, "C")
+        got = table.items_of_rows(bitset.from_indices([1, 2]))
+        assert got == frozenset(letter_items("aeh"))
+
+    def test_original_rows_round_trip(self):
+        data = ItemizedDataset.from_lists(
+            [[0], [1], [0, 1]], ["N", "C", "N"], n_items=2
+        )
+        table = TransposedTable.build(data, "C")
+        # ORD positions {0, 2} are original rows {1, 2}.
+        assert table.original_rows(0b101) == {1, 2}

@@ -1,0 +1,103 @@
+"""Unit tests for the decision-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.classify.tree import DecisionTree
+from repro.data.matrix import GeneExpressionMatrix
+from repro.errors import DataError
+
+
+def threshold_task(seed=0, n=60):
+    """Class separated by gene 0 crossing 0; gene 1 is noise."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(n, 2))
+    labels = ["hi" if v > 0 else "lo" for v in values[:, 0]]
+    return GeneExpressionMatrix.from_arrays(values, labels)
+
+
+def interval_task(seed=1, n=80):
+    """Class = gene 0 in the middle band (needs two splits)."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-3, 3, size=(n, 1))
+    labels = ["in" if abs(v) < 1.0 else "out" for v in values[:, 0]]
+    return GeneExpressionMatrix.from_arrays(values, labels)
+
+
+class TestFitPredict:
+    def test_threshold_signal(self):
+        matrix = threshold_task()
+        tree = DecisionTree().fit(matrix)
+        assert tree.accuracy(matrix) >= 0.95
+
+    def test_interval_signal(self):
+        # Trees (like rules, unlike a linear SVM) read interval signals.
+        matrix = interval_task()
+        tree = DecisionTree(max_depth=3).fit(matrix)
+        assert tree.accuracy(matrix) >= 0.9
+
+    def test_generalization(self):
+        tree = DecisionTree().fit(threshold_task(seed=2))
+        assert tree.accuracy(threshold_task(seed=3)) >= 0.9
+
+    def test_pure_node_stops(self):
+        values = [[0.0], [0.1], [0.2]]
+        matrix = GeneExpressionMatrix.from_arrays(values, ["a", "a", "a"])
+        tree = DecisionTree().fit(matrix)
+        assert tree.depth() == 0
+        assert tree.predict(matrix) == ["a", "a", "a"]
+
+    def test_max_depth_respected(self):
+        matrix = interval_task()
+        tree = DecisionTree(max_depth=2).fit(matrix)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        matrix = threshold_task(n=20)
+        tree = DecisionTree(min_samples_leaf=8).fit(matrix)
+        # No split may isolate fewer than 8 samples; with n=20 the tree
+        # is at most depth 1.
+        assert tree.depth() <= 1
+
+    def test_deterministic(self):
+        matrix = threshold_task()
+        first = DecisionTree().fit(matrix).predict(matrix)
+        second = DecisionTree().fit(matrix).predict(matrix)
+        assert first == second
+
+    def test_constant_features_yield_leaf(self):
+        values = [[1.0], [1.0], [1.0], [1.0]]
+        matrix = GeneExpressionMatrix.from_arrays(
+            values, ["a", "b", "a", "b"]
+        )
+        tree = DecisionTree().fit(matrix)
+        assert tree.depth() == 0
+
+    def test_n_leaves(self):
+        tree = DecisionTree(max_depth=3).fit(interval_task())
+        assert tree.n_leaves() == tree.depth() + 1 or tree.n_leaves() >= 2
+
+
+class TestValidation:
+    def test_empty_matrix(self):
+        matrix = GeneExpressionMatrix.from_arrays(
+            np.empty((0, 2)), []
+        )
+        with pytest.raises(DataError):
+            DecisionTree().fit(matrix)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(DataError):
+            DecisionTree().predict(threshold_task())
+
+    def test_gene_mismatch(self):
+        tree = DecisionTree().fit(threshold_task())
+        other = GeneExpressionMatrix.from_arrays([[1.0]], ["hi"])
+        with pytest.raises(DataError):
+            tree.predict(other)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DataError):
+            DecisionTree(max_depth=0)
+        with pytest.raises(DataError):
+            DecisionTree(min_samples_leaf=0)

@@ -1,0 +1,152 @@
+"""Unit tests for the independent rule-group validator."""
+
+import dataclasses
+
+import pytest
+
+from conftest import random_dataset
+
+from repro import Constraints, mine_irgs
+from repro.core.rulegroup import RuleGroup
+from repro.core.validate import validate_group, validate_result
+from repro.errors import DataError
+
+
+def mutate(group: RuleGroup, **changes) -> RuleGroup:
+    return dataclasses.replace(group, **changes)
+
+
+@pytest.fixture
+def mined(paper_dataset):
+    return mine_irgs(
+        paper_dataset, "C", minsup=1, compute_lower_bounds=True
+    )
+
+
+class TestValidGroups:
+    def test_mined_groups_pass(self, paper_dataset, mined):
+        for group in mined.groups:
+            assert validate_group(paper_dataset, group) == []
+
+    def test_mined_result_passes(self, paper_dataset, mined):
+        problems = validate_result(
+            paper_dataset,
+            mined.groups,
+            consequent="C",
+            constraints=Constraints(minsup=1),
+        )
+        assert problems == []
+
+    def test_randomized_results_pass(self):
+        for seed in range(15):
+            data = random_dataset(seed + 3000)
+            result = mine_irgs(data, "C", minsup=1, compute_lower_bounds=True)
+            assert validate_result(data, result.groups, consequent="C") == []
+
+
+class TestCorruptionDetection:
+    def test_wrong_support(self, paper_dataset, mined):
+        group = mined.groups[0]
+        bad = mutate(group, support=group.support - 1 if group.support else 1)
+        assert any(
+            "support" in problem
+            for problem in validate_group(paper_dataset, bad)
+        )
+
+    def test_wrong_rows(self, paper_dataset, mined):
+        group = next(g for g in mined.groups if g.antecedent_support >= 2)
+        smaller_rows = frozenset(list(group.rows)[:-1])
+        bad = mutate(
+            group,
+            rows=smaller_rows,
+            antecedent_support=len(smaller_rows),
+            support=min(group.support, len(smaller_rows)),
+        )
+        problems = validate_group(paper_dataset, bad)
+        assert any("R(upper)" in problem for problem in problems)
+
+    def test_non_closed_upper(self, paper_dataset):
+        # {e, h} is not closed (its closure adds a).
+        from conftest import letter_items
+
+        group = RuleGroup(
+            upper=frozenset(letter_items("eh")),
+            consequent="C",
+            rows=frozenset({1, 2, 3}),
+            support=2,
+            antecedent_support=3,
+            n=5,
+            m=3,
+        )
+        problems = validate_group(paper_dataset, group)
+        assert any("not closed" in problem for problem in problems)
+
+    def test_bad_lower_bound(self, paper_dataset, mined):
+        group = next(g for g in mined.groups if len(g.upper) >= 2)
+        # Claim the whole upper set is also a lower bound alongside a
+        # fabricated singleton that generates different rows.
+        wrong = tuple(frozenset({item}) for item in list(group.upper)[:1])
+        bad = mutate(group, lower_bounds=wrong + (group.upper,))
+        problems = validate_group(paper_dataset, bad)
+        assert problems  # nested bounds and/or wrong generation
+
+    def test_wrong_constants(self, paper_dataset, mined):
+        bad = mutate(mined.groups[0], n=99)
+        assert any(
+            "n=99" in problem
+            for problem in validate_group(paper_dataset, bad)
+        )
+
+
+class TestResultLevelChecks:
+    def test_duplicate_support_sets(self, paper_dataset, mined):
+        duplicated = mined.groups + [mined.groups[0]]
+        problems = validate_result(paper_dataset, duplicated)
+        assert any("share a row support set" in problem for problem in problems)
+
+    def test_dominated_group_detected(self, paper_dataset):
+        # Include a group FARMER rejected: aeh is dominated by a.
+        from conftest import letter_items
+
+        accepted = mine_irgs(paper_dataset, "C", minsup=1).groups
+        aeh = RuleGroup(
+            upper=frozenset(letter_items("aeh")),
+            consequent="C",
+            rows=frozenset({1, 2, 3}),
+            support=2,
+            antecedent_support=3,
+            n=5,
+            m=3,
+        )
+        problems = validate_result(paper_dataset, accepted + [aeh])
+        assert any("dominated" in problem for problem in problems)
+
+    def test_constraint_violation_detected(self, paper_dataset, mined):
+        problems = validate_result(
+            paper_dataset, mined.groups, constraints=Constraints(minsup=4)
+        )
+        assert any("constraints" in problem for problem in problems)
+
+    def test_wrong_consequent_detected(self, paper_dataset, mined):
+        problems = validate_result(
+            paper_dataset, mined.groups, consequent="N"
+        )
+        assert any("consequent" in problem for problem in problems)
+
+    def test_raise_on_error(self, paper_dataset, mined):
+        with pytest.raises(DataError, match="validation failed"):
+            validate_result(
+                paper_dataset,
+                mined.groups + [mined.groups[0]],
+                raise_on_error=True,
+            )
+
+
+class TestSerializeValidateIntegration:
+    def test_loaded_groups_validate(self, tmp_path, paper_dataset, mined):
+        from repro.core.serialize import load_rule_groups, save_rule_groups
+
+        path = tmp_path / "groups.irgs"
+        save_rule_groups(path, mined.groups)
+        loaded, _ = load_rule_groups(path)
+        assert validate_result(paper_dataset, loaded, consequent="C") == []
