@@ -1,0 +1,103 @@
+"""Worker-scaling curve for the sharded FARMER miner.
+
+The sharded executor (:mod:`repro.core.parallel`) must (a) return exactly
+the serial miner's groups at every worker count, and (b) actually scale:
+the acceptance bar is >= 2x speedup at 4 workers on the largest Fig-10
+workload.  The per-point benchmarks feed the pytest-benchmark table (one
+row per (dataset, minsup, workers)); ``test_speedup_curve`` prints the
+speedup/efficiency table via :func:`repro.experiments.format_scaling` and
+asserts the bar — skipped on machines without 4 cores, where a process
+pool cannot physically speed anything up.
+"""
+
+import os
+
+import pytest
+
+from repro.core.constraints import Constraints
+from repro.core.farmer import Farmer
+from repro.core.parallel import shutdown_workers
+from repro.experiments.harness import TimedRun, format_scaling, scaling_curve, timed
+
+# The low-minsup (hard) Figure 10 points on the two widest fast datasets.
+GRID = [
+    ("CT", 4),
+    ("ALL", 4),
+]
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _ids(grid):
+    return [f"{name}-minsup{minsup}" for name, minsup in grid]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_pools():
+    """Shut the cached worker pools down after the module's benchmarks."""
+    yield
+    shutdown_workers()
+
+
+@pytest.mark.parametrize(("name", "minsup"), GRID, ids=_ids(GRID))
+@pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+def test_parallel_farmer(benchmark, workloads, name, minsup, n_workers):
+    workload = workloads[name]
+    serial = Farmer(constraints=Constraints(minsup=minsup)).mine(
+        workload.data, workload.consequent
+    )
+    miner = Farmer(constraints=Constraints(minsup=minsup), n_workers=n_workers)
+
+    result = benchmark(miner.mine, workload.data, workload.consequent)
+
+    # The differential guarantee, re-checked at benchmark scale: groups,
+    # statistics and row sets identical to the serial miner.
+    assert [
+        (sorted(g.upper), g.support, g.antecedent_support, g.rows)
+        for g in result.groups
+    ] == [
+        (sorted(g.upper), g.support, g.antecedent_support, g.rows)
+        for g in serial.groups
+    ]
+    assert result.parallel is not None
+    assert result.parallel.n_workers == n_workers
+
+
+def test_speedup_curve(shape_workloads, capsys):
+    """>= 2x at 4 workers on the largest Fig-10 workload (needs 4 cores)."""
+    workload = shape_workloads["CT"]
+    constraints = Constraints(minsup=4)
+
+    serial = timed(
+        lambda: Farmer(constraints=constraints)
+        .mine(workload.data, workload.consequent)
+        .groups
+    )
+    runs: list[tuple[int, TimedRun]] = []
+    for n_workers in WORKER_COUNTS:
+        runs.append(
+            (
+                n_workers,
+                timed(
+                    lambda n=n_workers: Farmer(constraints=constraints, n_workers=n)
+                    .mine(workload.data, workload.consequent)
+                    .groups
+                ),
+            )
+        )
+    points = scaling_curve(serial, runs)
+    with capsys.disabled():
+        print()
+        print(
+            format_scaling(
+                f"FARMER worker scaling — {workload.name}, minsup=4",
+                serial,
+                points,
+            )
+        )
+
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"speedup bar needs >= 4 cores, machine has {cores}")
+    by_workers = {point.n_workers: point for point in points}
+    assert by_workers[4].speedup >= 2.0

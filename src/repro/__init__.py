@@ -27,12 +27,14 @@ from .core import (
     Constraints,
     Farmer,
     FarmerResult,
+    ParallelReport,
     Rule,
     RuleGroup,
     SearchBudget,
     attach_lower_bounds,
     mine_irgs,
     mine_lower_bounds,
+    shutdown_workers,
 )
 from .data import (
     EntropyMDLDiscretizer,
@@ -58,6 +60,7 @@ __all__ = [
     "FarmerResult",
     "GeneExpressionMatrix",
     "ItemizedDataset",
+    "ParallelReport",
     "ReproError",
     "Rule",
     "RuleGroup",
@@ -68,4 +71,5 @@ __all__ = [
     "make_microarray",
     "mine_irgs",
     "mine_lower_bounds",
+    "shutdown_workers",
 ]

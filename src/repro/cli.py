@@ -63,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--top", type=int, default=10, help="groups to print")
     mine.add_argument("--lower-bounds", action="store_true", help="run MineLB on results")
     mine.add_argument("--timeout", type=float, default=300.0, help="mining budget (seconds)")
+    mine.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the search across N worker processes "
+        "(identical output to serial; default: serial)",
+    )
     mine.add_argument("--save", help="persist the groups to this .irgs file")
 
     validate = sub.add_parser(
@@ -142,6 +150,7 @@ def _command_mine(args: argparse.Namespace) -> int:
         ),
         compute_lower_bounds=args.lower_bounds,
         budget=SearchBudget(max_seconds=args.timeout),
+        n_workers=args.workers,
     )
     result = miner.mine(data, consequent)
     print(
@@ -150,6 +159,11 @@ def _command_mine(args: argparse.Namespace) -> int:
         f"minconf={args.minconf}, minchi={args.minchi}; "
         f"{result.elapsed_seconds:.2f}s, {result.counters.nodes} nodes)"
     )
+    if result.parallel is not None:
+        print(
+            f"sharded across {result.parallel.n_workers} workers "
+            f"({result.parallel.n_tasks} subtree tasks)"
+        )
     for group in result.sorted_groups()[: args.top]:
         print()
         print(group.format(data))

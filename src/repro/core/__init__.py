@@ -9,12 +9,15 @@ Public surface:
   — the result model.
 * :class:`~repro.core.constraints.Constraints` — minsup/minconf/minchi.
 * :mod:`~repro.core.measures` — chi-square and the extended measures.
+* :mod:`~repro.core.parallel` — sharded execution across worker
+  processes (``Farmer(n_workers=...)``), bit-identical to serial.
 """
 
 from .constraints import Constraints
-from .enumeration import SearchBudget
+from .enumeration import NodeCounters, SearchBudget, merge_counters
 from .farmer import ALL_PRUNINGS, Farmer, FarmerResult, mine_irgs
 from .minelb import attach_lower_bounds, lower_bounds_for_group, mine_lower_bounds
+from .parallel import ParallelReport, shutdown_workers
 from .rule import Rule
 from .rulegroup import RuleGroup
 from .serialize import load_rule_groups, save_rule_groups
@@ -25,15 +28,19 @@ __all__ = [
     "Constraints",
     "Farmer",
     "FarmerResult",
+    "NodeCounters",
+    "ParallelReport",
     "Rule",
     "RuleGroup",
     "SearchBudget",
     "attach_lower_bounds",
     "load_rule_groups",
     "lower_bounds_for_group",
+    "merge_counters",
     "mine_irgs",
     "mine_lower_bounds",
     "save_rule_groups",
+    "shutdown_workers",
     "validate_group",
     "validate_result",
 ]

@@ -19,11 +19,18 @@ This module also hosts the node-budget bookkeeping shared by the miners.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Iterable
 
 from ..errors import BudgetExceeded
 
-__all__ = ["extend_items", "scan_items", "SearchBudget", "NodeCounters"]
+__all__ = [
+    "extend_items",
+    "scan_items",
+    "SearchBudget",
+    "NodeCounters",
+    "merge_counters",
+]
 
 
 def extend_items(
@@ -137,3 +144,20 @@ class NodeCounters:
     rows_compressed: int = 0
     groups_emitted: int = 0
     candidates_rejected: int = 0
+
+
+def merge_counters(parts: Iterable[NodeCounters]) -> NodeCounters:
+    """Sum per-worker / per-phase counters into one run-level view.
+
+    The sharded miner (:mod:`repro.core.parallel`) visits every
+    enumeration node exactly once across the coordinator, its workers and
+    the admission replay, so for a completed run the merged counters
+    equal the serial miner's — the test suite pins this invariant.
+    """
+    merged = NodeCounters()
+    for part in parts:
+        for spec in fields(NodeCounters):
+            setattr(
+                merged, spec.name, getattr(merged, spec.name) + getattr(part, spec.name)
+            )
+    return merged

@@ -39,18 +39,24 @@ lists into an in-memory transposed table; we use the bitset equivalent):
   mined result, only the work done.  Pruning 2 requires Pruning 1's
   bookkeeping (Lemma 3.6 assumes it), so ``p2`` is ignored when ``p1``
   is off.
+* the per-node work (Steps 1-6 plus the Step 7 threshold test) is the
+  standalone :func:`expand_node` over a picklable :class:`NodeState`, so
+  subtrees can be enumerated re-entrantly (:func:`enumerate_subtree`) and
+  shipped to worker processes (:mod:`repro.core.parallel`) with output
+  bit-identical to the serial traversal.
 """
 
 from __future__ import annotations
 
 import bisect
 import sys
+import time
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, NamedTuple, Sequence
 
 from ..data.dataset import ItemizedDataset
 from ..data.transpose import TransposedTable
-from ..errors import BudgetExceeded
+from ..errors import BudgetExceeded, ConstraintError
 from . import bitset
 from .bounds import (
     chi_bound,
@@ -63,10 +69,310 @@ from .enumeration import NodeCounters, SearchBudget, extend_items, scan_items
 from .minelb import attach_lower_bounds
 from .rulegroup import RuleGroup
 
-__all__ = ["Farmer", "FarmerResult", "mine_irgs", "ALL_PRUNINGS"]
+if TYPE_CHECKING:
+    from .parallel import ParallelReport
+
+__all__ = [
+    "Farmer",
+    "FarmerResult",
+    "mine_irgs",
+    "ALL_PRUNINGS",
+    "NodeState",
+    "Candidate",
+    "SearchContext",
+    "expand_node",
+    "enumerate_subtree",
+]
 
 #: The full set of pruning strategy names.
 ALL_PRUNINGS = frozenset({"p1", "p2", "p3"})
+
+
+class NodeState(NamedTuple):
+    """The complete, picklable state of one row-enumeration node.
+
+    This is exactly the argument list of the recursive ``MineIRGs`` call
+    (Figure 5): a node is fully described by its conditional transposed
+    table ``TT|X``, its row combination and candidate bitsets, and the
+    incremental support counts of Pruning 3.  Because the state carries no
+    references to the table or the miner, a node can be shipped to another
+    process and its subtree enumerated there (:mod:`repro.core.parallel`).
+
+    Attributes:
+        item_ids: item ids of the tuples in ``TT|X``.
+        masks: row-support bitsets, parallel to ``item_ids``.
+        x_mask: the row combination ``X`` as an ORD-position bitset.
+        cand_pos: remaining candidate rows carrying the consequent.
+        cand_neg: remaining candidate rows not carrying the consequent.
+        p1_removed: rows compressed away by Pruning 1 on this path.
+        supp_in: positive rows counted into ``X`` so far (Pruning 3).
+        supn_in: negative rows counted into ``X`` so far (Pruning 3).
+        rm_is_positive: whether the most recently added row is positive.
+    """
+
+    item_ids: list[int]
+    masks: list[int]
+    x_mask: int
+    cand_pos: int
+    cand_neg: int
+    p1_removed: int
+    supp_in: int
+    supn_in: int
+    rm_is_positive: bool
+
+
+class Candidate(NamedTuple):
+    """A threshold-satisfying Step-7 candidate awaiting admission.
+
+    The upper bound rule ``I(X) -> C`` of one rule group, with the exact
+    statistics read off the node's table scan.  Whether it is *admitted*
+    (interesting) is decided separately — serially by
+    :meth:`_IRGStore.offer`, because admission depends on every group with
+    a smaller antecedent (Lemma 3.4).
+    """
+
+    item_ids: tuple[int, ...]
+    item_mask: int
+    supp: int
+    supn: int
+    row_mask: int
+
+    @property
+    def confidence(self) -> float:
+        return self.supp / (self.supp + self.supn)
+
+
+@dataclass(frozen=True)
+class SearchContext:
+    """Immutable per-run search parameters, shared by every node.
+
+    Everything :func:`expand_node` needs besides the node state itself:
+    the dataset constants, the ORD class masks and the enabled prunings.
+    Picklable, so worker processes receive one copy per task.
+    """
+
+    constraints: Constraints
+    n: int
+    m: int
+    positive_mask: int
+    all_rows_mask: int
+    use_p1: bool
+    use_p2: bool
+    use_p3: bool
+
+    @classmethod
+    def for_table(
+        cls,
+        table: TransposedTable,
+        constraints: Constraints,
+        prunings: Iterable[str],
+    ) -> "SearchContext":
+        prunings = frozenset(prunings)
+        use_p1 = "p1" in prunings
+        return cls(
+            constraints=constraints,
+            n=table.n,
+            m=table.m,
+            positive_mask=table.positive_mask,
+            all_rows_mask=table.all_rows_mask,
+            use_p1=use_p1,
+            use_p2="p2" in prunings and use_p1,
+            use_p3="p3" in prunings,
+        )
+
+    def root_state(self, table: TransposedTable) -> NodeState:
+        """The enumeration root: ``X = {}`` over the full table."""
+        return NodeState(
+            item_ids=list(range(len(table.item_masks))),
+            masks=list(table.item_masks),
+            x_mask=0,
+            cand_pos=table.positive_mask,
+            cand_neg=table.negative_mask,
+            p1_removed=0,
+            supp_in=0,
+            supn_in=0,
+            rm_is_positive=True,
+        )
+
+
+def expand_node(
+    ctx: SearchContext, state: NodeState, counters: NodeCounters
+) -> tuple[str, Candidate | None, list[NodeState]]:
+    """One ``MineIRGs`` node (Figure 5), without recursion or admission.
+
+    Runs Steps 1-5 at ``state`` and materializes Step 6's children, in ORD
+    order, as fresh :class:`NodeState` values.  Step 7's threshold test is
+    applied (the returned :class:`Candidate` is ``None`` when it fails)
+    but the interestingness comparison is left to the caller — the serial
+    miner consults its store after recursing, the sharded miner defers it
+    to the reduce phase.
+
+    Returns:
+        ``(outcome, candidate, children)`` where ``outcome`` is one of
+        ``"explored"``, ``"pruned:loose"``, ``"pruned:tight"`` or
+        ``"pruned:identified"``.
+    """
+    constraints = ctx.constraints
+    (
+        item_ids,
+        masks,
+        x_mask,
+        cand_pos,
+        cand_neg,
+        p1_removed,
+        supp_in,
+        supn_in,
+        rm_is_positive,
+    ) = state
+
+    # Step 2 — Pruning 3, loose bounds (before scanning the table).
+    if ctx.use_p3:
+        us2 = loose_support_bound(
+            supp_in, bitset.bit_count(cand_pos), rm_is_positive
+        )
+        if us2 < constraints.minsup or (
+            confidence_bound(us2, supn_in) < constraints.minconf
+        ):
+            counters.pruned_loose += 1
+            return "pruned:loose", None, []
+
+    # Step 3 — scan TT|X.  The intersection of all tuples is R(I(X)).
+    intersection, union = scan_items(masks, ctx.all_rows_mask)
+    candidates = cand_pos | cand_neg
+
+    # Step 1 — Pruning 2.  A row outside X and outside the candidate
+    # list (and never compressed away by Pruning 1 on this path) that
+    # occurs in every tuple proves this subtree was enumerated before.
+    if ctx.use_p2:
+        witness = intersection & ~x_mask & ~candidates & ~p1_removed
+        if witness:
+            counters.pruned_identified += 1
+            return "pruned:identified", None, []
+
+    supp_total = bitset.bit_count(intersection & ctx.positive_mask)
+    supn_total = bitset.bit_count(intersection) - supp_total
+
+    # Step 4 — Pruning 3, tight bounds (after the scan).
+    if ctx.use_p3:
+        if rm_is_positive and cand_pos:
+            max_ep = max(bitset.bit_count(mask & cand_pos) for mask in masks)
+        else:
+            max_ep = 0
+        us1 = tight_support_bound(supp_in, max_ep, rm_is_positive)
+        if (
+            us1 < constraints.minsup
+            or confidence_bound(us1, supn_total) < constraints.minconf
+            or (
+                constraints.minchi > 0.0
+                and chi_bound(supp_total, supn_total, ctx.n, ctx.m)
+                < constraints.minchi
+            )
+        ):
+            counters.pruned_tight += 1
+            return "pruned:tight", None, []
+
+    # Step 5 — Pruning 1: compress rows found in every tuple, and drop
+    # candidates found in no tuple (they would yield I(X) = ∅).
+    y_mask = intersection & candidates
+    if ctx.use_p1:
+        new_pos = union & cand_pos & ~y_mask
+        new_neg = union & cand_neg & ~y_mask
+        child_p1_removed = p1_removed | y_mask
+        counters.rows_compressed += bitset.bit_count(y_mask)
+    else:
+        new_pos = union & cand_pos
+        new_neg = union & cand_neg
+        child_p1_removed = p1_removed
+
+    # Step 6 — children over remaining candidates in ORD order.
+    children: list[NodeState] = []
+    child_candidates = new_pos | new_neg
+    for row in bitset.iter_bits(child_candidates):
+        row_bit = 1 << row
+        child_ids, child_masks = extend_items(item_ids, masks, row_bit)
+        if not child_ids:
+            continue
+        already_counted = bool(intersection & row_bit)
+        if row < ctx.m:
+            child_pos = new_pos & ~bitset.below_mask(row + 1)
+            child_neg = new_neg
+            child_supp = supp_total + (0 if already_counted else 1)
+            child_supn = supn_total
+            child_positive = True
+        else:
+            child_pos = 0
+            child_neg = new_neg & ~bitset.below_mask(row + 1)
+            child_supp = supp_total
+            child_supn = supn_total + (0 if already_counted else 1)
+            child_positive = False
+        children.append(
+            NodeState(
+                item_ids=child_ids,
+                masks=child_masks,
+                x_mask=x_mask | row_bit,
+                cand_pos=child_pos,
+                cand_neg=child_neg,
+                p1_removed=child_p1_removed,
+                supp_in=child_supp,
+                supn_in=child_supn,
+                rm_is_positive=child_positive,
+            )
+        )
+
+    # Step 7, threshold half — the candidate upper bound I(X) -> C.
+    candidate: Candidate | None = None
+    if constraints.satisfied_by(supp_total, supn_total, ctx.n, ctx.m):
+        item_mask = 0
+        for item_id in item_ids:
+            item_mask |= 1 << item_id
+        candidate = Candidate(
+            tuple(item_ids), item_mask, supp_total, supn_total, intersection
+        )
+    return "explored", candidate, children
+
+
+def enumerate_subtree(
+    ctx: SearchContext,
+    state: NodeState,
+    counters: NodeCounters,
+    sink: list[Candidate],
+    advisory=None,
+    tick: Callable[[], None] | None = None,
+) -> None:
+    """Re-entrant depth-first enumeration of the subtree rooted at ``state``.
+
+    The worker entry point of the sharded miner: performs exactly the
+    serial traversal of the subtree, appending every threshold-satisfying
+    candidate to ``sink`` in discovery order (Lemma 3.4 order restricted
+    to the subtree) instead of running Step-7 admission in place.
+
+    Args:
+        advisory: optional dominance bounds
+            (:class:`repro.core.parallel.AdvisoryBounds`).  A candidate
+            covered by the bounds is provably rejected by the final
+            admission replay, so it is counted as rejected and dropped
+            here instead of being buffered; recorded candidates extend
+            the bounds.
+        tick: optional per-node hook for budget/deadline enforcement; may
+            raise :class:`~repro.errors.BudgetExceeded`.
+    """
+    counters.nodes += 1
+    if tick is not None:
+        tick()
+    _outcome, candidate, children = expand_node(ctx, state, counters)
+    for child in children:
+        enumerate_subtree(ctx, child, counters, sink, advisory, tick)
+    if candidate is None:
+        return
+    if advisory is not None:
+        size = len(candidate.item_ids)
+        confidence = candidate.confidence
+        if advisory.covers(candidate.item_mask, size, confidence):
+            counters.candidates_rejected += 1
+            advisory.drops += 1
+            return
+        advisory.extend(candidate.item_mask, size, confidence)
+    sink.append(candidate)
 
 
 @dataclass
@@ -93,6 +399,9 @@ class FarmerResult:
     #: found up to that point are valid rule groups, but the set may be
     #: incomplete and interestingness was only checked against it.
     truncated: bool = False
+    #: Sharded-execution diagnostics (worker/task counters, advisory-bound
+    #: drops); ``None`` for serial runs.
+    parallel: "ParallelReport | None" = None
 
     def __len__(self) -> int:
         return len(self.groups)
@@ -164,6 +473,33 @@ class _IRGStore:
         self.entries.insert(position, (tuple(item_ids), supp, supn, row_mask))
         self.seen.add(item_mask)
 
+    def offer(self, candidate: Candidate, counters: NodeCounters) -> bool:
+        """Step 7's admission for one candidate.
+
+        Shared by the serial miner (called in discovery order as nodes
+        unwind) and the sharded miner's reduce (replaying the merged
+        candidate sequence in the same order).  The ``seen`` skip is only
+        reachable when Pruning 2 is disabled: the same upper bound
+        rediscovered at a later node.
+        """
+        if candidate.item_mask in self.seen:
+            return False
+        confidence = candidate.confidence
+        if self.is_interesting(
+            candidate.item_mask, len(candidate.item_ids), confidence
+        ):
+            self.add(
+                candidate.item_ids,
+                candidate.item_mask,
+                confidence,
+                candidate.supp,
+                candidate.supn,
+                candidate.row_mask,
+            )
+            return True
+        counters.candidates_rejected += 1
+        return False
+
 
 class Farmer:
     """The FARMER miner.
@@ -178,7 +514,24 @@ class Farmer:
             paper's optional Step 3).
         budget: optional node/time limits; exceeding them raises
             :class:`~repro.errors.BudgetExceeded`.
+        n_workers: shard the row-enumeration search across this many
+            processes (:mod:`repro.core.parallel`).  ``None`` (default)
+            runs the in-process serial traversal; ``1`` runs the sharded
+            decompose/execute/reduce pipeline without worker processes
+            (exercises the same code path, useful for testing).  The
+            mined result is bit-identical to the serial miner for every
+            worker count.  Node budgets (``max_nodes``) force the serial
+            path — deterministic node accounting needs one traversal.
+        broadcast_bounds: in sharded runs, ship dominance bounds built
+            from already-recorded candidates to newly dispatched workers
+            so provably-uninteresting candidates are dropped early.
+            Advisory only: stale bounds cost buffer memory, never
+            correctness, and the mined result is unchanged either way.
     """
+
+    #: Subclasses that hook the recursive ``_visit`` (e.g. the tracer)
+    #: set this to ``False``; such miners always traverse serially.
+    _supports_sharding = True
 
     def __init__(
         self,
@@ -186,6 +539,8 @@ class Farmer:
         prunings: Iterable[str] = ALL_PRUNINGS,
         compute_lower_bounds: bool = False,
         budget: SearchBudget | None = None,
+        n_workers: int | None = None,
+        broadcast_bounds: bool = True,
     ) -> None:
         self.constraints = constraints if constraints is not None else Constraints()
         prunings = frozenset(prunings)
@@ -195,6 +550,10 @@ class Farmer:
         self.prunings = prunings
         self.compute_lower_bounds = compute_lower_bounds
         self.budget = budget if budget is not None else SearchBudget()
+        if n_workers is not None and n_workers < 1:
+            raise ConstraintError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.broadcast_bounds = broadcast_bounds
 
     # ------------------------------------------------------------------
     # Public API
@@ -207,38 +566,32 @@ class Farmer:
         Returns a :class:`FarmerResult`; groups carry lower bounds iff the
         miner was built with ``compute_lower_bounds=True``.
         """
-        import time
-
-        table = TransposedTable.build(dataset, consequent)
-        started = time.perf_counter()
-        store = self._mine_table(table)
-        groups = self._build_groups(table, store)
-        if self.compute_lower_bounds:
-            groups = [attach_lower_bounds(dataset, group) for group in groups]
-        elapsed = time.perf_counter() - started
-        counters = self._counters
-        counters.groups_emitted = len(groups)
-        return FarmerResult(
-            groups=groups,
-            consequent=consequent,
-            constraints=self.constraints,
-            counters=counters,
-            elapsed_seconds=elapsed,
-            truncated=self._truncated,
-        )
+        return self.mine_table(TransposedTable.build(dataset, consequent))
 
     def mine_table(self, table: TransposedTable) -> FarmerResult:
-        """Mine from a pre-built :class:`TransposedTable` (no MineLB)."""
-        import time
-
+        """Mine from a pre-built :class:`TransposedTable`."""
         started = time.perf_counter()
-        store = self._mine_table(table)
+        report = None
+        if self._wants_sharding():
+            from .parallel import mine_table_parallel
+
+            store, counters, truncated, report = mine_table_parallel(
+                table,
+                constraints=self.constraints,
+                prunings=self.prunings,
+                n_workers=self.n_workers,
+                budget=self.budget,
+                broadcast=self.broadcast_bounds,
+            )
+        else:
+            store = self._mine_table(table)
+            counters = self._counters
+            truncated = self._truncated
         groups = self._build_groups(table, store)
         if self.compute_lower_bounds:
             groups = [
                 attach_lower_bounds(table.source, group) for group in groups
             ]
-        counters = self._counters
         counters.groups_emitted = len(groups)
         return FarmerResult(
             groups=groups,
@@ -246,7 +599,15 @@ class Farmer:
             constraints=self.constraints,
             counters=counters,
             elapsed_seconds=time.perf_counter() - started,
-            truncated=self._truncated,
+            truncated=truncated,
+            parallel=report,
+        )
+
+    def _wants_sharding(self) -> bool:
+        return (
+            self.n_workers is not None
+            and self._supports_sharding
+            and self.budget.max_nodes is None
         )
 
     # ------------------------------------------------------------------
@@ -257,9 +618,9 @@ class Farmer:
         self._table = table
         self._counters = NodeCounters()
         self._store = _IRGStore()
-        self._use_p1 = "p1" in self.prunings
-        self._use_p2 = "p2" in self.prunings and self._use_p1
-        self._use_p3 = "p3" in self.prunings
+        self._context = SearchContext.for_table(
+            table, self.constraints, self.prunings
+        )
         self._truncated = False
         self.budget.start()
 
@@ -272,19 +633,7 @@ class Farmer:
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, table.n * 4 + 1000))
         try:
-            item_ids = list(range(len(table.item_masks)))
-            masks = list(table.item_masks)
-            self._visit(
-                item_ids=item_ids,
-                masks=masks,
-                x_mask=0,
-                cand_pos=table.positive_mask,
-                cand_neg=table.negative_mask,
-                p1_removed=0,
-                supp_in=0,
-                supn_in=0,
-                rm_is_positive=True,
-            )
+            self._visit(*self._context.root_state(table))
         except BudgetExceeded:
             if self.budget.strict:
                 raise
@@ -307,128 +656,40 @@ class Farmer:
         rm_is_positive: bool,
     ) -> None:
         """MineIRGs (Figure 5) at the node with row combination
-        ``x_mask``."""
-        table = self._table
-        constraints = self.constraints
+        ``x_mask``.
+
+        Steps 1-6 live in :func:`expand_node` (shared with the sharded
+        miner); this wrapper adds the recursion and Step 7's admission.
+        Descendants are visited before the candidate is offered, and
+        earlier branches ran before this one, so every group with a
+        smaller antecedent is already in the store (Lemma 3.4) and the
+        interestingness comparison is complete.  This includes the root:
+        its I(∅) is the whole vocabulary, which is a real rule group
+        exactly when some rows contain every item (its intersection is
+        non-empty; otherwise the zero support fails the threshold test).
+        Reporting the root matters when Pruning 1 compresses those rows
+        away before any child is spawned.
+        """
         self.budget.tick()
-
-        # Step 2 — Pruning 3, loose bounds (before scanning the table).
-        if self._use_p3:
-            us2 = loose_support_bound(
-                supp_in, bitset.bit_count(cand_pos), rm_is_positive
-            )
-            if us2 < constraints.minsup or (
-                confidence_bound(us2, supn_in) < constraints.minconf
-            ):
-                self._counters.pruned_loose += 1
-                return
-
-        # Step 3 — scan TT|X.  The intersection of all tuples is R(I(X)).
-        intersection, union = scan_items(masks, table.all_rows_mask)
-        candidates = cand_pos | cand_neg
-
-        # Step 1 — Pruning 2.  A row outside X and outside the candidate
-        # list (and never compressed away by Pruning 1 on this path) that
-        # occurs in every tuple proves this subtree was enumerated before.
-        if self._use_p2:
-            witness = intersection & ~x_mask & ~candidates & ~p1_removed
-            if witness:
-                self._counters.pruned_identified += 1
-                return
-
-        supp_total = bitset.bit_count(intersection & table.positive_mask)
-        supn_total = bitset.bit_count(intersection) - supp_total
-
-        # Step 4 — Pruning 3, tight bounds (after the scan).
-        if self._use_p3:
-            if rm_is_positive and cand_pos:
-                max_ep = max(bitset.bit_count(mask & cand_pos) for mask in masks)
-            else:
-                max_ep = 0
-            us1 = tight_support_bound(supp_in, max_ep, rm_is_positive)
-            if (
-                us1 < constraints.minsup
-                or confidence_bound(us1, supn_total) < constraints.minconf
-                or (
-                    constraints.minchi > 0.0
-                    and chi_bound(supp_total, supn_total, table.n, table.m)
-                    < constraints.minchi
-                )
-            ):
-                self._counters.pruned_tight += 1
-                return
-
-        # Step 5 — Pruning 1: compress rows found in every tuple, and drop
-        # candidates found in no tuple (they would yield I(X) = ∅).
-        y_mask = intersection & candidates
-        if self._use_p1:
-            new_pos = union & cand_pos & ~y_mask
-            new_neg = union & cand_neg & ~y_mask
-            child_p1_removed = p1_removed | y_mask
-            self._counters.rows_compressed += bitset.bit_count(y_mask)
-        else:
-            new_pos = union & cand_pos
-            new_neg = union & cand_neg
-            child_p1_removed = p1_removed
-
-        # Step 6 — recurse over remaining candidates in ORD order.
-        child_candidates = new_pos | new_neg
-        for row in bitset.iter_bits(child_candidates):
-            row_bit = 1 << row
-            child_ids, child_masks = extend_items(item_ids, masks, row_bit)
-            if not child_ids:
-                continue
-            already_counted = bool(intersection & row_bit)
-            if row < table.m:
-                child_pos = new_pos & ~bitset.below_mask(row + 1)
-                child_neg = new_neg
-                child_supp = supp_total + (0 if already_counted else 1)
-                child_supn = supn_total
-                child_positive = True
-            else:
-                child_pos = 0
-                child_neg = new_neg & ~bitset.below_mask(row + 1)
-                child_supp = supp_total
-                child_supn = supn_total + (0 if already_counted else 1)
-                child_positive = False
-            self._visit(
-                item_ids=child_ids,
-                masks=child_masks,
-                x_mask=x_mask | row_bit,
-                cand_pos=child_pos,
-                cand_neg=child_neg,
-                p1_removed=child_p1_removed,
-                supp_in=child_supp,
-                supn_in=child_supn,
-                rm_is_positive=child_positive,
-            )
-
-        # Step 7 — admit I(X) -> C if it satisfies the thresholds and is
-        # interesting.  All groups with smaller antecedents are already in
-        # the store (descendants were just visited; earlier branches ran
-        # before us — Lemma 3.4), so the comparison is complete.  This
-        # includes the root: its I(∅) is the whole vocabulary, which is a
-        # real rule group exactly when some rows contain every item (its
-        # intersection is non-empty; otherwise the zero support fails the
-        # threshold test below).  Reporting the root matters when Pruning
-        # 1 compresses those rows away before any child is spawned.
-        if not constraints.satisfied_by(supp_total, supn_total, table.n, table.m):
-            return
-        item_mask = 0
-        for item_id in item_ids:
-            item_mask |= 1 << item_id
-        store = self._store
-        if item_mask in store.seen:
-            # Only reachable when Pruning 2 is disabled: the same upper
-            # bound rediscovered at a later node.
-            return
-        confidence = supp_total / (supp_total + supn_total)
-        if store.is_interesting(item_mask, len(item_ids), confidence):
-            store.add(
-                item_ids, item_mask, confidence, supp_total, supn_total, intersection
-            )
-        else:
-            self._counters.candidates_rejected += 1
+        _outcome, candidate, children = expand_node(
+            self._context,
+            NodeState(
+                item_ids,
+                masks,
+                x_mask,
+                cand_pos,
+                cand_neg,
+                p1_removed,
+                supp_in,
+                supn_in,
+                rm_is_positive,
+            ),
+            self._counters,
+        )
+        for child in children:
+            self._visit(*child)
+        if candidate is not None:
+            self._store.offer(candidate, self._counters)
 
     # ------------------------------------------------------------------
     # Result materialization
@@ -462,8 +723,13 @@ def mine_irgs(
     compute_lower_bounds: bool = False,
     prunings: Iterable[str] = ALL_PRUNINGS,
     budget: SearchBudget | None = None,
+    n_workers: int | None = None,
 ) -> FarmerResult:
     """One-call convenience wrapper around :class:`Farmer`.
+
+    ``n_workers`` shards the search across processes (see
+    :mod:`repro.core.parallel`); the result is bit-identical to the
+    serial miner for any worker count.
 
     >>> from repro.data.dataset import ItemizedDataset
     >>> data = ItemizedDataset.from_lists(
@@ -477,5 +743,6 @@ def mine_irgs(
         prunings=prunings,
         compute_lower_bounds=compute_lower_bounds,
         budget=budget,
+        n_workers=n_workers,
     )
     return miner.mine(dataset, consequent)

@@ -1,0 +1,551 @@
+"""Sharded row enumeration: FARMER across worker processes.
+
+The row-enumeration tree of Figure 5 is embarrassingly shardable — each
+subtree conditions an independent transposed table carried entirely in its
+:class:`~repro.core.farmer.NodeState` — but the Step 7 interestingness
+filter is not: admitting ``I(X) -> C`` requires every rule group with a
+strictly smaller antecedent to be known (Lemma 3.4).  The executor here
+therefore splits the *search* and keeps the *admission* serial:
+
+1. **Decompose** (coordinator).  Expand the tree from the root, always
+   expanding the frontier node with the largest estimated subtree, until
+   roughly ``chunk_factor x n_workers`` frontier subtrees exist.  A plain
+   first-level split would be badly unbalanced (the subtree of the first
+   ORD row covers half the unpruned tree), so large subtrees are split
+   again; every frontier node becomes one task in a chunked work queue.
+
+2. **Execute** (workers).  Each worker runs the exact serial traversal of
+   its subtree (:func:`repro.core.farmer.enumerate_subtree`), collecting
+   every threshold-satisfying Step 7 candidate in discovery order.  No
+   admission decisions are taken in parallel.
+
+3. **Reduce** (deterministic).  The per-task candidate sequences are
+   stitched back together in serial traversal order — children before
+   their parent, subtrees in ORD order — and replayed through the serial
+   Step 7 store (:meth:`_IRGStore.offer`).  The concatenation equals the
+   serial miner's discovery sequence, so the admitted groups, their store
+   order, and the merged counters are bit-identical to a serial run,
+   independent of worker count and OS scheduling.
+
+**Advisory bound broadcast.**  With every task dispatch the coordinator
+ships a snapshot of the dominance bounds accumulated so far — the
+``(confidence, antecedent mask, antecedent size)`` table of candidates
+already recorded by finished tasks, ordered like the Step 7 store.  A
+worker drops (and counts as rejected) any candidate covered by a strictly
+smaller recorded antecedent with confidence at least as high: such a
+candidate is provably rejected by the final replay, because its dominator
+— or, chasing rejections, some admitted dominator of that dominator — is
+a constraint-satisfying group with a strictly smaller antecedent, and
+Lemma 3.4 places every such group before the candidate in the replay
+sequence.  The bounds are purely advisory: a stale snapshot only means a
+doomed candidate is buffered and shipped before the replay rejects it.
+Work done (nodes, prunings) is identical either way; the test suite pins
+merged counters to the serial miner's with the broadcast on and off.
+
+Worker pools are forked lazily and cached per worker count so repeated
+mining calls (parameter sweeps, test grids) do not pay process start-up
+each time; :func:`shutdown_workers` tears them down.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import multiprocessing
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..data.transpose import TransposedTable
+from ..errors import BudgetExceeded, ConstraintError
+from . import bitset
+from .constraints import Constraints
+from .enumeration import NodeCounters, SearchBudget, merge_counters
+from .farmer import (
+    ALL_PRUNINGS,
+    Candidate,
+    NodeState,
+    SearchContext,
+    _IRGStore,
+    enumerate_subtree,
+    expand_node,
+)
+
+__all__ = [
+    "AdvisoryBounds",
+    "ParallelReport",
+    "mine_table_parallel",
+    "shutdown_workers",
+]
+
+#: Frontier subtrees generated per worker: the chunked work queue keeps
+#: this many tasks per process so stragglers rebalance dynamically.
+DEFAULT_CHUNK_FACTOR = 4
+
+#: Maximum entries in a broadcast bounds snapshot.  Dominators are kept
+#: in confidence-descending order, so the cap drops the weakest bounds
+#: first; capping is safe because the bounds are advisory.
+DEFAULT_ADVISORY_CAP = 256
+
+
+class AdvisoryBounds:
+    """Cross-subtree dominance bounds (the broadcast Step 7 prefilter).
+
+    The same confidence-descending parallel-array layout (and prefix
+    scan) as :class:`~repro.core.farmer._IRGStore`, but holding *recorded
+    candidates* rather than admitted groups — that is sufficient: see the
+    module docstring for why a covered candidate is provably rejected by
+    the admission replay.
+    """
+
+    __slots__ = ("neg_confidences", "item_masks", "sizes", "cap", "drops", "_members")
+
+    def __init__(
+        self,
+        entries: Iterable[tuple[float, int, int]] = (),
+        cap: int = DEFAULT_ADVISORY_CAP,
+    ) -> None:
+        """``entries`` are ``(neg_confidence, item_mask, size)`` triples
+        already sorted by ``neg_confidence`` (a snapshot)."""
+        self.neg_confidences: list[float] = []
+        self.item_masks: list[int] = []
+        self.sizes: list[int] = []
+        self.cap = cap
+        #: Candidates dropped against these bounds (diagnostics).
+        self.drops = 0
+        self._members: set[int] = set()
+        for neg_confidence, item_mask, size in entries:
+            self.neg_confidences.append(neg_confidence)
+            self.item_masks.append(item_mask)
+            self.sizes.append(size)
+            self._members.add(item_mask)
+
+    def __len__(self) -> int:
+        return len(self.neg_confidences)
+
+    def covers(self, item_mask: int, size: int, confidence: float) -> bool:
+        """Whether some recorded strictly-smaller antecedent dominates."""
+        boundary = bisect.bisect_right(self.neg_confidences, -confidence)
+        masks = self.item_masks
+        stored_sizes = self.sizes
+        for index in range(boundary):
+            if (
+                stored_sizes[index] < size
+                and masks[index] & item_mask == masks[index]
+            ):
+                return True
+        return False
+
+    def extend(self, item_mask: int, size: int, confidence: float) -> None:
+        """Record one candidate as a future dominator (capped)."""
+        if item_mask in self._members:
+            return
+        neg_confidence = -confidence
+        if len(self.neg_confidences) >= self.cap:
+            # Full: only displace the weakest bound for a stronger one.
+            if neg_confidence >= self.neg_confidences[-1]:
+                return
+            self._members.discard(self.item_masks[-1])
+            del self.neg_confidences[-1], self.item_masks[-1], self.sizes[-1]
+        position = bisect.bisect_right(self.neg_confidences, neg_confidence)
+        self.neg_confidences.insert(position, neg_confidence)
+        self.item_masks.insert(position, item_mask)
+        self.sizes.insert(position, size)
+        self._members.add(item_mask)
+
+    def snapshot(self) -> list[tuple[float, int, int]]:
+        """A picklable copy for shipping with a task dispatch."""
+        return list(zip(self.neg_confidences, self.item_masks, self.sizes))
+
+
+@dataclass
+class ParallelReport:
+    """Diagnostics of one sharded mining run.
+
+    Attributes:
+        n_workers: worker processes requested (1 = inline execution).
+        broadcast: whether advisory bounds were shared with workers.
+        coordinator: counters for the nodes the coordinator expanded
+            while decomposing the tree into tasks.
+        n_tasks: frontier subtrees placed on the work queue.
+        workers: per-task counters, in dispatch (largest-first) order.
+        advisory_drops: candidates dropped against broadcast bounds
+            instead of being buffered for the reduce.
+    """
+
+    n_workers: int
+    broadcast: bool
+    coordinator: NodeCounters
+    n_tasks: int = 0
+    workers: list[NodeCounters] = field(default_factory=list)
+    advisory_drops: int = 0
+
+
+class _Leaf:
+    """A frontier subtree: one work-queue task, result attached in place."""
+
+    __slots__ = ("state", "candidates", "counters")
+
+    def __init__(self, state: NodeState) -> None:
+        self.state = state
+        self.candidates: list[Candidate] = []
+        self.counters = NodeCounters()
+
+
+class _Branch:
+    """A coordinator-expanded node: its own candidate plus ordered children."""
+
+    __slots__ = ("candidate", "children")
+
+    def __init__(self, candidate: Candidate | None) -> None:
+        self.candidate = candidate
+        self.children: list[object] = []
+
+
+def _estimate(state: NodeState) -> int:
+    """Subtree-size proxy for load balancing: remaining candidate rows."""
+    return bitset.bit_count(state.cand_pos | state.cand_neg)
+
+
+class _DeadlineTicker:
+    """Per-node budget hook: check the wall clock every 256 nodes."""
+
+    __slots__ = ("deadline", "ticks")
+
+    def __init__(self, deadline: float) -> None:
+        self.deadline = deadline
+        self.ticks = 0
+
+    def __call__(self) -> None:
+        self.ticks += 1
+        if self.ticks % 256 == 0 and time.time() > self.deadline:
+            raise BudgetExceeded(
+                "time budget exceeded in sharded search",
+                nodes_expanded=self.ticks,
+            )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _run_subtree_task(
+    ctx: SearchContext,
+    state: NodeState,
+    snapshot: list[tuple[float, int, int]] | None,
+    advisory_cap: int,
+    deadline: float | None,
+    strict: bool,
+    n_rows: int,
+) -> tuple[list[Candidate], NodeCounters, int, bool]:
+    """Executed in a worker process: serial traversal of one subtree."""
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), n_rows * 4 + 1000))
+    counters = NodeCounters()
+    sink: list[Candidate] = []
+    advisory = (
+        AdvisoryBounds(snapshot, cap=advisory_cap) if snapshot is not None else None
+    )
+    tick = _DeadlineTicker(deadline) if deadline is not None else None
+    truncated = False
+    try:
+        enumerate_subtree(ctx, state, counters, sink, advisory, tick)
+    except BudgetExceeded:
+        if strict:
+            raise
+        truncated = True
+    drops = advisory.drops if advisory is not None else 0
+    return sink, counters, drops, truncated
+
+
+# ----------------------------------------------------------------------
+# Worker pool management
+# ----------------------------------------------------------------------
+
+_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_executor(n_workers: int) -> ProcessPoolExecutor:
+    executor = _EXECUTORS.get(n_workers)
+    if executor is None:
+        method = (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        executor = ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=multiprocessing.get_context(method)
+        )
+        _EXECUTORS[n_workers] = executor
+    return executor
+
+
+def shutdown_workers() -> None:
+    """Tear down the cached worker pools (for tests and embedders)."""
+    while _EXECUTORS:
+        _, executor = _EXECUTORS.popitem()
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+def _decompose(
+    ctx: SearchContext,
+    root_state: NodeState,
+    coordinator: NodeCounters,
+    target: int,
+    expansion_cap: int,
+    deadline: float | None,
+    strict: bool,
+) -> tuple[object, list[_Leaf], bool]:
+    """Expand the tree until ``target`` frontier subtrees exist.
+
+    Always expands the frontier node with the largest estimated subtree
+    (deterministic; ties broken by creation order), performing the full
+    per-node work — prunings, candidate emission — for expanded nodes.
+    The decomposition does not affect the mined output: any frontier
+    reassembles to the serial candidate sequence in the reduce.
+
+    Returns ``(plan_root, tasks, truncated)`` with tasks in dispatch
+    (largest-first) order.
+    """
+    root: object = _Leaf(root_state)
+    heap: list[tuple[int, int, _Leaf, list[object] | None, int]] = [
+        (-_estimate(root_state), 0, root, None, 0)
+    ]
+    sequence = 1
+    n_leaves = 1
+    expanded = 0
+    truncated = False
+    while heap and n_leaves < target and expanded < expansion_cap:
+        if deadline is not None and time.time() > deadline:
+            if strict:
+                raise BudgetExceeded(
+                    "time budget exceeded while sharding the search",
+                    nodes_expanded=expanded,
+                )
+            truncated = True
+            break
+        _, _, leaf, parent_children, index = heapq.heappop(heap)
+        coordinator.nodes += 1
+        expanded += 1
+        _outcome, candidate, children = expand_node(ctx, leaf.state, coordinator)
+        branch = _Branch(candidate)
+        if parent_children is None:
+            root = branch
+        else:
+            parent_children[index] = branch
+        n_leaves -= 1
+        for child_state in children:
+            child = _Leaf(child_state)
+            branch.children.append(child)
+            heapq.heappush(
+                heap,
+                (
+                    -_estimate(child_state),
+                    sequence,
+                    child,
+                    branch.children,
+                    len(branch.children) - 1,
+                ),
+            )
+            sequence += 1
+            n_leaves += 1
+    tasks = [entry[2] for entry in sorted(heap)]
+    return root, tasks, truncated
+
+
+def _execute_tasks(
+    tasks: Sequence[_Leaf],
+    ctx: SearchContext,
+    n_workers: int,
+    broadcast: bool,
+    advisory_cap: int,
+    deadline: float | None,
+    strict: bool,
+    n_rows: int,
+) -> tuple[bool, int]:
+    """Run every task, inline (1 worker) or on the process pool.
+
+    Results are attached to the leaves in place.  Returns
+    ``(truncated, advisory_drops)``.
+    """
+    advisory = AdvisoryBounds(cap=advisory_cap) if broadcast else None
+    truncated = False
+
+    if n_workers == 1:
+        tick = _DeadlineTicker(deadline) if deadline is not None else None
+        for leaf in tasks:
+            if truncated:
+                break
+            try:
+                enumerate_subtree(
+                    ctx, leaf.state, leaf.counters, leaf.candidates, advisory, tick
+                )
+            except BudgetExceeded:
+                if strict:
+                    raise
+                truncated = True
+        return truncated, advisory.drops if advisory is not None else 0
+
+    executor = _get_executor(n_workers)
+    pending = list(tasks)
+    futures: dict = {}
+    drops = 0
+    error: BudgetExceeded | None = None
+
+    def submit(leaf: _Leaf) -> None:
+        snapshot = advisory.snapshot() if advisory is not None else None
+        future = executor.submit(
+            _run_subtree_task,
+            ctx,
+            leaf.state,
+            snapshot,
+            advisory_cap,
+            deadline,
+            strict,
+            n_rows,
+        )
+        futures[future] = leaf
+
+    for leaf in pending[:n_workers]:
+        submit(leaf)
+    del pending[:n_workers]
+
+    while futures:
+        done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+        for future in done:
+            leaf = futures.pop(future)
+            try:
+                sink, counters, task_drops, task_truncated = future.result()
+            except BudgetExceeded as exc:
+                # Strict budget tripped in a worker: stop feeding the
+                # queue, drain what is already running, then re-raise.
+                error = exc
+                pending.clear()
+                continue
+            leaf.candidates = sink
+            leaf.counters = counters
+            drops += task_drops
+            truncated = truncated or task_truncated
+            if advisory is not None:
+                for candidate in sink:
+                    advisory.extend(
+                        candidate.item_mask,
+                        len(candidate.item_ids),
+                        candidate.confidence,
+                    )
+            if pending and error is None and not truncated:
+                if deadline is not None and time.time() > deadline:
+                    if strict:
+                        error = BudgetExceeded(
+                            "time budget exceeded in sharded search"
+                        )
+                        pending.clear()
+                        continue
+                    truncated = True
+                    continue
+                submit(pending.pop(0))
+    if error is not None:
+        raise error
+    return truncated, drops
+
+
+def _assemble(plan: object, out: list[Candidate]) -> None:
+    """In-order reassembly: children first, own candidate last.
+
+    Restores exactly the serial miner's candidate discovery sequence
+    (post-order over the enumeration tree, subtrees in ORD order).
+    """
+    if isinstance(plan, _Leaf):
+        out.extend(plan.candidates)
+        return
+    for child in plan.children:  # type: ignore[attr-defined]
+        _assemble(child, out)
+    if plan.candidate is not None:  # type: ignore[attr-defined]
+        out.append(plan.candidate)
+
+
+def mine_table_parallel(
+    table: TransposedTable,
+    *,
+    constraints: Constraints,
+    prunings: Iterable[str] = ALL_PRUNINGS,
+    n_workers: int = 2,
+    budget: SearchBudget | None = None,
+    broadcast: bool = True,
+    chunk_factor: int = DEFAULT_CHUNK_FACTOR,
+    advisory_cap: int = DEFAULT_ADVISORY_CAP,
+    expansion_cap: int | None = None,
+) -> tuple[_IRGStore, NodeCounters, bool, ParallelReport]:
+    """Mine ``table`` with the sharded decompose/execute/reduce pipeline.
+
+    Returns ``(store, merged_counters, truncated, report)``; the store's
+    entries (and therefore the built rule groups, their order, and the
+    merged counters of a completed run) are bit-identical to the serial
+    :class:`~repro.core.farmer.Farmer` on the same input, for every
+    ``n_workers`` and any scheduling.
+
+    Only wall-clock budgets are supported here: ``max_seconds`` becomes a
+    shared deadline (strict budgets raise
+    :class:`~repro.errors.BudgetExceeded`; non-strict ones truncate).
+    ``max_nodes`` raises ``ValueError`` — deterministic node accounting
+    needs the serial traversal, and :class:`Farmer` routes such budgets
+    there automatically.
+    """
+    if n_workers < 1:
+        raise ConstraintError(f"n_workers must be >= 1, got {n_workers}")
+    deadline = None
+    strict = True
+    if budget is not None:
+        if budget.max_nodes is not None:
+            raise ValueError(
+                "node budgets require the serial miner "
+                "(deterministic node accounting)"
+            )
+        budget.start()
+        strict = budget.strict
+        if budget.max_seconds is not None:
+            deadline = time.time() + budget.max_seconds
+
+    ctx = SearchContext.for_table(table, constraints, prunings)
+    coordinator = NodeCounters()
+    store = _IRGStore()
+    report = ParallelReport(
+        n_workers=n_workers, broadcast=broadcast, coordinator=coordinator
+    )
+    if table.n == 0 or not table.item_masks:
+        return store, merge_counters([coordinator]), False, report
+
+    target = max(2, chunk_factor * n_workers)
+    cap = expansion_cap if expansion_cap is not None else max(4 * target, 64)
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, table.n * 4 + 1000))
+    try:
+        plan, tasks, truncated = _decompose(
+            ctx, ctx.root_state(table), coordinator, target, cap, deadline, strict
+        )
+        drops = 0
+        if tasks and not truncated:
+            task_truncated, drops = _execute_tasks(
+                tasks, ctx, n_workers, broadcast, advisory_cap, deadline, strict,
+                table.n,
+            )
+            truncated = truncated or task_truncated
+        replay = NodeCounters()
+        sequence: list[Candidate] = []
+        _assemble(plan, sequence)
+        for candidate in sequence:
+            store.offer(candidate, replay)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    report.n_tasks = len(tasks)
+    report.workers = [leaf.counters for leaf in tasks]
+    report.advisory_drops = drops
+    merged = merge_counters([coordinator, replay, *report.workers])
+    return store, merged, truncated, report

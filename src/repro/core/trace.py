@@ -78,10 +78,13 @@ class TracingFarmer(Farmer):
     """A :class:`Farmer` that records the enumeration tree it walks.
 
     After :meth:`mine`, the tree is available as :attr:`trace_root`.
-    All constructor arguments match :class:`Farmer`.
+    All constructor arguments match :class:`Farmer`.  Tracing always runs
+    the serial traversal — an ``n_workers`` argument is accepted but
+    ignored, since the trace hooks into the in-process recursion.
     """
 
     trace_root: TraceNode | None = None
+    _supports_sharding = False
 
     def mine(self, dataset: ItemizedDataset, consequent: Hashable):
         self._trace_stack: list[TraceNode] = []

@@ -20,7 +20,16 @@ from .ablation import (
 from .crossover import crossover_report, run_crossover, run_tall_crossover
 from .fig10 import fig10_report, run_fig10
 from .fig11 import fig11_report, run_fig11
-from .harness import Series, TimedRun, format_series, format_table, timed
+from .harness import (
+    ScalingPoint,
+    Series,
+    TimedRun,
+    format_scaling,
+    format_series,
+    format_table,
+    scaling_curve,
+    timed,
+)
 from .plots import ascii_chart
 from .report import markdown_report, write_report
 from .scaling import run_scaling, scaling_report
@@ -32,6 +41,7 @@ __all__ = [
     "MINCONF_GRID",
     "MINSUP_GRIDS",
     "PAPER_TABLE2",
+    "ScalingPoint",
     "Series",
     "TimedRun",
     "Workload",
@@ -40,6 +50,7 @@ __all__ = [
     "crossover_report",
     "fig10_report",
     "fig11_report",
+    "format_scaling",
     "format_series",
     "format_table",
     "markdown_report",
@@ -55,6 +66,7 @@ __all__ = [
     "run_table1",
     "run_table2",
     "run_tall_crossover",
+    "scaling_curve",
     "scaling_report",
     "table1_report",
     "table2_report",

@@ -21,7 +21,16 @@ from typing import Callable, Sequence
 
 from ..errors import BudgetExceeded
 
-__all__ = ["TimedRun", "Series", "timed", "format_table", "format_series"]
+__all__ = [
+    "TimedRun",
+    "Series",
+    "ScalingPoint",
+    "timed",
+    "format_table",
+    "format_series",
+    "scaling_curve",
+    "format_scaling",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,6 +107,67 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     out = [line(list(headers)), line(["-" * width for width in widths])]
     out.extend(line(row) for row in cells)
     return "\n".join(out)
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingPoint:
+    """One point of a worker-scaling curve.
+
+    Attributes:
+        n_workers: worker processes used for this run.
+        run: the timed result at that worker count.
+        speedup: serial time / this run's time (0.0 when either timed out).
+        efficiency: ``speedup / n_workers`` (parallel efficiency).
+    """
+
+    n_workers: int
+    run: TimedRun
+    speedup: float
+    efficiency: float
+
+
+def scaling_curve(
+    serial: TimedRun, runs: Sequence[tuple[int, TimedRun]]
+) -> list[ScalingPoint]:
+    """Derive speedup/efficiency points from timed runs at worker counts.
+
+    ``serial`` is the 1-process reference; ``runs`` are ``(n_workers,
+    run)`` pairs.  Timed-out cells get zero speedup so a partially
+    completed sweep still renders.
+    """
+    points = []
+    for n_workers, run in runs:
+        if serial.ok and run.ok and run.seconds > 0:
+            speedup = serial.seconds / run.seconds
+        else:
+            speedup = 0.0
+        points.append(
+            ScalingPoint(
+                n_workers=n_workers,
+                run=run,
+                speedup=speedup,
+                efficiency=speedup / n_workers if n_workers else 0.0,
+            )
+        )
+    return points
+
+
+def format_scaling(
+    title: str, serial: TimedRun, points: Sequence[ScalingPoint]
+) -> str:
+    """Render a worker-scaling curve as an aligned table."""
+    headers = ["workers", "time", "speedup", "efficiency"]
+    rows: list[Sequence[object]] = [["serial", serial.cell(), "1.00x", "-"]]
+    for point in points:
+        rows.append(
+            [
+                point.n_workers,
+                point.run.cell(),
+                f"{point.speedup:.2f}x" if point.speedup else "-",
+                f"{point.efficiency:.0%}" if point.speedup else "-",
+            ]
+        )
+    return f"{title}\n{format_table(headers, rows)}"
 
 
 def format_series(title: str, x_label: str, series: Sequence[Series]) -> str:

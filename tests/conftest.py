@@ -36,13 +36,40 @@ def paper_dataset() -> ItemizedDataset:
     )
 
 
+#: Degenerate dataset shapes a sharded first enumeration level is most
+#: likely to mishandle (empty task lists, all-compressed roots, subtree
+#: candidates identical across shards).
+DEGENERATE_SHAPES = (
+    "single_row",
+    "no_consequent",
+    "all_identical",
+    "shared_item",
+)
+
+
 def random_dataset(
     seed: int,
     max_rows: int = 9,
     max_items: int = 10,
     ensure_label: str = "C",
+    shape: str | None = None,
 ) -> ItemizedDataset:
-    """Small random labelled dataset for oracle comparisons."""
+    """Small random labelled dataset for oracle comparisons.
+
+    With ``shape`` set to one of :data:`DEGENERATE_SHAPES`, returns a
+    randomized instance of that degenerate family instead (the default
+    path's RNG stream is untouched, so existing seeds keep their data):
+
+    * ``"single_row"`` — one row, labelled with the consequent.
+    * ``"no_consequent"`` — the consequent class is empty (mining it
+      must raise :class:`~repro.errors.DataError`).
+    * ``"all_identical"`` — every row carries the same itemset, so
+      Pruning 1 compresses the whole candidate list at the root.
+    * ``"shared_item"`` — one item occurs in every row (the vocabulary
+      intersection is non-empty at every node).
+    """
+    if shape is not None:
+        return _degenerate_dataset(shape, seed)
     rng = random.Random(seed)
     n_rows = rng.randint(2, max_rows)
     n_items = rng.randint(2, max_items)
@@ -55,3 +82,42 @@ def random_dataset(
     if ensure_label not in labels:
         labels[0] = ensure_label
     return ItemizedDataset.from_lists(rows, labels, n_items=n_items)
+
+
+def _degenerate_dataset(shape: str, seed: int) -> ItemizedDataset:
+    rng = random.Random(seed ^ 0x5EED)
+    n_items = rng.randint(2, 8)
+    if shape == "single_row":
+        row = sorted(rng.sample(range(n_items), rng.randint(1, n_items)))
+        return ItemizedDataset.from_lists([row], ["C"], n_items=n_items)
+    if shape == "no_consequent":
+        n_rows = rng.randint(2, 6)
+        rows = [
+            [item for item in range(n_items) if rng.random() < 0.5]
+            for _ in range(n_rows)
+        ]
+        return ItemizedDataset.from_lists(rows, ["D"] * n_rows, n_items=n_items)
+    if shape == "all_identical":
+        n_rows = rng.randint(2, 6)
+        row = sorted(rng.sample(range(n_items), rng.randint(1, n_items)))
+        labels = [rng.choice("CD") for _ in range(n_rows)]
+        if "C" not in labels:
+            labels[0] = "C"
+        return ItemizedDataset.from_lists(
+            [list(row) for _ in range(n_rows)], labels, n_items=n_items
+        )
+    if shape == "shared_item":
+        n_rows = rng.randint(3, 7)
+        shared = rng.randrange(n_items)
+        rows = [
+            sorted(
+                {shared}
+                | {item for item in range(n_items) if rng.random() < 0.4}
+            )
+            for _ in range(n_rows)
+        ]
+        labels = [rng.choice("CD") for _ in range(n_rows)]
+        if "C" not in labels:
+            labels[0] = "C"
+        return ItemizedDataset.from_lists(rows, labels, n_items=n_items)
+    raise ValueError(f"unknown degenerate shape: {shape!r}")

@@ -8,10 +8,11 @@ constraint setting and every pruning configuration.
 
 import pytest
 
-from conftest import random_dataset
+from conftest import DEGENERATE_SHAPES, random_dataset
 
 from repro import Constraints, mine_irgs
 from repro.baselines import all_rule_groups, interesting_rule_groups
+from repro.errors import DataError
 
 CONSTRAINT_GRID = [
     dict(minsup=1, minconf=0.0, minchi=0.0),
@@ -45,6 +46,38 @@ class TestAgainstOracle:
             oracle = interesting_rule_groups(data, "D", Constraints(minsup=1))
             result = mine_irgs(data, "D", minsup=1)
             assert result.upper_antecedents() == {g.upper for g in oracle}
+
+
+class TestDegenerateShapes:
+    """The shapes a sharded first enumeration level mishandles first:
+    single-row trees (no children to shard), fully-compressed roots,
+    items shared by every row.  The oracle is authoritative here too."""
+
+    SHAPES = tuple(s for s in DEGENERATE_SHAPES if s != "no_consequent")
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("params", CONSTRAINT_GRID, ids=str)
+    def test_matches_oracle(self, shape, params):
+        for seed in range(6):
+            data = random_dataset(seed, shape=shape)
+            oracle = interesting_rule_groups(data, "C", Constraints(**params))
+            result = mine_irgs(data, "C", **params)
+            expected = {
+                g.upper: (g.support, g.antecedent_support, g.rows)
+                for g in oracle
+            }
+            got = {
+                g.upper: (g.support, g.antecedent_support, g.rows)
+                for g in result.groups
+            }
+            assert got == expected, (shape, seed, params)
+
+    def test_missing_consequent_raises(self):
+        data = random_dataset(0, shape="no_consequent")
+        with pytest.raises(DataError):
+            mine_irgs(data, "C", minsup=1)
+        with pytest.raises(DataError):
+            mine_irgs(data, "C", minsup=1, n_workers=2)
 
 
 class TestPruningAblation:

@@ -1,10 +1,14 @@
-"""Tests for the enumeration-tree tracer — pinned to the paper's Figure 3."""
+"""Tests for the enumeration-tree tracer — pinned to the paper's Figure 3 —
+and for the per-worker counter merge of the sharded miner."""
+
+import dataclasses
 
 import pytest
 
-from conftest import itemset_to_letters
+from conftest import itemset_to_letters, random_dataset
 
-from repro import Constraints
+from repro import Constraints, Farmer, mine_irgs
+from repro.core.enumeration import NodeCounters, merge_counters
 from repro.core.trace import TracingFarmer, render_tree
 
 
@@ -92,6 +96,66 @@ class TestPrunedTrace:
 
         collect(miner.trace_root)
         assert result.upper_antecedents() <= reported
+
+
+class TestCounterMerge:
+    """The sharded miner's merged per-worker counters vs the serial run."""
+
+    def test_merge_counters_is_fieldwise_sum(self):
+        parts = [
+            NodeCounters(nodes=2, pruned_loose=1),
+            NodeCounters(nodes=3, pruned_tight=4, candidates_rejected=1),
+            NodeCounters(rows_compressed=7),
+        ]
+        merged = merge_counters(parts)
+        assert dataclasses.asdict(merged) == {
+            "nodes": 5,
+            "pruned_loose": 1,
+            "pruned_tight": 4,
+            "pruned_identified": 0,
+            "rows_compressed": 7,
+            "groups_emitted": 0,
+            "candidates_rejected": 1,
+        }
+
+    def test_merged_equal_serial_without_broadcast(self):
+        for seed in range(8):
+            data = random_dataset(seed, max_rows=11)
+            serial = mine_irgs(data, "C", minsup=1)
+            parallel = Farmer(
+                Constraints(minsup=1), n_workers=2, broadcast_bounds=False
+            ).mine(data, "C")
+            assert dataclasses.asdict(parallel.counters) == dataclasses.asdict(
+                serial.counters
+            ), seed
+
+    def test_merged_never_exceed_serial_with_broadcast(self):
+        # With bounds broadcast on, dropped candidates are counted
+        # exactly where the replay would have rejected them, so the
+        # merged counters match the serial run field for field — the
+        # strongest form of "never exceed".
+        for seed in range(8):
+            data = random_dataset(seed, max_rows=11)
+            serial = dataclasses.asdict(mine_irgs(data, "C", minsup=1).counters)
+            parallel = dataclasses.asdict(
+                Farmer(
+                    Constraints(minsup=1), n_workers=2, broadcast_bounds=True
+                )
+                .mine(data, "C")
+                .counters
+            )
+            for name, serial_value in serial.items():
+                assert parallel[name] <= serial_value, (seed, name)
+            assert parallel == serial, seed
+
+    def test_tracer_always_runs_serial(self, paper_dataset):
+        # The tracer hooks the in-process recursion, so n_workers is
+        # accepted but the traversal stays serial and fully traced.
+        miner = TracingFarmer(constraints=Constraints(minsup=1), n_workers=4)
+        result = miner.mine(paper_dataset, "C")
+        assert result.parallel is None
+        assert miner.trace_root is not None
+        assert miner.trace_root.size() == result.counters.nodes
 
 
 class TestRenderTree:
