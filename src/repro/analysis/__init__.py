@@ -1,0 +1,49 @@
+"""farmer-lint: AST-based invariant checks for the FARMER reproduction.
+
+The sharded miner (:mod:`repro.core.parallel`) is bit-identical to the
+serial run only while the core enumeration code honours contracts that
+ordinary tests cannot see until they break at runtime: iteration order
+must never leak from unordered containers into mined output, worker
+state must stay picklable, popcounts must go through
+:mod:`repro.core.bitset`, and failures must surface as
+:mod:`repro.errors` types.  This package enforces those contracts
+statically, as a CI gate and a ``farmer lint`` subcommand.
+
+Layout:
+
+* :mod:`~repro.analysis.base` — :class:`Finding`, :class:`Rule`,
+  :class:`ModuleContext` and suppression parsing;
+* :mod:`~repro.analysis.engine` — file discovery, AST dispatch, and the
+  :class:`LintResult` aggregation;
+* :mod:`~repro.analysis.baseline` — the committed grandfather file;
+* :mod:`~repro.analysis.reporters` — text and JSON output;
+* :mod:`~repro.analysis.rules` — the FRM001..FRM006 rule set;
+* :mod:`~repro.analysis.cli` — the ``farmer lint`` entry point.
+
+See ``docs/static-analysis.md`` for the rule catalogue, the per-line
+suppression syntax (``# farmer-lint: disable=FRM00x``) and the baseline
+workflow.
+"""
+
+from __future__ import annotations
+
+from .base import Finding, ModuleContext, Rule
+from .baseline import load_baseline, save_baseline
+from .engine import Engine, LintResult
+from .reporters import render_json, render_text
+from .rules import ALL_RULES, RULES_BY_ID, default_rules
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Engine",
+    "LintResult",
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "default_rules",
+    "load_baseline",
+    "save_baseline",
+    "render_text",
+    "render_json",
+]

@@ -1,0 +1,209 @@
+"""Core datatypes of farmer-lint: findings, modules, rules, suppressions.
+
+A :class:`Rule` sees one :class:`ModuleContext` at a time and emits
+:class:`Finding` values.  Rules never read files or handle suppression
+comments themselves — the engine owns discovery and filtering — so a rule
+is just "which AST nodes do I care about" plus "what is wrong with this
+one".
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "parse_suppressions",
+    "SUPPRESS_ALL",
+]
+
+#: Sentinel stored in the suppression map when a ``disable`` comment names
+#: no rule ids, meaning "every rule on this line".
+SUPPRESS_ALL = "*"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*farmer-lint:\s*disable(?:=(?P<ids>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Attributes:
+        rule_id: the ``FRM00x`` identifier.
+        rule_name: the rule's short kebab-case name.
+        path: report path of the module (posix, relative where possible).
+        line: 1-based source line.
+        col: 0-based source column.
+        message: human-readable description of the violation.
+    """
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used for baseline matching."""
+        return f"{self.path}::{self.rule_id}::{self.message}"
+
+    def format(self) -> str:
+        """The one-line text rendering used by the text reporter."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line.
+
+    Recognises ``# farmer-lint: disable=FRM001`` (one rule),
+    ``# farmer-lint: disable=FRM001,FRM004`` (several) and a bare
+    ``# farmer-lint: disable`` (every rule, stored as
+    :data:`SUPPRESS_ALL`).
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    for line_number, text in enumerate(lines, start=1):
+        if "farmer-lint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            suppressions[line_number] = frozenset({SUPPRESS_ALL})
+        else:
+            suppressions[line_number] = frozenset(
+                part.strip() for part in ids.split(",")
+            )
+    return suppressions
+
+
+class ModuleContext:
+    """One parsed module, shared by every rule that inspects it.
+
+    Attributes:
+        path: absolute filesystem path.
+        rel_path: posix path used in reports and baselines (relative to
+            the lint root when the module lives under it).
+        source: raw file contents.
+        tree: the parsed :class:`ast.Module`.
+        lines: ``source`` split into lines.
+        suppressions: per-line suppressed rule ids (see
+            :func:`parse_suppressions`).
+        package_path: path relative to the ``repro`` package when the
+            module lives inside one (``core/farmer.py``), otherwise
+            ``rel_path``.  Rules scope themselves with this, so fixture
+            trees like ``tmp/repro/core/bad.py`` scope exactly like the
+            real package.
+    """
+
+    def __init__(self, path: Path, rel_path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.suppressions = parse_suppressions(self.lines)
+        parts = Path(rel_path).parts
+        if "repro" in parts:
+            anchor = len(parts) - 1 - parts[::-1].index("repro")
+            self.package_path = "/".join(parts[anchor + 1 :])
+        else:
+            self.package_path = rel_path
+
+    def is_test(self) -> bool:
+        """Whether the module is test code (relaxed rules apply)."""
+        name = Path(self.rel_path).name
+        parts = Path(self.rel_path).parts
+        return (
+            name.startswith("test_")
+            or name == "conftest.py"
+            or "tests" in parts
+        )
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether the module's package path starts with any prefix."""
+        return any(self.package_path.startswith(prefix) for prefix in prefixes)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled on ``line`` by a comment."""
+        ids = self.suppressions.get(line)
+        if ids is None:
+            return False
+        return SUPPRESS_ALL in ids or rule_id in ids
+
+
+class Rule:
+    """Base class for farmer-lint rules.
+
+    Subclasses set the class attributes and implement :meth:`visit`
+    and/or :meth:`finish_module`.  The engine walks each module's AST
+    once and dispatches every node whose type appears in
+    :attr:`node_types`; rules that need whole-module structure (e.g.
+    ``__all__`` consistency) leave ``node_types`` empty and work in
+    :meth:`finish_module`.
+
+    Class attributes:
+        rule_id: stable ``FRM00x`` identifier.
+        name: short kebab-case name shown in reports.
+        description: one-line summary shown by ``farmer lint --list-rules``.
+        node_types: AST node classes dispatched to :meth:`visit`.
+        module_prefixes: package-path prefixes the rule applies to, or
+            ``None`` for every module.
+        check_tests: whether the rule also applies to test modules.
+    """
+
+    rule_id: ClassVar[str] = "FRM000"
+    name: ClassVar[str] = "abstract"
+    description: ClassVar[str] = ""
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = ()
+    module_prefixes: ClassVar[tuple[str, ...] | None] = None
+    check_tests: ClassVar[bool] = False
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Whether this rule runs on ``module`` at all."""
+        if module.is_test() and not self.check_tests:
+            return False
+        if self.module_prefixes is None:
+            return True
+        return module.in_package(*self.module_prefixes)
+
+    def start_module(self, module: ModuleContext) -> None:
+        """Hook called once before any node of ``module`` is dispatched."""
+
+    def visit(self, node: ast.AST, module: ModuleContext) -> Iterator[Finding]:
+        """Inspect one dispatched node; yield findings."""
+        return iter(())
+
+    def finish_module(self, module: ModuleContext) -> Iterable[Finding]:
+        """Hook called after the walk; yield module-level findings."""
+        return ()
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

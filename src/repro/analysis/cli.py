@@ -1,0 +1,107 @@
+"""The ``farmer lint`` subcommand.
+
+Mirrors the ``mine`` UX: argparse-validated flags, a one-line error on
+bad arguments, and plain-text output by default::
+
+    farmer lint src/repro
+    farmer lint src/repro --format json
+    farmer lint src/repro --baseline .farmer-lint-baseline.json
+    farmer lint src/repro --update-baseline
+    farmer lint --list-rules
+
+Exit codes: ``0`` clean (or everything baselined), ``1`` new findings,
+``2`` bad arguments (missing path, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from ..errors import ReproError
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    partition,
+    save_baseline,
+)
+from .engine import Engine
+from .reporters import render_json, render_text
+from .rules import ALL_RULES
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+#: Linted when no paths are given: the installed package tree.
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to the ``lint`` subparser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE_NAME} when it exists)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``farmer lint``; returns the process exit code."""
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id} [{rule.name}] {rule.description}")
+        return 0
+
+    paths = args.paths or [_PACKAGE_ROOT]
+    engine = Engine()
+    try:
+        result = engine.lint_paths(paths)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE_NAME).is_file():
+        baseline_path = DEFAULT_BASELINE_NAME
+
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        save_baseline(target, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding"
+            f"{'' if len(result.findings) == 1 else 's'} to {target}"
+        )
+        return 0
+
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ReproError as error:
+            print(f"error: {error}")
+            return 2
+        result.findings, result.baselined = partition(result.findings, baseline)
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result))
+    return 1 if result.findings else 0

@@ -1,0 +1,153 @@
+"""The farmer-lint engine: file discovery, AST dispatch, aggregation.
+
+One walk per module: every AST node is offered to the rules that
+registered interest in its type, findings are filtered through per-line
+suppressions, and the caller subtracts the baseline afterwards
+(:func:`repro.analysis.baseline.partition`).  Discovery order, dispatch
+order and the final finding order are all deterministic — the linter
+holds itself to the invariants it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import DataError
+from .base import Finding, ModuleContext, Rule
+
+__all__ = ["Engine", "LintResult", "iter_python_files"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: non-suppressed findings, sorted by location; the
+            baseline partition happens downstream.
+        n_files: python files parsed.
+        n_suppressed: findings silenced by ``# farmer-lint: disable``
+            comments.
+        baselined: findings matched against the baseline (populated by
+            the CLI after :func:`~repro.analysis.baseline.partition`).
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    n_suppressed: int = 0
+    baselined: list[Finding] = field(default_factory=list)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield the python files under ``paths`` in deterministic order.
+
+    Directories are walked recursively; hidden directories and
+    ``__pycache__`` are skipped.  A path that does not exist raises
+    :class:`~repro.errors.DataError` (the CLI turns this into a one-line
+    error).
+    """
+    for path in paths:
+        if not path.exists():
+            raise DataError(f"no such file or directory: {path}")
+        if path.is_file():
+            yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.relative_to(path).parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            yield candidate
+
+
+class Engine:
+    """Runs a rule set over a file tree.
+
+    Args:
+        rules: rule instances to apply (default: the full FRM set).
+        root: directory report paths are made relative to (default:
+            the current working directory).
+    """
+
+    def __init__(
+        self, rules: Sequence[Rule] | None = None, root: Path | None = None
+    ) -> None:
+        if rules is None:
+            from .rules import default_rules
+
+            rules = default_rules()
+        self.rules = list(rules)
+        self.root = (root or Path.cwd()).resolve()
+
+    # ------------------------------------------------------------------
+    # Module-level API
+    # ------------------------------------------------------------------
+
+    def parse_module(self, path: Path) -> ModuleContext:
+        """Read and parse one file into a :class:`ModuleContext`.
+
+        Raises:
+            DataError: when the file is not valid python (the engine
+                reports this as a parse failure, not a crash).
+        """
+        resolved = path.resolve()
+        try:
+            rel_path = resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            rel_path = resolved.as_posix()
+        source = resolved.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(resolved))
+        except SyntaxError as exc:
+            raise DataError(
+                f"{rel_path}:{exc.lineno or 1}: syntax error: {exc.msg}"
+            ) from exc
+        return ModuleContext(resolved, rel_path, source, tree)
+
+    def lint_module(self, module: ModuleContext) -> tuple[list[Finding], int]:
+        """Apply every applicable rule to one module.
+
+        Returns ``(findings, n_suppressed)`` with findings in source
+        order.
+        """
+        active = [rule for rule in self.rules if rule.applies_to(module)]
+        if not active:
+            return [], 0
+        for rule in active:
+            rule.start_module(module)
+        raw: list[Finding] = []
+        dispatch = [rule for rule in active if rule.node_types]
+        if dispatch:
+            for node in ast.walk(module.tree):
+                for rule in dispatch:
+                    if isinstance(node, rule.node_types):
+                        raw.extend(rule.visit(node, module))
+        for rule in active:
+            raw.extend(rule.finish_module(module))
+        findings: list[Finding] = []
+        n_suppressed = 0
+        for finding in raw:
+            if module.is_suppressed(finding.rule_id, finding.line):
+                n_suppressed += 1
+            else:
+                findings.append(finding)
+        findings.sort(key=lambda f: f.sort_key)
+        return findings, n_suppressed
+
+    # ------------------------------------------------------------------
+    # Tree-level API
+    # ------------------------------------------------------------------
+
+    def lint_paths(self, paths: Iterable[Path | str]) -> LintResult:
+        """Lint every python file under ``paths``."""
+        result = LintResult()
+        for path in iter_python_files([Path(p) for p in paths]):
+            module = self.parse_module(path)
+            findings, n_suppressed = self.lint_module(module)
+            result.findings.extend(findings)
+            result.n_suppressed += n_suppressed
+            result.n_files += 1
+        result.findings.sort(key=lambda f: f.sort_key)
+        return result

@@ -1,0 +1,72 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON schema is versioned and covered by the test suite, so CI
+tooling can depend on it::
+
+    {
+      "version": 1,
+      "summary": {"files": N, "findings": N, "baselined": N,
+                   "suppressed": N},
+      "findings": [
+        {"rule": "FRM001", "name": "nondeterministic-iteration",
+         "path": "src/repro/core/x.py", "line": 10, "col": 4,
+         "message": "..."},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+__all__ = ["JSON_REPORT_VERSION", "render_text", "render_json"]
+
+#: Schema version of the ``--format json`` payload.
+JSON_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One line per finding plus a summary line (pyflakes-style)."""
+    lines = [finding.format() for finding in result.findings]
+    summary = (
+        f"{len(result.findings)} finding"
+        f"{'' if len(result.findings) == 1 else 's'} "
+        f"in {result.n_files} file{'' if result.n_files == 1 else 's'}"
+    )
+    extras = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.n_suppressed:
+        extras.append(f"{result.n_suppressed} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The versioned JSON report (see the module docstring for schema)."""
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "summary": {
+            "files": result.n_files,
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.n_suppressed,
+        },
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "name": finding.rule_name,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2)

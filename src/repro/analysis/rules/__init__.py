@@ -1,0 +1,37 @@
+"""The farmer-lint rule catalogue (FRM001..FRM006).
+
+Adding a rule: subclass :class:`repro.analysis.base.Rule` in a module
+here, give it a fresh ``FRM0xx`` id, and append the class to
+:data:`ALL_RULES`; the engine, CLI, baseline and reporters pick it up
+with no further wiring.  ``docs/static-analysis.md`` documents each
+rule with bad/good examples.
+"""
+
+from __future__ import annotations
+
+from ..base import Rule
+from .determinism import NondeterministicIterationRule, NondeterminismSourceRule
+from .discipline import BitsetDisciplineRule
+from .exceptions import ExceptionDisciplineRule
+from .hygiene import PublicApiRule
+from .picklability import WorkerPicklabilityRule
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "default_rules"]
+
+#: Every shipped rule class, in id order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    NondeterministicIterationRule,
+    NondeterminismSourceRule,
+    WorkerPicklabilityRule,
+    BitsetDisciplineRule,
+    PublicApiRule,
+    ExceptionDisciplineRule,
+)
+
+#: Rule classes keyed by their ``FRM00x`` id.
+RULES_BY_ID: dict[str, type[Rule]] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule (engine default)."""
+    return [rule_class() for rule_class in ALL_RULES]

@@ -1,0 +1,196 @@
+"""Determinism rules: FRM001 (iteration order) and FRM002 (entropy sources).
+
+The differential guarantee of :mod:`repro.core.parallel` — sharded output
+byte-identical to the serial miner — only holds while nothing in the core
+enumeration (or the baseline miners it is compared against) depends on
+``set`` iteration order, wall-clock time, process ids or unseeded RNGs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from ..base import Finding, ModuleContext, Rule
+
+__all__ = ["NondeterministicIterationRule", "NondeterminismSourceRule"]
+
+
+def _dotted_parts(node: ast.expr) -> list[str]:
+    """``a.b.c`` as ``["a", "b", "c"]``; empty when not a plain chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+class NondeterministicIterationRule(Rule):
+    """FRM001: iterating an unordered container where order can leak.
+
+    In the scoped modules every loop feeds, directly or through a few
+    calls, the mined output or the parallel replay sequence, so iterating
+    a ``set`` expression (or ``dict.keys()``, whose order is insertion
+    order and thus code-path dependent) is flagged unless the iterable is
+    sorted first.
+    """
+
+    rule_id: ClassVar[str] = "FRM001"
+    name: ClassVar[str] = "nondeterministic-iteration"
+    description: ClassVar[str] = (
+        "no iteration over set/dict.keys() expressions in order-sensitive "
+        "modules; wrap in sorted()"
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (
+        ast.For,
+        ast.comprehension,
+        ast.Call,
+    )
+    module_prefixes: ClassVar[tuple[str, ...] | None] = ("core/", "baselines/")
+
+    #: Wrappers that preserve the order of their (first) argument, so the
+    #: argument itself is inspected.
+    _TRANSPARENT = frozenset({"enumerate", "reversed", "iter"})
+
+    #: Calls that freeze their argument's iteration order into a sequence.
+    _MATERIALIZING = frozenset({"list", "tuple"})
+
+    def _unordered_reason(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Set):
+            return "a set literal"
+        if isinstance(expr, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name):
+                if func.id in {"set", "frozenset"}:
+                    return f"{func.id}(...)"
+                if func.id in self._TRANSPARENT and expr.args:
+                    return self._unordered_reason(expr.args[0])
+            if isinstance(func, ast.Attribute) and func.attr == "keys":
+                return ".keys()"
+        return None
+
+    def visit(self, node: ast.AST, module: ModuleContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            # list(set(...)) / tuple({...}) freezes set order into a
+            # sequence — the same leak as looping over the set directly.
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in self._MATERIALIZING
+                and node.args
+            ):
+                reason = self._unordered_reason(node.args[0])
+                if reason is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{func.id}() over {reason} freezes a "
+                        "nondeterministic order into a sequence; sort first",
+                    )
+            return
+        iterable = node.iter
+        reason = self._unordered_reason(iterable)
+        if reason is not None:
+            yield self.finding(
+                module,
+                iterable,
+                f"iteration over {reason} has no deterministic order; "
+                "wrap it in sorted() or iterate an ordered container",
+            )
+
+
+class NondeterminismSourceRule(Rule):
+    """FRM002: run-to-run entropy in deterministic mining code.
+
+    Flags unseeded RNG use (module-level ``random.*``, ``random.Random()``
+    and ``numpy`` ``default_rng()`` without a seed, legacy ``np.random.*``
+    globals), wall-clock reads (``time.time``/``time_ns``,
+    ``datetime.now``/``utcnow``/``today``), process identity
+    (``os.getpid``/``getppid``), entropy (``os.urandom``, ``uuid.uuid1``,
+    ``uuid.uuid4``) and ``id()`` (allocator-dependent, so unusable as a
+    key or tiebreak).  Monotonic clocks (``time.monotonic``,
+    ``time.perf_counter``) are allowed: budgets and timings are
+    legitimate, only absolute wall time is not.
+    """
+
+    rule_id: ClassVar[str] = "FRM002"
+    name: ClassVar[str] = "nondeterminism-source"
+    description: ClassVar[str] = (
+        "no unseeded RNGs, wall-clock time, pids, or id() in core/baseline "
+        "mining code"
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call,)
+    module_prefixes: ClassVar[tuple[str, ...] | None] = ("core/", "baselines/")
+
+    _WALL_CLOCK = frozenset({"time", "time_ns"})
+    _DATETIME = frozenset({"now", "utcnow", "today"})
+    _OS = frozenset({"getpid", "getppid", "urandom"})
+    _UUID = frozenset({"uuid1", "uuid4"})
+
+    def visit(self, node: ast.AST, module: ModuleContext) -> Iterator[Finding]:
+        func = node.func  # type: ignore[attr-defined]
+        if isinstance(func, ast.Name) and func.id == "id":
+            yield self.finding(
+                module,
+                node,
+                "id() depends on the allocator and varies between runs and "
+                "processes; key on stable data instead",
+            )
+            return
+        parts = _dotted_parts(func)
+        if len(parts) < 2:
+            return
+        head, tail = parts[0], parts[-1]
+        has_args = bool(node.args or node.keywords)
+        if head == "random":
+            if tail in {"Random", "seed"} and has_args:
+                return
+            yield self.finding(
+                module,
+                node,
+                f"random.{tail}() draws from process-global, unseeded "
+                "state; use an explicitly seeded random.Random(seed)",
+            )
+        elif head == "time" and tail in self._WALL_CLOCK:
+            yield self.finding(
+                module,
+                node,
+                f"time.{tail}() reads the wall clock (non-monotonic, "
+                "machine-dependent); use time.monotonic() or "
+                "time.perf_counter() for budgets and timings",
+            )
+        elif tail in self._DATETIME and parts[-2] in {"datetime", "date"}:
+            yield self.finding(
+                module,
+                node,
+                f"{'.'.join(parts[-2:])}() reads the wall clock; pass "
+                "timestamps in explicitly",
+            )
+        elif head == "os" and tail in self._OS:
+            yield self.finding(
+                module,
+                node,
+                f"os.{tail}() varies per process/run and must not reach "
+                "mined output",
+            )
+        elif head == "uuid" and tail in self._UUID:
+            yield self.finding(
+                module,
+                node,
+                f"uuid.{tail}() is entropy; derive identifiers from the "
+                "input data",
+            )
+        elif len(parts) >= 3 and parts[-2] == "random" and head in {"np", "numpy"}:
+            if tail == "default_rng" and has_args:
+                return
+            yield self.finding(
+                module,
+                node,
+                f"numpy.random.{tail}() without an explicit seed is "
+                "unseeded; use numpy.random.default_rng(seed)",
+            )

@@ -1,0 +1,77 @@
+"""FRM006: exception discipline — ``repro.errors`` types, no asserts.
+
+Callers embed the miner behind ``except ReproError`` (the CLI, the
+experiment harness, the classifier stack all do); a builtin exception
+raised from core code escapes that net.  ``assert`` in library code is
+worse: it vanishes under ``python -O``, silently disabling the check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from ..base import Finding, ModuleContext, Rule
+
+__all__ = ["ExceptionDisciplineRule"]
+
+#: Builtin exception types core code must not raise directly.  The
+#: repro.errors hierarchy subclasses ValueError/RuntimeError, so callers
+#: keep generic compatibility while gaining the ReproError base.
+_BANNED_RAISES = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "KeyError",
+        "IndexError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "AssertionError",
+        "OSError",
+        "IOError",
+    }
+)
+
+
+class ExceptionDisciplineRule(Rule):
+    """FRM006: core raises ``repro.errors`` types; no bare asserts."""
+
+    rule_id: ClassVar[str] = "FRM006"
+    name: ClassVar[str] = "exception-discipline"
+    description: ClassVar[str] = (
+        "core code raises repro.errors types; assert is banned outside "
+        "tests"
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Raise, ast.Assert)
+
+    #: Packages where raising a builtin exception type is banned.
+    raise_prefixes: ClassVar[tuple[str, ...]] = ("core/",)
+
+    def visit(self, node: ast.AST, module: ModuleContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Assert):
+            yield self.finding(
+                module,
+                node,
+                "assert is stripped under python -O; raise a repro.errors "
+                "type (or restructure) so the check always runs",
+            )
+            return
+        if not module.in_package(*self.raise_prefixes):
+            return
+        exc = node.exc  # type: ignore[attr-defined]
+        name: str | None = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _BANNED_RAISES:
+            yield self.finding(
+                module,
+                node,
+                f"core code raises {name}; use a repro.errors type "
+                "(DataError, ConstraintError, UsageError, BudgetExceeded) "
+                "so callers can catch ReproError",
+            )

@@ -20,7 +20,7 @@ from typing import Hashable, Sequence
 from ..data.dataset import ItemizedDataset
 from ..data.matrix import GeneExpressionMatrix
 
-__all__ = ["RuleBasedClassifier", "MatrixClassifier"]
+__all__ = ["RuleBasedClassifier", "MatrixClassifier", "majority_label"]
 
 
 class RuleBasedClassifier(ABC):

@@ -97,7 +97,8 @@ class LinearSVM(MatrixClassifier):
 
     def _featurize(self, values: np.ndarray) -> np.ndarray:
         """Z-score with the training statistics and append a bias column."""
-        assert self._mean is not None and self._std is not None
+        if self._mean is None or self._std is None:
+            raise DataError("fit() has not been called")
         standardized = (values - self._mean) / self._std
         bias = np.ones((standardized.shape[0], 1))
         return np.hstack([standardized, bias])

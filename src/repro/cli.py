@@ -8,7 +8,10 @@ Four subcommands cover the library's everyday workflows:
   one dataset;
 * ``farmer experiment`` — regenerate a paper table/figure
   (``table1 fig10 fig11 table2 scaling ablation``);
-* ``farmer generate``   — write a synthetic registry dataset to disk.
+* ``farmer generate``   — write a synthetic registry dataset to disk;
+* ``farmer lint``       — run the farmer-lint static-analysis rules
+  (determinism, picklability, bitset/exception discipline) over the
+  source tree.
 
 Examples::
 
@@ -16,6 +19,7 @@ Examples::
     farmer classify --dataset CT --classifier irg
     farmer experiment fig10 --datasets CT ALL --timeout 30
     farmer generate --dataset LC --out lc.tsv
+    farmer lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -114,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", type=float, default=0.08, help="gene-count scale")
     experiment.add_argument("--timeout", type=float, default=60.0, help="per-point budget (s)")
+
+    lint = sub.add_parser(
+        "lint", help="run the farmer-lint static-analysis rules"
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     generate = sub.add_parser("generate", help="write a synthetic dataset to disk")
     generate.add_argument("--dataset", required=True, choices=sorted(PAPER_DATASETS))
@@ -310,6 +321,12 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -321,6 +338,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _command_generate,
         "validate": _command_validate,
         "profile": _command_profile,
+        "lint": _command_lint,
     }
     try:
         return handlers[args.command](args)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from ..errors import UsageError
+
 __all__ = [
     "EMPTY",
     "from_indices",
@@ -116,10 +118,10 @@ def lowest_bit(mask: int) -> int:
     """Return the smallest element index in ``mask``.
 
     Raises:
-        ValueError: if ``mask`` is empty.
+        UsageError: if ``mask`` is empty.
     """
     if not mask:
-        raise ValueError("lowest_bit() of an empty bitset")
+        raise UsageError("lowest_bit() of an empty bitset")
     return (mask & -mask).bit_length() - 1
 
 
@@ -127,10 +129,10 @@ def highest_bit(mask: int) -> int:
     """Return the largest element index in ``mask``.
 
     Raises:
-        ValueError: if ``mask`` is empty.
+        UsageError: if ``mask`` is empty.
     """
     if not mask:
-        raise ValueError("highest_bit() of an empty bitset")
+        raise UsageError("highest_bit() of an empty bitset")
     return mask.bit_length() - 1
 
 

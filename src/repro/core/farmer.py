@@ -546,7 +546,7 @@ class Farmer:
         prunings = frozenset(prunings)
         unknown = prunings - ALL_PRUNINGS
         if unknown:
-            raise ValueError(f"unknown pruning strategies: {sorted(unknown)}")
+            raise ConstraintError(f"unknown pruning strategies: {sorted(unknown)}")
         self.prunings = prunings
         self.compute_lower_bounds = compute_lower_bounds
         self.budget = budget if budget is not None else SearchBudget()

@@ -27,6 +27,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..errors import DataError
+
 __all__ = [
     "TwoByTwo",
     "confidence",
@@ -59,15 +61,15 @@ class TwoByTwo:
 
     def __post_init__(self) -> None:
         if not (0 <= self.m <= self.n):
-            raise ValueError(f"need 0 <= m <= n, got m={self.m} n={self.n}")
+            raise DataError(f"need 0 <= m <= n, got m={self.m} n={self.n}")
         if not (0 <= self.y <= self.x <= self.n):
-            raise ValueError(
+            raise DataError(
                 f"need 0 <= y <= x <= n, got x={self.x} y={self.y} n={self.n}"
             )
         if self.y > self.m:
-            raise ValueError(f"y={self.y} exceeds class total m={self.m}")
+            raise DataError(f"y={self.y} exceeds class total m={self.m}")
         if self.x - self.y > self.n - self.m:
-            raise ValueError(
+            raise DataError(
                 f"x-y={self.x - self.y} exceeds negative total {self.n - self.m}"
             )
 

@@ -210,7 +210,7 @@ def _estimate(state: NodeState) -> int:
 
 
 class _DeadlineTicker:
-    """Per-node budget hook: check the wall clock every 256 nodes."""
+    """Per-node budget hook: check the monotonic clock every 256 nodes."""
 
     __slots__ = ("deadline", "ticks")
 
@@ -220,7 +220,7 @@ class _DeadlineTicker:
 
     def __call__(self) -> None:
         self.ticks += 1
-        if self.ticks % 256 == 0 and time.time() > self.deadline:
+        if self.ticks % 256 == 0 and time.monotonic() > self.deadline:
             raise BudgetExceeded(
                 "time budget exceeded in sharded search",
                 nodes_expanded=self.ticks,
@@ -321,7 +321,7 @@ def _decompose(
     expanded = 0
     truncated = False
     while heap and n_leaves < target and expanded < expansion_cap:
-        if deadline is not None and time.time() > deadline:
+        if deadline is not None and time.monotonic() > deadline:
             if strict:
                 raise BudgetExceeded(
                     "time budget exceeded while sharding the search",
@@ -439,7 +439,7 @@ def _execute_tasks(
                         candidate.confidence,
                     )
             if pending and error is None and not truncated:
-                if deadline is not None and time.time() > deadline:
+                if deadline is not None and time.monotonic() > deadline:
                     if strict:
                         error = BudgetExceeded(
                             "time budget exceeded in sharded search"
@@ -492,7 +492,7 @@ def mine_table_parallel(
     Only wall-clock budgets are supported here: ``max_seconds`` becomes a
     shared deadline (strict budgets raise
     :class:`~repro.errors.BudgetExceeded`; non-strict ones truncate).
-    ``max_nodes`` raises ``ValueError`` — deterministic node accounting
+    ``max_nodes`` raises :class:`~repro.errors.ConstraintError` — deterministic node accounting
     needs the serial traversal, and :class:`Farmer` routes such budgets
     there automatically.
     """
@@ -502,14 +502,14 @@ def mine_table_parallel(
     strict = True
     if budget is not None:
         if budget.max_nodes is not None:
-            raise ValueError(
+            raise ConstraintError(
                 "node budgets require the serial miner "
                 "(deterministic node accounting)"
             )
         budget.start()
         strict = budget.strict
         if budget.max_seconds is not None:
-            deadline = time.time() + budget.max_seconds
+            deadline = time.monotonic() + budget.max_seconds
 
     ctx = SearchContext.for_table(table, constraints, prunings)
     coordinator = NodeCounters()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable
 
+from ..errors import DataError
 from . import measures
 
 __all__ = ["Rule"]
@@ -39,7 +40,7 @@ class Rule:
 
     def __post_init__(self) -> None:
         if not 0 <= self.support <= self.antecedent_support <= self.n:
-            raise ValueError(
+            raise DataError(
                 f"inconsistent counts: support={self.support} "
                 f"antecedent_support={self.antecedent_support} n={self.n}"
             )

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Hashable, Iterator
 
+from ..errors import DataError, UsageError
 from . import measures
 from .rule import Rule
 
@@ -55,18 +56,18 @@ class RuleGroup:
 
     def __post_init__(self) -> None:
         if self.antecedent_support != len(self.rows):
-            raise ValueError(
+            raise DataError(
                 f"antecedent_support={self.antecedent_support} but "
                 f"|rows|={len(self.rows)}"
             )
         if not 0 <= self.support <= self.antecedent_support:
-            raise ValueError(
+            raise DataError(
                 f"support={self.support} outside [0, {self.antecedent_support}]"
             )
         if self.lower_bounds is not None:
             for bound in self.lower_bounds:
                 if not bound <= self.upper:
-                    raise ValueError(
+                    raise DataError(
                         f"lower bound {sorted(bound)} is not a subset of the "
                         f"upper bound {sorted(self.upper)}"
                     )
@@ -103,10 +104,10 @@ class RuleGroup:
         """The lower-bound rules as :class:`Rule` objects.
 
         Raises:
-            ValueError: if lower bounds have not been computed.
+            UsageError: if lower bounds have not been computed.
         """
         if self.lower_bounds is None:
-            raise ValueError("lower bounds not computed; run MineLB first")
+            raise UsageError("lower bounds not computed; run MineLB first")
         return tuple(
             Rule(
                 antecedent=bound,
@@ -130,7 +131,7 @@ class RuleGroup:
         the antecedent lies between some lower bound and the upper bound.
         """
         if self.lower_bounds is None:
-            raise ValueError("lower bounds not computed; run MineLB first")
+            raise UsageError("lower bounds not computed; run MineLB first")
         if not antecedent <= self.upper:
             return False
         return any(bound <= antecedent for bound in self.lower_bounds)
@@ -143,7 +144,7 @@ class RuleGroup:
         should pass ``limit`` except on toy data.
         """
         if self.lower_bounds is None:
-            raise ValueError("lower bounds not computed; run MineLB first")
+            raise UsageError("lower bounds not computed; run MineLB first")
         produced = 0
         items = sorted(self.upper)
         for size in range(0, len(items) + 1):
@@ -165,7 +166,7 @@ class RuleGroup:
         pathological groups.
         """
         if self.lower_bounds is None:
-            raise ValueError("lower bounds not computed; run MineLB first")
+            raise UsageError("lower bounds not computed; run MineLB first")
         return count_covered_subsets(self.upper, self.lower_bounds)
 
     def format(self, dataset=None) -> str:

@@ -289,7 +289,8 @@ class EntropyMDLDiscretizer(Discretizer):
         if self._cuts is None or self._kept_genes is None:
             raise DataError("transform() called before fit()")
         rows: list[frozenset[int]] = []
-        assert self._item_base is not None
+        if self._item_base is None:
+            raise DataError("transform() called before fit()")
         for sample_index in range(matrix.n_samples):
             items: list[int] = []
             for kept_index, gene_index in enumerate(self._kept_genes):

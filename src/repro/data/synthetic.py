@@ -33,7 +33,7 @@ import numpy as np
 from ..errors import DataError
 from .matrix import GeneExpressionMatrix
 
-__all__ = ["BlockSpec", "make_microarray"]
+__all__ = ["BlockSpec", "default_blocks", "make_microarray"]
 
 
 @dataclass(frozen=True, slots=True)

@@ -2,10 +2,10 @@
 
 Every error raised deliberately by this library derives from
 :class:`ReproError`, so callers can catch one base class.  The subclasses
-distinguish the three failure domains a user can hit: malformed input data,
-invalid mining parameters, and exhausted resource budgets (the harness uses
-the latter to reproduce the paper's "baseline did not finish" outcomes
-without hanging the benchmark suite).
+distinguish the failure domains a user can hit: malformed input data,
+invalid mining parameters, incorrect API call order, and exhausted
+resource budgets (the harness uses the latter to reproduce the paper's
+"baseline did not finish" outcomes without hanging the benchmark suite).
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ __all__ = [
     "ReproError",
     "DataError",
     "ConstraintError",
+    "UsageError",
     "BudgetExceeded",
 ]
 
@@ -36,6 +37,15 @@ class ConstraintError(ReproError, ValueError):
 
     Examples: a negative ``minsup``, a confidence outside ``[0, 1]``, or a
     consequent class that does not occur in the dataset.
+    """
+
+
+class UsageError(ReproError, ValueError):
+    """Raised when the library API is called incorrectly.
+
+    Examples: reading lower bounds before MineLB has run, or asking for
+    the lowest bit of an empty bitset.  Subclasses :class:`ValueError`
+    so generic callers keep working.
     """
 
 

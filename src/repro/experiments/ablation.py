@@ -23,6 +23,7 @@ from ..core.farmer import ALL_PRUNINGS, Farmer
 from ..core.minelb import lower_bounds_for_group
 from ..core.rulegroup import RuleGroup
 from ..data.dataset import ItemizedDataset
+from ..errors import ReproError
 from .harness import format_table
 from .workloads import build_workload
 
@@ -206,7 +207,10 @@ def run_minelb_ablation(
         started = time.perf_counter()
         naive = naive_lower_bounds(workload.data, group)
         naive_seconds += time.perf_counter() - started
-        assert set(incremental) == set(naive), "MineLB disagrees with naive"
+        if set(incremental) != set(naive):
+            raise ReproError(
+                f"MineLB disagrees with naive enumeration on {dataset}"
+            )
         timed_groups += 1
     return {
         "dataset": dataset,

@@ -29,7 +29,12 @@ from ..core.rulegroup import RuleGroup
 from ..data.dataset import ItemizedDataset
 from ..errors import DataError
 
-__all__ = ["build_gene_network", "gene_modules", "gene_of_item"]
+__all__ = [
+    "build_gene_network",
+    "consequent_networks",
+    "gene_modules",
+    "gene_of_item",
+]
 
 
 def gene_of_item(dataset: ItemizedDataset, item: int) -> str:

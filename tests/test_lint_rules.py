@@ -1,0 +1,424 @@
+"""Fixture-driven tests for every farmer-lint rule (FRM001..FRM006).
+
+Each rule gets at least: a snippet that triggers it, a near-identical
+snippet that must not, and a suppression-comment check.  Fixtures are
+written under ``tmp_path/repro/...`` so package-scoped rules (core/,
+baselines/) see the same package paths as the real tree.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Engine
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+
+
+def lint_snippet(tmp_path, package_path: str, source: str):
+    """Write ``source`` at ``tmp_path/<package_path>`` and lint it."""
+    target = tmp_path / package_path
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    engine = Engine(root=tmp_path)
+    module = engine.parse_module(target)
+    findings, n_suppressed = engine.lint_module(module)
+    return findings, n_suppressed
+
+
+def rule_ids(findings):
+    return [finding.rule_id for finding in findings]
+
+
+class TestCatalogue:
+    def test_six_rules_with_unique_ids(self):
+        assert len(ALL_RULES) == 6
+        assert sorted(RULES_BY_ID) == [f"FRM00{i}" for i in range(1, 7)]
+
+    def test_every_rule_documented(self):
+        for rule in ALL_RULES:
+            assert rule.name
+            assert rule.description
+            assert rule.__doc__
+
+
+class TestFRM001NondeterministicIteration:
+    TRIGGERS = [
+        "for x in {1, 2, 3}:\n    print(x)\n",
+        "for x in set(items):\n    print(x)\n",
+        "for x in frozenset(items):\n    print(x)\n",
+        "for x in mapping.keys():\n    print(x)\n",
+        "out = [x for x in {1, 2}]\n",
+        "out = list({str(x) for x in items})\n",
+        "for i, x in enumerate(set(items)):\n    print(i, x)\n",
+    ]
+
+    @pytest.mark.parametrize("snippet", TRIGGERS)
+    def test_triggers_in_core(self, tmp_path, snippet):
+        findings, _ = lint_snippet(tmp_path, "repro/core/mod.py", snippet)
+        assert "FRM001" in rule_ids(findings)
+
+    def test_sorted_wrapping_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "for x in sorted(set(items)):\n    print(x)\n",
+        )
+        assert "FRM001" not in rule_ids(findings)
+
+    def test_list_iteration_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path, "repro/core/mod.py", "for x in [1, 2]:\n    print(x)\n"
+        )
+        assert "FRM001" not in rule_ids(findings)
+
+    def test_out_of_scope_module_not_checked(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "for x in {1, 2, 3}:\n    print(x)\n",
+        )
+        assert "FRM001" not in rule_ids(findings)
+
+    def test_suppression(self, tmp_path):
+        findings, n_suppressed = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "for x in {1, 2}:  # farmer-lint: disable=FRM001\n    print(x)\n",
+        )
+        assert "FRM001" not in rule_ids(findings)
+        assert n_suppressed == 1
+
+
+class TestFRM002NondeterminismSource:
+    TRIGGERS = [
+        "import random\nvalue = random.random()\n",
+        "import random\nrng = random.Random()\n",
+        "import time\nstamp = time.time()\n",
+        "import os\npid = os.getpid()\n",
+        "import os\nnoise = os.urandom(8)\n",
+        "import uuid\ntoken = uuid.uuid4()\n",
+        "key = id(node)\n",
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "import numpy as np\nvalue = np.random.rand()\n",
+        "from datetime import datetime\nnow = datetime.now()\n",
+    ]
+    CLEAN = [
+        "import random\nrng = random.Random(42)\n",
+        "import time\nstarted = time.perf_counter()\n",
+        "import time\ndeadline = time.monotonic() + 5\n",
+        "import numpy as np\nrng = np.random.default_rng(0)\n",
+    ]
+
+    @pytest.mark.parametrize("snippet", TRIGGERS)
+    def test_triggers_in_core(self, tmp_path, snippet):
+        findings, _ = lint_snippet(tmp_path, "repro/core/mod.py", snippet)
+        assert "FRM002" in rule_ids(findings)
+
+    @pytest.mark.parametrize("snippet", CLEAN)
+    def test_seeded_and_monotonic_are_clean(self, tmp_path, snippet):
+        findings, _ = lint_snippet(tmp_path, "repro/core/mod.py", snippet)
+        assert "FRM002" not in rule_ids(findings)
+
+    def test_applies_to_baselines_package(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path, "repro/baselines/mod.py", "import time\nt = time.time()\n"
+        )
+        assert "FRM002" in rule_ids(findings)
+
+    def test_suppression(self, tmp_path):
+        findings, n_suppressed = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "import time\nt = time.time()  # farmer-lint: disable=FRM002\n",
+        )
+        assert "FRM002" not in rule_ids(findings)
+        assert n_suppressed == 1
+
+
+class TestFRM003WorkerPicklability:
+    def test_lambda_attribute_in_multiprocessing_module(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/workers.py",
+            "import multiprocessing\n"
+            "class Task:\n"
+            "    def __init__(self):\n"
+            "        self.score = lambda x: x + 1\n",
+        )
+        assert "FRM003" in rule_ids(findings)
+
+    def test_named_worker_class_checked_everywhere(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/state.py",
+            "class NodeState:\n"
+            "    def __init__(self):\n"
+            "        self.stream = open('x.txt')\n",
+        )
+        assert "FRM003" in rule_ids(findings)
+
+    def test_generator_and_closure_attributes(self, tmp_path):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "class Task:\n"
+            "    def __init__(self, rows):\n"
+            "        self.rows = (r for r in rows)\n"
+            "    def bind(self, offset):\n"
+            "        def shifted(x):\n"
+            "            return x + offset\n"
+            "        self.shift = shifted\n"
+        )
+        findings, _ = lint_snippet(tmp_path, "repro/core/workers.py", source)
+        messages = [f.message for f in findings if f.rule_id == "FRM003"]
+        assert len(messages) == 2
+        assert any("generator" in m for m in messages)
+        assert any("closure" in m for m in messages)
+
+    def test_class_level_lambda(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/workers.py",
+            "import multiprocessing\nclass Task:\n    key = lambda x: x\n",
+        )
+        assert "FRM003" in rule_ids(findings)
+
+    def test_plain_class_in_plain_module_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "class Helper:\n"
+            "    def __init__(self):\n"
+            "        self.score = lambda x: x\n",
+        )
+        assert "FRM003" not in rule_ids(findings)
+
+    def test_picklable_worker_state_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/workers.py",
+            "import multiprocessing\n"
+            "class Task:\n"
+            "    def __init__(self, rows):\n"
+            "        self.rows = list(rows)\n",
+        )
+        assert "FRM003" not in rule_ids(findings)
+
+    def test_suppression(self, tmp_path):
+        findings, n_suppressed = lint_snippet(
+            tmp_path,
+            "repro/core/workers.py",
+            "import multiprocessing\n"
+            "class Task:\n"
+            "    def __init__(self):\n"
+            "        self.f = lambda: 0  # farmer-lint: disable=FRM003\n",
+        )
+        assert "FRM003" not in rule_ids(findings)
+        assert n_suppressed == 1
+
+
+class TestFRM004BitsetDiscipline:
+    def test_bin_count_popcount(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/extensions/mod.py",
+            'def popcount(x):\n    return bin(x).count("1")\n',
+        )
+        assert "FRM004" in rule_ids(findings)
+
+    def test_bit_count_helper_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/extensions/mod.py",
+            "from repro.core import bitset\n"
+            "def popcount(x):\n"
+            "    return bitset.bit_count(x)\n",
+        )
+        assert "FRM004" not in rule_ids(findings)
+
+    def test_float_equality_in_measures(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/measures.py",
+            "def degenerate(conf):\n    return conf == 1.0\n",
+        )
+        assert "FRM004" in rule_ids(findings)
+
+    def test_float_inequality_bound_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/measures.py",
+            "def saturated(conf):\n    return conf >= 1.0\n",
+        )
+        assert "FRM004" not in rule_ids(findings)
+
+    def test_float_equality_outside_measures_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "def degenerate(conf):\n    return conf == 1.0\n",
+        )
+        assert "FRM004" not in rule_ids(findings)
+
+    def test_suppression(self, tmp_path):
+        findings, n_suppressed = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "def popcount(x):\n"
+            '    return bin(x).count("1")  # farmer-lint: disable=FRM004\n',
+        )
+        assert "FRM004" not in rule_ids(findings)
+        assert n_suppressed == 1
+
+
+class TestFRM005PublicApiHygiene:
+    CLEAN = (
+        '"""Module docstring."""\n'
+        '__all__ = ["helper"]\n'
+        "def helper():\n"
+        '    """Docstring."""\n'
+    )
+
+    def test_clean_module(self, tmp_path):
+        findings, _ = lint_snippet(tmp_path, "repro/mod.py", self.CLEAN)
+        assert "FRM005" not in rule_ids(findings)
+
+    def test_missing_dunder_all(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/mod.py",
+            '"""Doc."""\ndef helper():\n    """Doc."""\n',
+        )
+        assert any(
+            f.rule_id == "FRM005" and "no __all__" in f.message
+            for f in findings
+        )
+
+    def test_undefined_name_in_dunder_all(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/mod.py",
+            '"""Doc."""\n__all__ = ["ghost"]\n',
+        )
+        assert any(
+            f.rule_id == "FRM005" and "'ghost'" in f.message for f in findings
+        )
+
+    def test_public_def_missing_from_dunder_all(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/mod.py",
+            '"""Doc."""\n'
+            '__all__ = ["helper"]\n'
+            "def helper():\n"
+            '    """Doc."""\n'
+            "def stray():\n"
+            '    """Doc."""\n',
+        )
+        assert any(
+            f.rule_id == "FRM005" and "'stray'" in f.message for f in findings
+        )
+
+    def test_missing_docstrings(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/mod.py",
+            '__all__ = ["helper"]\ndef helper():\n    pass\n',
+        )
+        messages = [f.message for f in findings if f.rule_id == "FRM005"]
+        assert any("module has no docstring" in m for m in messages)
+        assert any("'helper' has no docstring" in m for m in messages)
+
+    def test_private_names_ignored(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/mod.py",
+            '"""Doc."""\ndef _internal():\n    pass\n',
+        )
+        assert "FRM005" not in rule_ids(findings)
+
+    def test_reexporting_init_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/sub/__init__.py",
+            '"""Doc."""\nfrom .mod import helper\n__all__ = ["helper"]\n',
+        )
+        assert "FRM005" not in rule_ids(findings)
+
+
+class TestFRM006ExceptionDiscipline:
+    def test_builtin_raise_in_core(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            'def check(x):\n    raise ValueError("bad")\n',
+        )
+        assert "FRM006" in rule_ids(findings)
+
+    def test_repro_errors_raise_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "from repro.errors import DataError\n"
+            "def check(x):\n"
+            '    raise DataError("bad")\n',
+        )
+        assert "FRM006" not in rule_ids(findings)
+
+    def test_bare_reraise_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "def check(x):\n"
+            "    try:\n"
+            "        x()\n"
+            "    except Exception:\n"
+            "        raise\n",
+        )
+        assert "FRM006" not in rule_ids(findings)
+
+    def test_builtin_raise_outside_core_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/classify/mod.py",
+            'def check(x):\n    raise ValueError("bad")\n',
+        )
+        assert "FRM006" not in rule_ids(findings)
+
+    def test_assert_in_library_code(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/classify/mod.py",
+            "def check(x):\n    assert x is not None\n",
+        )
+        assert "FRM006" in rule_ids(findings)
+
+    def test_assert_in_tests_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "tests/test_mod.py",
+            "def test_x():\n    assert 1 + 1 == 2\n",
+        )
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings, n_suppressed = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            'def check(x):\n'
+            '    raise ValueError("bad")  # farmer-lint: disable=FRM006\n',
+        )
+        assert "FRM006" not in rule_ids(findings)
+        assert n_suppressed == 1
+
+
+class TestRepoIsClean:
+    def test_shipped_tree_has_zero_findings(self):
+        """Acceptance: the shipped tree lints clean with no baseline."""
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        result = Engine(root=package_root.parent).lint_paths([package_root])
+        assert result.findings == [], [
+            finding.format() for finding in result.findings
+        ]
+        assert result.n_files > 60
