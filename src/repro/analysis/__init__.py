@@ -5,8 +5,9 @@ serial run only while the core enumeration code honours contracts that
 ordinary tests cannot see until they break at runtime: iteration order
 must never leak from unordered containers into mined output, worker
 state must stay picklable, popcounts must go through
-:mod:`repro.core.bitset`, and failures must surface as
-:mod:`repro.errors` types.  This package enforces those contracts
+:mod:`repro.core.bitset`, failures must surface as
+:mod:`repro.errors` types, and checkpointed state must persist through
+:mod:`repro.core.serialize`.  This package enforces those contracts
 statically, as a CI gate and a ``farmer lint`` subcommand.
 
 Layout:
@@ -17,7 +18,7 @@ Layout:
   :class:`LintResult` aggregation;
 * :mod:`~repro.analysis.baseline` — the committed grandfather file;
 * :mod:`~repro.analysis.reporters` — text and JSON output;
-* :mod:`~repro.analysis.rules` — the FRM001..FRM006 rule set;
+* :mod:`~repro.analysis.rules` — the FRM001..FRM007 rule set;
 * :mod:`~repro.analysis.cli` — the ``farmer lint`` entry point.
 
 See ``docs/static-analysis.md`` for the rule catalogue, the per-line

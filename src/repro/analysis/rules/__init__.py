@@ -1,4 +1,4 @@
-"""The farmer-lint rule catalogue (FRM001..FRM006).
+"""The farmer-lint rule catalogue (FRM001..FRM007).
 
 Adding a rule: subclass :class:`repro.analysis.base.Rule` in a module
 here, give it a fresh ``FRM0xx`` id, and append the class to
@@ -14,6 +14,7 @@ from .determinism import NondeterministicIterationRule, NondeterminismSourceRule
 from .discipline import BitsetDisciplineRule
 from .exceptions import ExceptionDisciplineRule
 from .hygiene import PublicApiRule
+from .persistence import PersistenceDisciplineRule
 from .picklability import WorkerPicklabilityRule
 
 __all__ = ["ALL_RULES", "RULES_BY_ID", "default_rules"]
@@ -26,6 +27,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     BitsetDisciplineRule,
     PublicApiRule,
     ExceptionDisciplineRule,
+    PersistenceDisciplineRule,
 )
 
 #: Rule classes keyed by their ``FRM00x`` id.

@@ -1,0 +1,93 @@
+"""FRM007: checkpointed state must persist through :mod:`repro.core.serialize`.
+
+Checkpoint/resume (:mod:`repro.core.checkpoint`) is only crash-consistent
+because every byte that reaches disk goes through the serialize module's
+envelope: canonical JSON, a checksum header, and the
+temp-file + fsync + rename dance.  A raw ``pickle.dump`` or ``json.dump``
+anywhere else in ``core/`` silently bypasses all three — the file has no
+checksum to detect truncation, no format version to gate incompatible
+readers, and a crash mid-write leaves a corrupt partial file that a later
+resume happily reads.  This rule flags raw stdlib persistence calls in
+``core/`` modules so the envelope stays the single write path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from ..base import Finding, ModuleContext, Rule
+
+__all__ = ["PersistenceDisciplineRule"]
+
+#: The one module allowed to speak raw json/pickle: it implements the
+#: envelope everything else must route through.
+_ENVELOPE_MODULE = "core/serialize.py"
+
+#: Serialization modules whose load/dump surface is banned in core/.
+_PERSISTENCE_MODULES = frozenset({"pickle", "json", "marshal", "shelve"})
+
+#: The banned attribute surface per module.
+_BANNED_ATTRS = {
+    "pickle": frozenset({"dump", "dumps", "load", "loads"}),
+    "json": frozenset({"dump", "dumps", "load", "loads"}),
+    "marshal": frozenset({"dump", "dumps", "load", "loads"}),
+    "shelve": frozenset({"open"}),
+}
+
+
+class PersistenceDisciplineRule(Rule):
+    """FRM007: no raw pickle/json/marshal/shelve persistence in core/."""
+
+    rule_id: ClassVar[str] = "FRM007"
+    name: ClassVar[str] = "raw-persistence"
+    description: ClassVar[str] = (
+        "core/ modules must persist state through core/serialize.py, not "
+        "raw pickle/json/marshal/shelve calls"
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call,)
+    module_prefixes: ClassVar[tuple[str, ...] | None] = ("core/",)
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        if module.package_path == _ENVELOPE_MODULE:
+            return False
+        return super().applies_to(module)
+
+    def start_module(self, module: ModuleContext) -> None:
+        # Names bound by ``from json import dumps`` (or aliased) resolve
+        # to the same banned surface as ``json.dumps``; map the local
+        # binding back to its dotted origin.
+        self._from_imports: dict[str, str] = {}
+        for statement in ast.walk(module.tree):
+            if not isinstance(statement, ast.ImportFrom):
+                continue
+            origin = statement.module or ""
+            if origin not in _PERSISTENCE_MODULES:
+                continue
+            banned = _BANNED_ATTRS[origin]
+            for alias in statement.names:
+                if alias.name in banned:
+                    bound = alias.asname or alias.name
+                    self._from_imports[bound] = f"{origin}.{alias.name}"
+
+    def visit(self, node: ast.AST, module: ModuleContext) -> Iterator[Finding]:
+        func = node.func  # type: ignore[attr-defined]
+        dotted: str | None = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _PERSISTENCE_MODULES
+            and func.attr in _BANNED_ATTRS[func.value.id]
+        ):
+            dotted = f"{func.value.id}.{func.attr}"
+        elif isinstance(func, ast.Name):
+            dotted = self._from_imports.get(func.id)
+        if dotted is None:
+            return
+        yield self.finding(
+            module,
+            node,
+            f"{dotted}() bypasses the checksummed, versioned, "
+            "crash-consistent envelope; route persistence through "
+            "core/serialize.py",
+        )

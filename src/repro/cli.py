@@ -76,6 +76,26 @@ def build_parser() -> argparse.ArgumentParser:
         "(identical output to serial; default: serial)",
     )
     mine.add_argument("--save", help="persist the groups to this .irgs file")
+    mine.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="snapshot sharded-run progress to this file (crash-consistent; "
+        "implies sharded execution)",
+    )
+    mine.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard completions per checkpoint write (default: 1)",
+    )
+    mine.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="restore progress from this checkpoint before mining "
+        "(missing file = fresh start; output is byte-identical to an "
+        "uninterrupted run)",
+    )
 
     validate = sub.add_parser(
         "validate",
@@ -162,6 +182,9 @@ def _command_mine(args: argparse.Namespace) -> int:
         compute_lower_bounds=args.lower_bounds,
         budget=SearchBudget(max_seconds=args.timeout),
         n_workers=args.workers,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     result = miner.mine(data, consequent)
     print(
@@ -175,6 +198,16 @@ def _command_mine(args: argparse.Namespace) -> int:
             f"sharded across {result.parallel.n_workers} workers "
             f"({result.parallel.n_tasks} subtree tasks)"
         )
+        if result.parallel.resumed_tasks:
+            print(
+                f"resumed {result.parallel.resumed_tasks} finished shards "
+                f"from checkpoint {args.resume}"
+            )
+        if result.parallel.checkpoints_written:
+            print(
+                f"wrote {result.parallel.checkpoints_written} checkpoints "
+                f"to {args.checkpoint or args.resume}"
+            )
     for group in result.sorted_groups()[: args.top]:
         print()
         print(group.format(data))

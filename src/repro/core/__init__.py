@@ -10,14 +10,17 @@ Public surface:
 * :class:`~repro.core.constraints.Constraints` — minsup/minconf/minchi.
 * :mod:`~repro.core.measures` — chi-square and the extended measures.
 * :mod:`~repro.core.parallel` — sharded execution across worker
-  processes (``Farmer(n_workers=...)``), bit-identical to serial.
+  processes (``Farmer(n_workers=...)``), bit-identical to serial, with
+  fault-tolerant retries (:class:`~repro.core.parallel.RetryPolicy`) and
+  crash-consistent checkpoint/resume (:mod:`~repro.core.checkpoint`).
 """
 
 from .constraints import Constraints
 from .enumeration import NodeCounters, SearchBudget, merge_counters
 from .farmer import ALL_PRUNINGS, Farmer, FarmerResult, mine_irgs
 from .minelb import attach_lower_bounds, lower_bounds_for_group, mine_lower_bounds
-from .parallel import ParallelReport, shutdown_workers
+from .checkpoint import CheckpointState
+from .parallel import ParallelReport, RetryPolicy, shutdown_workers
 from .rule import Rule
 from .rulegroup import RuleGroup
 from .serialize import load_rule_groups, save_rule_groups
@@ -25,11 +28,13 @@ from .validate import validate_group, validate_result
 
 __all__ = [
     "ALL_PRUNINGS",
+    "CheckpointState",
     "Constraints",
     "Farmer",
     "FarmerResult",
     "NodeCounters",
     "ParallelReport",
+    "RetryPolicy",
     "Rule",
     "RuleGroup",
     "SearchBudget",

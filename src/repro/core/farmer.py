@@ -56,7 +56,7 @@ from typing import TYPE_CHECKING, Callable, Hashable, Iterable, NamedTuple, Sequ
 
 from ..data.dataset import ItemizedDataset
 from ..data.transpose import TransposedTable
-from ..errors import BudgetExceeded, ConstraintError
+from ..errors import BudgetExceeded, ConstraintError, UsageError
 from . import bitset
 from .bounds import (
     chi_bound,
@@ -527,6 +527,16 @@ class Farmer:
             so provably-uninteresting candidates are dropped early.
             Advisory only: stale bounds cost buffer memory, never
             correctness, and the mined result is unchanged either way.
+        retry: fault-tolerance policy for sharded runs
+            (:class:`~repro.core.parallel.RetryPolicy`); ``None`` uses
+            the defaults.
+        checkpoint: file to snapshot sharded-run progress into (see
+            :mod:`repro.core.checkpoint`); implies the sharded pipeline
+            even when ``n_workers`` is ``None``.
+        checkpoint_every: shard completions per checkpoint write.
+        resume: checkpoint file to restore progress from before mining;
+            a missing file starts fresh.  The resumed run's output is
+            byte-identical to an uninterrupted one.
     """
 
     #: Subclasses that hook the recursive ``_visit`` (e.g. the tracer)
@@ -541,6 +551,10 @@ class Farmer:
         budget: SearchBudget | None = None,
         n_workers: int | None = None,
         broadcast_bounds: bool = True,
+        retry: "RetryPolicy | None" = None,
+        checkpoint: str | None = None,
+        checkpoint_every: int = 1,
+        resume: str | None = None,
     ) -> None:
         self.constraints = constraints if constraints is not None else Constraints()
         prunings = frozenset(prunings)
@@ -554,6 +568,24 @@ class Farmer:
             raise ConstraintError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
         self.broadcast_bounds = broadcast_bounds
+        self.retry = retry
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        if checkpoint is not None or resume is not None:
+            # Checkpoints snapshot the sharded coordinator's state; the
+            # serial traversal has no shard boundaries to snapshot at.
+            if self.budget.max_nodes is not None:
+                raise UsageError(
+                    "checkpoint/resume requires the sharded miner, but "
+                    "max_nodes budgets force the serial path; use a "
+                    "max_seconds budget instead"
+                )
+            if not self._supports_sharding:
+                raise UsageError(
+                    f"{type(self).__name__} cannot shard its traversal, "
+                    "so it cannot checkpoint or resume"
+                )
 
     # ------------------------------------------------------------------
     # Public API
@@ -579,9 +611,13 @@ class Farmer:
                 table,
                 constraints=self.constraints,
                 prunings=self.prunings,
-                n_workers=self.n_workers,
+                n_workers=self.n_workers if self.n_workers is not None else 1,
                 budget=self.budget,
                 broadcast=self.broadcast_bounds,
+                retry=self.retry,
+                checkpoint=self.checkpoint,
+                checkpoint_every=self.checkpoint_every,
+                resume=self.resume,
             )
         else:
             store = self._mine_table(table)
@@ -604,8 +640,9 @@ class Farmer:
         )
 
     def _wants_sharding(self) -> bool:
+        wants = self.n_workers is not None or self.checkpoint is not None or self.resume is not None
         return (
-            self.n_workers is not None
+            wants
             and self._supports_sharding
             and self.budget.max_nodes is None
         )
@@ -724,12 +761,17 @@ def mine_irgs(
     prunings: Iterable[str] = ALL_PRUNINGS,
     budget: SearchBudget | None = None,
     n_workers: int | None = None,
+    checkpoint: str | None = None,
+    checkpoint_every: int = 1,
+    resume: str | None = None,
 ) -> FarmerResult:
     """One-call convenience wrapper around :class:`Farmer`.
 
     ``n_workers`` shards the search across processes (see
     :mod:`repro.core.parallel`); the result is bit-identical to the
-    serial miner for any worker count.
+    serial miner for any worker count.  ``checkpoint``/``resume`` enable
+    crash-consistent progress snapshots (:mod:`repro.core.checkpoint`);
+    a resumed run's output is byte-identical to an uninterrupted one.
 
     >>> from repro.data.dataset import ItemizedDataset
     >>> data = ItemizedDataset.from_lists(
@@ -744,5 +786,8 @@ def mine_irgs(
         compute_lower_bounds=compute_lower_bounds,
         budget=budget,
         n_workers=n_workers,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     return miner.mine(dataset, consequent)

@@ -45,6 +45,30 @@ merged counters to the serial miner's with the broadcast on and off.
 Worker pools are forked lazily and cached per worker count so repeated
 mining calls (parameter sweeps, test grids) do not pay process start-up
 each time; :func:`shutdown_workers` tears them down.
+
+**Fault tolerance.**  Because the reduce is a pure replay of recorded
+candidate sequences, a shard is free to fail and run again — nothing
+about a retry can change the output.  The execute loop leans on that:
+
+* a worker that *dies* (SIGKILL, OOM, segfault) breaks the pool and is
+  surfaced immediately — the coordinator collects the child exit codes,
+  requeues every in-flight shard, discards the broken pool and carries
+  on with a fresh one (no waiting for the global deadline);
+* a worker that *stalls* is caught by the per-shard heartbeat timeout
+  (:attr:`RetryPolicy.shard_timeout`); the stalled pool is killed and
+  its shards requeued;
+* a shard whose *task raises* is retried with exponential backoff up to
+  :attr:`RetryPolicy.max_attempts`, then run inline in the coordinator
+  as a last resort (where a real bug finally propagates);
+* repeated pool failures *degrade* the worker count (halving down to
+  one, then to inline execution) instead of aborting the run — inline
+  execution cannot lose a worker, so every run terminates.
+
+Progress can be checkpointed between shard completions and resumed after
+a crash (:mod:`repro.core.checkpoint`): a run killed at any point and
+resumed from its latest checkpoint produces byte-identical output to an
+uninterrupted run, which ``tests/test_checkpoint.py`` pins at every
+checkpoint boundary.
 """
 
 from __future__ import annotations
@@ -54,13 +78,23 @@ import heapq
 import multiprocessing
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..data.transpose import TransposedTable
-from ..errors import BudgetExceeded, ConstraintError
+from ..errors import BudgetExceeded, ConstraintError, DataError
+from ..testing.chaos import maybe_fault_worker
 from . import bitset
+from .checkpoint import Checkpointer, CheckpointState, TaskRecord, run_fingerprint
 from .constraints import Constraints
 from .enumeration import NodeCounters, SearchBudget, merge_counters
 from .farmer import (
@@ -76,6 +110,7 @@ from .farmer import (
 __all__ = [
     "AdvisoryBounds",
     "ParallelReport",
+    "RetryPolicy",
     "mine_table_parallel",
     "shutdown_workers",
 ]
@@ -160,6 +195,38 @@ class AdvisoryBounds:
         return list(zip(self.neg_confidences, self.item_masks, self.sizes))
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the coordinator responds to worker faults.
+
+    Attributes:
+        max_attempts: worker-pool attempts per shard before the shard is
+            run inline in the coordinator as a last resort (where a
+            deterministic task bug finally propagates instead of being
+            retried forever).
+        backoff_base: first retry delay in seconds, doubled per
+            consecutive failure (deterministic — no jitter, because core
+            code may not draw randomness; see farmer-lint FRM002).
+            ``0`` disables sleeping, which the fault-injection tests use
+            to stay wall-clock-free.
+        backoff_cap: upper bound on one backoff sleep.
+        shard_timeout: per-attempt heartbeat deadline in seconds.  A
+            shard attempt exceeding it is presumed stalled: the pool is
+            killed, its in-flight shards are requeued.  ``None`` (the
+            default) disables stall detection — worker *death* is still
+            surfaced immediately via the broken pool.
+        degrade_after: consecutive pool failures tolerated before the
+            worker count is halved; at one worker a further failure
+            switches to inline execution, which cannot lose a worker.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    shard_timeout: float | None = None
+    degrade_after: int = 2
+
+
 @dataclass
 class ParallelReport:
     """Diagnostics of one sharded mining run.
@@ -173,6 +240,17 @@ class ParallelReport:
         workers: per-task counters, in dispatch (largest-first) order.
         advisory_drops: candidates dropped against broadcast bounds
             instead of being buffered for the reduce.
+        retries: shard attempts requeued after a worker fault (crash,
+            stall or task exception).
+        pool_failures: worker pools torn down after a crash or stall.
+        worker_exit_codes: non-zero exit codes collected from dead pool
+            processes (e.g. ``-9`` for a SIGKILLed worker), in teardown
+            order.
+        inline_tasks: shards executed inline in the coordinator (retry
+            exhaustion or degradation fallback).
+        resumed_tasks: shards restored from a checkpoint instead of
+            being executed.
+        checkpoints_written: durable checkpoint files written.
     """
 
     n_workers: int
@@ -181,17 +259,24 @@ class ParallelReport:
     n_tasks: int = 0
     workers: list[NodeCounters] = field(default_factory=list)
     advisory_drops: int = 0
+    retries: int = 0
+    pool_failures: int = 0
+    worker_exit_codes: list[int] = field(default_factory=list)
+    inline_tasks: int = 0
+    resumed_tasks: int = 0
+    checkpoints_written: int = 0
 
 
 class _Leaf:
     """A frontier subtree: one work-queue task, result attached in place."""
 
-    __slots__ = ("state", "candidates", "counters")
+    __slots__ = ("state", "candidates", "counters", "drops")
 
     def __init__(self, state: NodeState) -> None:
         self.state = state
         self.candidates: list[Candidate] = []
         self.counters = NodeCounters()
+        self.drops = 0
 
 
 class _Branch:
@@ -240,8 +325,11 @@ def _run_subtree_task(
     deadline: float | None,
     strict: bool,
     n_rows: int,
+    shard: int = 0,
+    attempt: int = 0,
 ) -> tuple[list[Candidate], NodeCounters, int, bool]:
     """Executed in a worker process: serial traversal of one subtree."""
+    maybe_fault_worker(shard, attempt)
     sys.setrecursionlimit(max(sys.getrecursionlimit(), n_rows * 4 + 1000))
     counters = NodeCounters()
     sink: list[Candidate] = []
@@ -285,6 +373,44 @@ def shutdown_workers() -> None:
     while _EXECUTORS:
         _, executor = _EXECUTORS.popitem()
         executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _discard_executor(
+    n_workers: int, report: ParallelReport, settle: float = 0.0
+) -> None:
+    """Tear down one (presumed broken or stalled) cached pool.
+
+    Collects the exit codes of processes that died on their own — before
+    any cleanup of ours can obscure them — so a SIGKILLed worker
+    surfaces as ``-9`` in :attr:`ParallelReport.worker_exit_codes`, then
+    kills the survivors (a stalled worker never exits by itself).
+
+    ``settle`` bounds a wait for those exit codes: when a pool *breaks*,
+    every worker dies (the executor terminates the siblings) but the
+    futures fail a beat before the children are reaped, so the caller
+    grants a short settle window.  Stall teardowns pass ``0`` — a
+    stalled worker has no exit code to wait for.
+    """
+    executor = _EXECUTORS.pop(n_workers, None)
+    if executor is None:
+        return
+    processes = list(getattr(executor, "_processes", {}).values())
+    if settle > 0:
+        deadline = time.monotonic() + settle
+        while any(process.exitcode is None for process in processes):
+            if time.monotonic() > deadline:
+                break
+            time.sleep(0.01)
+    for process in processes:
+        code = process.exitcode
+        if code is not None and code != 0:
+            report.worker_exit_codes.append(code)
+    for process in processes:
+        if process.is_alive():
+            process.kill()
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        process.join(timeout=5.0)
 
 
 # ----------------------------------------------------------------------
@@ -358,6 +484,23 @@ def _decompose(
     return root, tasks, truncated
 
 
+def _sleep_backoff(retry: RetryPolicy, failures: int) -> None:
+    """Deterministic exponential backoff (no jitter: see FRM002)."""
+    if retry.backoff_base <= 0 or failures < 1:
+        return
+    time.sleep(min(retry.backoff_cap, retry.backoff_base * 2 ** (failures - 1)))
+
+
+def _poll_timeout(retry: RetryPolicy, deadline: float | None) -> float | None:
+    """How long one ``wait()`` may block before heartbeats are checked."""
+    waits = []
+    if retry.shard_timeout is not None:
+        waits.append(max(0.01, retry.shard_timeout / 4))
+    if deadline is not None:
+        waits.append(max(0.01, deadline - time.monotonic()))
+    return min(waits) if waits else None
+
+
 def _execute_tasks(
     tasks: Sequence[_Leaf],
     ctx: SearchContext,
@@ -367,91 +510,233 @@ def _execute_tasks(
     deadline: float | None,
     strict: bool,
     n_rows: int,
-) -> tuple[bool, int]:
+    *,
+    retry: RetryPolicy,
+    report: ParallelReport,
+    checkpointer: Checkpointer | None = None,
+    completed: frozenset[int] = frozenset(),
+    advisory_snapshot: list[tuple[float, int, int]] | None = None,
+) -> bool:
     """Run every task, inline (1 worker) or on the process pool.
 
-    Results are attached to the leaves in place.  Returns
-    ``(truncated, advisory_drops)``.
+    Results are attached to the leaves in place (per-leaf candidates,
+    counters and advisory drops); shards listed in ``completed`` carry
+    restored results and are skipped.  Worker faults are retried,
+    requeued or degraded per ``retry`` — see the module docstring for the
+    ladder.  Returns whether the run was truncated by a non-strict
+    budget.
     """
-    advisory = AdvisoryBounds(cap=advisory_cap) if broadcast else None
+    advisory = (
+        AdvisoryBounds(advisory_snapshot or (), cap=advisory_cap)
+        if broadcast
+        else None
+    )
     truncated = False
+
+    def record_leaf(
+        index: int,
+        sink: list[Candidate],
+        counters: NodeCounters,
+        task_drops: int,
+        task_truncated: bool,
+    ) -> None:
+        nonlocal truncated
+        leaf = tasks[index]
+        leaf.candidates = sink
+        leaf.counters = counters
+        leaf.drops = task_drops
+        truncated = truncated or task_truncated
+        if advisory is not None:
+            for candidate in sink:
+                advisory.extend(
+                    candidate.item_mask,
+                    len(candidate.item_ids),
+                    candidate.confidence,
+                )
+        if checkpointer is not None and not task_truncated:
+            checkpointer.record(
+                TaskRecord(
+                    index=index,
+                    candidates=sink,
+                    counters=counters,
+                    drops=task_drops,
+                ),
+                advisory.snapshot() if advisory is not None else None,
+            )
 
     if n_workers == 1:
         tick = _DeadlineTicker(deadline) if deadline is not None else None
-        for leaf in tasks:
-            if truncated:
-                break
+        for index, leaf in enumerate(tasks):
+            if index in completed or truncated:
+                continue
+            before = advisory.drops if advisory is not None else 0
+            sink: list[Candidate] = []
+            counters = NodeCounters()
             try:
-                enumerate_subtree(
-                    ctx, leaf.state, leaf.counters, leaf.candidates, advisory, tick
-                )
+                enumerate_subtree(ctx, leaf.state, counters, sink, advisory, tick)
             except BudgetExceeded:
                 if strict:
                     raise
                 truncated = True
-        return truncated, advisory.drops if advisory is not None else 0
+                continue
+            delta = (advisory.drops - before) if advisory is not None else 0
+            record_leaf(index, sink, counters, delta, False)
+        return truncated
 
-    executor = _get_executor(n_workers)
-    pending = list(tasks)
-    futures: dict = {}
-    drops = 0
+    pending: deque[int] = deque(
+        index for index in range(len(tasks)) if index not in completed
+    )
+    attempts: dict[int, int] = {index: 0 for index in pending}
+    inflight: dict[Future, tuple[int, float]] = {}
     error: BudgetExceeded | None = None
+    consecutive_failures = 0
+    workers = n_workers
+    inline_only = False
 
-    def submit(leaf: _Leaf) -> None:
+    def run_inline(index: int) -> None:
+        """Coordinator-side fallback; cannot lose a worker."""
+        leaf = tasks[index]
+        tick = _DeadlineTicker(deadline) if deadline is not None else None
+        before = advisory.drops if advisory is not None else 0
+        sink: list[Candidate] = []
+        counters = NodeCounters()
+        enumerate_subtree(ctx, leaf.state, counters, sink, advisory, tick)
+        delta = (advisory.drops - before) if advisory is not None else 0
+        report.inline_tasks += 1
+        record_leaf(index, sink, counters, delta, False)
+
+    def submit(index: int) -> bool:
+        """Dispatch one shard to the pool; ``False`` if the pool is dead."""
+        leaf = tasks[index]
         snapshot = advisory.snapshot() if advisory is not None else None
-        future = executor.submit(
-            _run_subtree_task,
-            ctx,
-            leaf.state,
-            snapshot,
-            advisory_cap,
-            deadline,
-            strict,
-            n_rows,
+        try:
+            future = _get_executor(workers).submit(
+                _run_subtree_task,
+                ctx,
+                leaf.state,
+                snapshot,
+                advisory_cap,
+                deadline,
+                strict,
+                n_rows,
+                index,
+                attempts[index],
+            )
+        except (BrokenExecutor, RuntimeError):
+            return False
+        inflight[future] = (index, time.monotonic())
+        return True
+
+    def fail_pool(settle: float = 0.0) -> None:
+        """Broken/stalled pool: requeue its shards, degrade if repeated."""
+        nonlocal consecutive_failures, workers, inline_only
+        report.pool_failures += 1
+        consecutive_failures += 1
+        indices = sorted(index for index, _ in inflight.values())
+        inflight.clear()
+        for index in reversed(indices):
+            attempts[index] += 1
+            pending.appendleft(index)
+        report.retries += len(indices)
+        _discard_executor(workers, report, settle)
+        if consecutive_failures >= retry.degrade_after:
+            if workers > 1:
+                workers = max(1, workers // 2)
+            else:
+                inline_only = True
+            consecutive_failures = 0
+        _sleep_backoff(retry, report.pool_failures)
+
+    while pending or inflight:
+        if error is not None or truncated:
+            pending.clear()
+            if not inflight:
+                break
+        if inline_only:
+            while pending and error is None and not truncated:
+                index = pending.popleft()
+                try:
+                    run_inline(index)
+                except BudgetExceeded as exc:
+                    if strict:
+                        error = exc
+                    else:
+                        truncated = True
+            continue
+        while (
+            pending
+            and len(inflight) < workers
+            and error is None
+            and not truncated
+            and not inline_only
+        ):
+            index = pending.popleft()
+            if attempts[index] >= retry.max_attempts:
+                # Retries exhausted: run in the coordinator, where a
+                # deterministic task bug finally propagates.
+                try:
+                    run_inline(index)
+                except BudgetExceeded as exc:
+                    if strict:
+                        error = exc
+                    else:
+                        truncated = True
+                continue
+            if not submit(index):
+                pending.appendleft(index)
+                fail_pool(settle=2.0)
+                break
+        if not inflight:
+            continue
+        done, _ = wait(
+            list(inflight),
+            timeout=_poll_timeout(retry, deadline),
+            return_when=FIRST_COMPLETED,
         )
-        futures[future] = leaf
-
-    for leaf in pending[:n_workers]:
-        submit(leaf)
-    del pending[:n_workers]
-
-    while futures:
-        done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+        if not done:
+            if retry.shard_timeout is not None:
+                now = time.monotonic()
+                if any(
+                    now - started > retry.shard_timeout
+                    for _, started in inflight.values()
+                ):
+                    fail_pool()
+            continue
+        pool_broken = False
         for future in done:
-            leaf = futures.pop(future)
+            index, started = inflight.pop(future)
             try:
                 sink, counters, task_drops, task_truncated = future.result()
             except BudgetExceeded as exc:
                 # Strict budget tripped in a worker: stop feeding the
                 # queue, drain what is already running, then re-raise.
-                error = exc
-                pending.clear()
-                continue
-            leaf.candidates = sink
-            leaf.counters = counters
-            drops += task_drops
-            truncated = truncated or task_truncated
-            if advisory is not None:
-                for candidate in sink:
-                    advisory.extend(
-                        candidate.item_mask,
-                        len(candidate.item_ids),
-                        candidate.confidence,
-                    )
-            if pending and error is None and not truncated:
-                if deadline is not None and time.monotonic() > deadline:
-                    if strict:
-                        error = BudgetExceeded(
-                            "time budget exceeded in sharded search"
-                        )
-                        pending.clear()
-                        continue
+                if strict:
+                    error = exc
+                    pending.clear()
+                else:
                     truncated = True
-                    continue
-                submit(pending.pop(0))
+                continue
+            except BrokenExecutor:
+                # A worker died; every sibling future is doomed too.
+                # Hand the shard back so fail_pool() requeues them all.
+                inflight[future] = (index, started)
+                pool_broken = True
+                continue
+            except Exception:
+                # Task-level failure (the worker survived): retry with
+                # backoff; retries exhausted -> inline at next dispatch.
+                attempts[index] += 1
+                report.retries += 1
+                pending.append(index)
+                _sleep_backoff(retry, attempts[index])
+                continue
+            consecutive_failures = 0
+            record_leaf(index, sink, counters, task_drops, task_truncated)
+        if pool_broken:
+            fail_pool(settle=2.0)
     if error is not None:
         raise error
-    return truncated, drops
+    return truncated
 
 
 def _assemble(plan: object, out: list[Candidate]) -> None:
@@ -480,6 +765,10 @@ def mine_table_parallel(
     chunk_factor: int = DEFAULT_CHUNK_FACTOR,
     advisory_cap: int = DEFAULT_ADVISORY_CAP,
     expansion_cap: int | None = None,
+    retry: RetryPolicy | None = None,
+    checkpoint: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume: str | Path | None = None,
 ) -> tuple[_IRGStore, NodeCounters, bool, ParallelReport]:
     """Mine ``table`` with the sharded decompose/execute/reduce pipeline.
 
@@ -495,9 +784,26 @@ def mine_table_parallel(
     ``max_nodes`` raises :class:`~repro.errors.ConstraintError` — deterministic node accounting
     needs the serial traversal, and :class:`Farmer` routes such budgets
     there automatically.
+
+    ``checkpoint`` names a file to snapshot progress into after every
+    ``checkpoint_every`` shard completions (and once more on the way
+    out, even when aborting).  ``resume`` names a checkpoint to restore
+    before executing — a missing file means a fresh start, so a crash
+    loop around ``resume=`` converges; a checkpoint from a different
+    dataset or settings is rejected with
+    :class:`~repro.errors.DataError` via the run fingerprint.  When only
+    ``resume`` is given, the same file keeps receiving checkpoints.
+    ``retry`` tunes the fault-tolerance ladder (defaults:
+    :class:`RetryPolicy`).
     """
     if n_workers < 1:
         raise ConstraintError(f"n_workers must be >= 1, got {n_workers}")
+    if checkpoint_every < 1:
+        raise ConstraintError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if retry is None:
+        retry = RetryPolicy()
     deadline = None
     strict = True
     if budget is not None:
@@ -520,8 +826,20 @@ def mine_table_parallel(
     if table.n == 0 or not table.item_masks:
         return store, merge_counters([coordinator]), False, report
 
-    target = max(2, chunk_factor * n_workers)
-    cap = expansion_cap if expansion_cap is not None else max(4 * target, 64)
+    checkpoint_path = checkpoint if checkpoint is not None else resume
+    resumed: CheckpointState | None = None
+    if resume is not None and Path(resume).exists():
+        resumed = CheckpointState.load(resume)
+
+    # The decomposition shape is pinned by the checkpoint, not by the
+    # current worker count, so a resume with different n_workers still
+    # reproduces the same shards (and the same fingerprint).
+    if resumed is not None:
+        target = resumed.target
+        cap = resumed.expansion_cap
+    else:
+        target = max(2, chunk_factor * n_workers)
+        cap = expansion_cap if expansion_cap is not None else max(4 * target, 64)
 
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, table.n * 4 + 1000))
@@ -529,12 +847,65 @@ def mine_table_parallel(
         plan, tasks, truncated = _decompose(
             ctx, ctx.root_state(table), coordinator, target, cap, deadline, strict
         )
-        drops = 0
-        if tasks and not truncated:
-            task_truncated, drops = _execute_tasks(
-                tasks, ctx, n_workers, broadcast, advisory_cap, deadline, strict,
+
+        checkpointer: Checkpointer | None = None
+        completed: frozenset[int] = frozenset()
+        advisory_snapshot: list[tuple[float, int, int]] | None = None
+        if checkpoint_path is not None:
+            fingerprint = run_fingerprint(
                 table.n,
+                table.m,
+                table.consequent,
+                table.item_masks,
+                table.positive_mask,
+                constraints,
+                prunings,
+                target,
+                cap,
+                [leaf.state.x_mask for leaf in tasks],
             )
+            if resumed is not None:
+                if resumed.fingerprint != fingerprint:
+                    raise DataError(
+                        f"checkpoint {checkpoint_path} belongs to a "
+                        "different run (dataset, constraints, prunings or "
+                        "decomposition differ); delete it or drop resume="
+                    )
+                for index, record in resumed.completed.items():
+                    leaf = tasks[index]
+                    leaf.candidates = record.candidates
+                    leaf.counters = record.counters
+                    leaf.drops = record.drops
+                completed = frozenset(resumed.completed)
+                advisory_snapshot = resumed.advisory
+                report.resumed_tasks = len(completed)
+            state = resumed if resumed is not None else CheckpointState(
+                fingerprint=fingerprint,
+                n_tasks=len(tasks),
+                target=target,
+                expansion_cap=cap,
+            )
+            checkpointer = Checkpointer(
+                checkpoint_path, state, every=checkpoint_every
+            )
+
+        if tasks and not truncated:
+            try:
+                task_truncated = _execute_tasks(
+                    tasks, ctx, n_workers, broadcast, advisory_cap, deadline,
+                    strict, table.n,
+                    retry=retry,
+                    report=report,
+                    checkpointer=checkpointer,
+                    completed=completed,
+                    advisory_snapshot=advisory_snapshot,
+                )
+            finally:
+                # Even an aborting run (strict budget, injected fault)
+                # leaves its latest progress on disk for a resume.
+                if checkpointer is not None:
+                    checkpointer.close()
+                    report.checkpoints_written = checkpointer.writes
             truncated = truncated or task_truncated
         replay = NodeCounters()
         sequence: list[Candidate] = []
@@ -546,6 +917,6 @@ def mine_table_parallel(
 
     report.n_tasks = len(tasks)
     report.workers = [leaf.counters for leaf in tasks]
-    report.advisory_drops = drops
+    report.advisory_drops = sum(leaf.drops for leaf in tasks)
     merged = merge_counters([coordinator, replay, *report.workers])
     return store, merged, truncated, report

@@ -1,0 +1,30 @@
+"""Deterministic test instrumentation shipped with the library.
+
+:mod:`repro.testing.chaos` is the fault-injection seam the
+fault-tolerance test suite drives: environment-controlled hooks in the
+sharded miner's worker entrypoint and checkpoint writer that kill, stall
+or exception-crash a specific shard attempt (or the coordinator after a
+specific checkpoint write).  Everything here is a no-op unless the
+``FARMER_CHAOS`` environment variable is set, so production runs pay one
+``os.environ`` read per shard and nothing else.
+"""
+
+from __future__ import annotations
+
+from .chaos import (
+    CHAOS_ENV,
+    ChaosSpec,
+    InjectedFault,
+    active_spec,
+    maybe_fault_checkpoint,
+    maybe_fault_worker,
+)
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosSpec",
+    "InjectedFault",
+    "active_spec",
+    "maybe_fault_checkpoint",
+    "maybe_fault_worker",
+]

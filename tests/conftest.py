@@ -9,6 +9,47 @@ import pytest
 from repro.data.dataset import ItemizedDataset
 
 
+class ChaosControl:
+    """Arms/disarms the ``FARMER_CHAOS`` fault spec for one test.
+
+    Worker pools inherit the environment at fork time, so both
+    :meth:`arm` and :meth:`disarm` tear the cached pools down first — a
+    pool forked before arming would never see the spec, and a pool
+    forked while armed must not leak faults into later work.
+    """
+
+    def __init__(self, monkeypatch) -> None:
+        self._monkeypatch = monkeypatch
+
+    def arm(self, spec: str) -> None:
+        from repro.core.parallel import shutdown_workers
+        from repro.testing.chaos import CHAOS_ENV
+
+        shutdown_workers()
+        self._monkeypatch.setenv(CHAOS_ENV, spec)
+
+    def disarm(self) -> None:
+        from repro.core.parallel import shutdown_workers
+        from repro.testing.chaos import CHAOS_ENV
+
+        shutdown_workers()
+        self._monkeypatch.delenv(CHAOS_ENV, raising=False)
+
+
+@pytest.fixture
+def chaos(monkeypatch):
+    """Deterministic fault injection (see :mod:`repro.testing.chaos`).
+
+    ``chaos.arm("kill:shard=1:times=1")`` injects the given fault into
+    subsequent mining calls; faults are keyed on logical coordinates
+    (shard index, attempt number, checkpoint write count), never on
+    wall-clock time or randomness.
+    """
+    control = ChaosControl(monkeypatch)
+    yield control
+    control.disarm()
+
+
 def letter_items(letters: str) -> list[int]:
     """Map 'aceh' -> [0, 2, 4, 7] (the paper's a..t item alphabet)."""
     return [ord(letter) - ord("a") for letter in letters]

@@ -1,4 +1,4 @@
-"""Fixture-driven tests for every farmer-lint rule (FRM001..FRM006).
+"""Fixture-driven tests for every farmer-lint rule (FRM001..FRM007).
 
 Each rule gets at least: a snippet that triggers it, a near-identical
 snippet that must not, and a suppression-comment check.  Fixtures are
@@ -30,9 +30,9 @@ def rule_ids(findings):
 
 
 class TestCatalogue:
-    def test_six_rules_with_unique_ids(self):
-        assert len(ALL_RULES) == 6
-        assert sorted(RULES_BY_ID) == [f"FRM00{i}" for i in range(1, 7)]
+    def test_seven_rules_with_unique_ids(self):
+        assert len(ALL_RULES) == 7
+        assert sorted(RULES_BY_ID) == [f"FRM00{i}" for i in range(1, 8)]
 
     def test_every_rule_documented(self):
         for rule in ALL_RULES:
@@ -408,6 +408,69 @@ class TestFRM006ExceptionDiscipline:
             '    raise ValueError("bad")  # farmer-lint: disable=FRM006\n',
         )
         assert "FRM006" not in rule_ids(findings)
+        assert n_suppressed == 1
+
+
+class TestFRM007PersistenceDiscipline:
+    TRIGGERS = [
+        "import pickle\npickle.dump(state, fh)\n",
+        "import pickle\nblob = pickle.dumps(state)\n",
+        "import pickle\nstate = pickle.load(fh)\n",
+        "import json\njson.dump(payload, fh)\n",
+        "import json\ntext = json.dumps(payload)\n",
+        "import json\npayload = json.loads(text)\n",
+        "import marshal\nmarshal.dump(code, fh)\n",
+        "import shelve\ndb = shelve.open('state')\n",
+        "from pickle import dump\ndump(state, fh)\n",
+        "from json import dumps as render\ntext = render(payload)\n",
+    ]
+
+    @pytest.mark.parametrize("snippet", TRIGGERS)
+    def test_triggers_in_core(self, tmp_path, snippet):
+        findings, _ = lint_snippet(tmp_path, "repro/core/mod.py", snippet)
+        assert "FRM007" in rule_ids(findings)
+
+    def test_serialize_module_is_exempt(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/serialize.py",
+            "import json\ntext = json.dumps(payload)\n",
+        )
+        assert "FRM007" not in rule_ids(findings)
+
+    def test_out_of_scope_module_not_checked(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "import json\njson.dump(payload, fh)\n",
+        )
+        assert "FRM007" not in rule_ids(findings)
+
+    def test_unrelated_dump_name_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "def dump(x):\n    return x\n\nvalue = dump(1)\n",
+        )
+        assert "FRM007" not in rule_ids(findings)
+
+    def test_envelope_calls_are_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "from .serialize import canonical_json, save_checkpoint\n"
+            "save_checkpoint(path, canonical_json(payload))\n",
+        )
+        assert "FRM007" not in rule_ids(findings)
+
+    def test_suppression(self, tmp_path):
+        findings, n_suppressed = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "import json\n"
+            "text = json.dumps(x)  # farmer-lint: disable=FRM007\n",
+        )
+        assert "FRM007" not in rule_ids(findings)
         assert n_suppressed == 1
 
 
