@@ -1,0 +1,249 @@
+"""Committed perf baseline + CI regression gate for the enumeration kernel.
+
+Runs the pinned Figure-10-style LC minsup sweep with both engines (the
+fused kernel and the pre-kernel ``reference`` cost model) and records,
+per sweep point:
+
+* **determinism pins** — node count, group count and the sha256 of the
+  serialized ``.irgs`` output.  These are hardware-independent and are
+  compared *exactly* in ``--check`` mode: any drift means the kernel
+  changed mined output, which is a bug regardless of speed.  One sweep
+  point is additionally re-mined sharded (``n_workers=2``) and must hash
+  identically to the serial run.
+* **speed** — best-of-N wall time and nodes/sec for both engines, the
+  kernel/reference speedup, and the kernel cache hit rate.
+
+``--check`` recomputes the pins, re-measures the speedup and fails if
+the aggregate speedup falls below ``min_speedup * tolerance`` — the
+tolerance is deliberately generous (CI machines are noisy; the gate
+exists to catch the kernel *losing its reason to exist*, not 5% noise).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py            # refresh baseline
+    PYTHONPATH=src python benchmarks/perf_gate.py --check    # CI gate
+
+Not a pytest module on purpose: the sweep takes seconds-not-milliseconds
+and its pass/fail contract (exact pins + a speedup floor) does not fit
+the benchmark fixtures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.constraints import Constraints
+from repro.core.farmer import Farmer
+from repro.core.parallel import shutdown_workers
+from repro.core.serialize import save_rule_groups
+from repro.experiments.workloads import build_workload
+
+#: The pinned sweep: LC at benchmark scale, Figure-10 minsup grid.
+DATASET = "LC"
+SCALE = 0.02
+MINSUP_SWEEP = (14, 12, 11, 10, 9)
+#: The sweep point re-run sharded for the parallel byte-identity pin.
+SHARDED_MINSUP = 12
+#: Required aggregate kernel/reference speedup when refreshing the
+#: baseline, and the CI tolerance applied to it in ``--check``.
+MIN_SPEEDUP = 2.0
+TOLERANCE = 0.6
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
+
+
+def _irgs_sha256(result, tmp_dir: Path, tag: str) -> str:
+    path = tmp_dir / f"{tag}.irgs"
+    save_rule_groups(path, result.groups, constraints=result.constraints)
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _mine(workload, minsup: int, engine: str, n_workers: int | None = None):
+    miner = Farmer(
+        constraints=Constraints(minsup=minsup),
+        engine=engine,
+        n_workers=n_workers,
+    )
+    return miner.mine(workload.data, workload.consequent)
+
+
+def _best_of(workload, minsup: int, engine: str, rounds: int):
+    """(best wall seconds, last result) over ``rounds`` repeat mines."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = _mine(workload, minsup, engine)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_sweep(rounds: int, tmp_dir: Path) -> dict:
+    """The full two-engine sweep; returns the baseline payload."""
+    workload = build_workload(DATASET, scale=SCALE)
+    points = []
+    kernel_total = 0.0
+    reference_total = 0.0
+    for minsup in MINSUP_SWEEP:
+        kernel_s, kernel = _best_of(workload, minsup, "kernel", rounds)
+        reference_s, reference = _best_of(workload, minsup, "reference", rounds)
+        kernel_sha = _irgs_sha256(kernel, tmp_dir, f"kernel-{minsup}")
+        reference_sha = _irgs_sha256(reference, tmp_dir, f"reference-{minsup}")
+        if kernel_sha != reference_sha:
+            raise SystemExit(
+                f"FATAL: engines disagree at minsup={minsup}: "
+                f"kernel {kernel_sha[:12]} != reference {reference_sha[:12]}"
+            )
+        if kernel.counters.nodes != reference.counters.nodes:
+            raise SystemExit(
+                f"FATAL: engines visited different node counts at "
+                f"minsup={minsup}: {kernel.counters.nodes} != "
+                f"{reference.counters.nodes}"
+            )
+        hits = kernel.counters.cache_hits
+        misses = kernel.counters.cache_misses
+        kernel_total += kernel_s
+        reference_total += reference_s
+        points.append(
+            {
+                "minsup": minsup,
+                "nodes": kernel.counters.nodes,
+                "groups": len(kernel.groups),
+                "irgs_sha256": kernel_sha,
+                "kernel_seconds": round(kernel_s, 4),
+                "reference_seconds": round(reference_s, 4),
+                "speedup": round(reference_s / kernel_s, 3),
+                "kernel_nodes_per_second": round(
+                    kernel.counters.nodes / kernel_s
+                ),
+                "reference_nodes_per_second": round(
+                    reference.counters.nodes / reference_s
+                ),
+                "cache_hit_rate": round(
+                    hits / (hits + misses) if hits + misses else 0.0, 4
+                ),
+            }
+        )
+
+    sharded = _mine(workload, SHARDED_MINSUP, "kernel", n_workers=2)
+    shutdown_workers()
+    sharded_sha = _irgs_sha256(sharded, tmp_dir, "sharded")
+    serial_sha = next(
+        p["irgs_sha256"] for p in points if p["minsup"] == SHARDED_MINSUP
+    )
+    if sharded_sha != serial_sha:
+        raise SystemExit(
+            f"FATAL: sharded (n_workers=2) output diverges from serial at "
+            f"minsup={SHARDED_MINSUP}"
+        )
+
+    return {
+        "dataset": DATASET,
+        "scale": SCALE,
+        "rounds": rounds,
+        "min_speedup": MIN_SPEEDUP,
+        "tolerance": TOLERANCE,
+        "sharded_minsup": SHARDED_MINSUP,
+        "aggregate_speedup": round(reference_total / kernel_total, 3),
+        "points": points,
+    }
+
+
+def check(payload: dict, baseline: dict) -> list[str]:
+    """Failures of ``payload`` (fresh run) against ``baseline`` (committed)."""
+    failures = []
+    fresh = {p["minsup"]: p for p in payload["points"]}
+    for pinned in baseline["points"]:
+        point = fresh.get(pinned["minsup"])
+        if point is None:
+            failures.append(f"minsup={pinned['minsup']}: missing from sweep")
+            continue
+        for pin in ("nodes", "groups", "irgs_sha256"):
+            if point[pin] != pinned[pin]:
+                failures.append(
+                    f"minsup={pinned['minsup']}: {pin} drifted "
+                    f"({point[pin]!r} != pinned {pinned[pin]!r})"
+                )
+    floor = baseline["min_speedup"] * baseline["tolerance"]
+    if payload["aggregate_speedup"] < floor:
+        failures.append(
+            f"aggregate speedup {payload['aggregate_speedup']}x is below "
+            f"the gate floor {floor}x "
+            f"(min_speedup {baseline['min_speedup']} x tolerance "
+            f"{baseline['tolerance']})"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh sweep against the committed baseline "
+        "instead of rewriting it",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="best-of-N rounds per engine per sweep point (default: 3)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help=f"baseline JSON path (default: {BASELINE_PATH.name})",
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        payload = run_sweep(args.rounds, Path(tmp))
+
+    for point in payload["points"]:
+        print(
+            f"minsup={point['minsup']:>3}  nodes={point['nodes']:>7}  "
+            f"groups={point['groups']:>3}  "
+            f"kernel={point['kernel_seconds']:.3f}s  "
+            f"reference={point['reference_seconds']:.3f}s  "
+            f"speedup={point['speedup']:.2f}x  "
+            f"cache={point['cache_hit_rate']:.1%}"
+        )
+    print(f"aggregate speedup: {payload['aggregate_speedup']:.2f}x")
+
+    if not args.check:
+        if payload["aggregate_speedup"] < MIN_SPEEDUP:
+            print(
+                f"REFUSING to commit a baseline below {MIN_SPEEDUP}x "
+                "aggregate speedup — run on a quieter machine or fix the "
+                "kernel first",
+                file=sys.stderr,
+            )
+            return 1
+        args.baseline.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    failures = check(payload, baseline)
+    if failures:
+        print(f"PERF GATE FAILED ({len(failures)} problems):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed: pins exact, speedup above floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 """FRM004: bitset and float-measure discipline.
 
-Two habits corrupt the miners quietly: reimplementing popcount as
-``bin(x).count("1")`` (an order of magnitude slower than the
+Two habits corrupt the miners quietly: reimplementing popcount through a
+binary *string* — ``bin(x).count("1")``, ``format(x, "b").count("1")``
+or ``f"{x:b}".count("1")`` (an order of magnitude slower than the
 ``int.bit_count`` path wrapped by :func:`repro.core.bitset.bit_count`,
 and a second source of truth for the bitset representation), and
 comparing floating-point measure values with ``==``/``!=`` (chi-square
@@ -47,12 +48,13 @@ class BitsetDisciplineRule(Rule):
         self, node: ast.Call, module: ModuleContext
     ) -> Iterator[Finding]:
         func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "count"):
+            return
+        receiver = func.value
         if (
-            isinstance(func, ast.Attribute)
-            and func.attr == "count"
-            and isinstance(func.value, ast.Call)
-            and isinstance(func.value.func, ast.Name)
-            and func.value.func.id == "bin"
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, ast.Name)
+            and receiver.func.id == "bin"
         ):
             yield self.finding(
                 module,
@@ -60,6 +62,53 @@ class BitsetDisciplineRule(Rule):
                 'bin(x).count("1") reimplements popcount; use '
                 "repro.core.bitset.bit_count(x)",
             )
+        elif self._is_binary_format_call(receiver):
+            yield self.finding(
+                module,
+                node,
+                'format(x, "b").count("1") reimplements popcount; use '
+                "repro.core.bitset.bit_count(x)",
+            )
+        elif self._is_binary_fstring(receiver):
+            yield self.finding(
+                module,
+                node,
+                'f"{x:b}".count("1") reimplements popcount; use '
+                "repro.core.bitset.bit_count(x)",
+            )
+
+    @staticmethod
+    def _is_binary_format_call(node: ast.expr) -> bool:
+        """``format(x, "b")`` (or any spec ending in ``b``, e.g. ``08b``)."""
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "format"
+            and len(node.args) == 2
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+            and node.args[1].value.endswith("b")
+        )
+
+    @staticmethod
+    def _is_binary_fstring(node: ast.expr) -> bool:
+        """An f-string with some ``{...:b}``-style binary format spec."""
+        if not isinstance(node, ast.JoinedStr):
+            return False
+        for value in node.values:
+            if not isinstance(value, ast.FormattedValue):
+                continue
+            spec = value.format_spec
+            if spec is None or not isinstance(spec, ast.JoinedStr):
+                continue
+            parts = [
+                part.value
+                for part in spec.values
+                if isinstance(part, ast.Constant) and isinstance(part.value, str)
+            ]
+            if "".join(parts).endswith("b"):
+                return True
+        return False
 
     def _check_float_equality(
         self, node: ast.Compare, module: ModuleContext

@@ -14,6 +14,14 @@ with the row-enumeration analogues of FARMER's prunings:
 
 Support here is a plain row count; results match CHARM / CLOSET+ /
 the brute-force oracle exactly (tests pin this three-way agreement).
+
+The traversal runs on the fused kernel (:mod:`repro.core.kernel`): a
+node's conditional table is carried lazily as (parent table, row bit) and
+materialized with :meth:`~repro.core.kernel.CondTable.extend`, which
+builds the child table *and* its intersection/union in one pass — halving
+the per-node table walks of the original extend-then-scan loop.  Item
+order inside a table is support-sorted (a kernel invariant); emitted
+itemsets become frozensets, so results are order-identical to before.
 """
 
 from __future__ import annotations
@@ -21,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core import bitset
-from ..core.enumeration import SearchBudget, extend_items, scan_items
+from ..core.enumeration import SearchBudget
+from ..core.kernel import CondTable
 from ..data.dataset import ItemizedDataset
 from ..errors import ConstraintError
 from .charm import ClosedItemset
@@ -66,8 +75,8 @@ class Carpenter:
             sys.setrecursionlimit(max(old_limit, self._n * 4 + 1000))
             try:
                 self._visit(
-                    item_ids=list(range(dataset.n_items)),
-                    masks=item_masks,
+                    table=CondTable.build(item_masks, self._all_rows),
+                    row_bit=0,
                     x_mask=0,
                     cand=self._all_rows,
                     p1_removed=0,
@@ -90,15 +99,22 @@ class Carpenter:
 
     def _visit(
         self,
-        item_ids: list[int],
-        masks: list[int],
+        table: CondTable,
+        row_bit: int,
         x_mask: int,
         cand: int,
         p1_removed: int,
     ) -> None:
         self.budget.tick()
 
-        intersection, union = scan_items(masks, self._all_rows)
+        # Fused materialize + scan: ``table`` is the parent's table until
+        # extended by this node's row bit (one pass; Lemma 3.3 + scan).
+        # A candidate row always occurs in some tuple of the parent
+        # (it is drawn from the union), so the child table is never empty.
+        if row_bit:
+            table = table.extend(row_bit)
+        intersection = table.inter
+        union = table.union
 
         # Pruning 2: an earlier, never-compressed row in every tuple.
         witness = intersection & ~x_mask & ~cand & ~p1_removed
@@ -119,14 +135,11 @@ class Carpenter:
         child_p1_removed = p1_removed | y_mask
 
         for row in bitset.iter_bits(new_cand):
-            row_bit = 1 << row
-            child_ids, child_masks = extend_items(item_ids, masks, row_bit)
-            if not child_ids:
-                continue
+            bit = 1 << row
             self._visit(
-                item_ids=child_ids,
-                masks=child_masks,
-                x_mask=x_mask | row_bit,
+                table=table,
+                row_bit=bit,
+                x_mask=x_mask | bit,
                 cand=new_cand & ~bitset.below_mask(row + 1),
                 p1_removed=child_p1_removed,
             )
@@ -137,7 +150,7 @@ class Carpenter:
         # rows away).
         if support >= self.minsup and intersection not in self._seen:
             self._seen.add(intersection)
-            self._results.append((tuple(item_ids), intersection))
+            self._results.append((tuple(table.item_ids), intersection))
 
 
 def mine_closed_carpenter(

@@ -96,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(missing file = fresh start; output is byte-identical to an "
         "uninterrupted run)",
     )
+    mine.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the mine under cProfile and print the top-25 functions "
+        "by cumulative time plus the kernel cache-hit summary",
+    )
 
     validate = sub.add_parser(
         "validate",
@@ -186,7 +192,29 @@ def _command_mine(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
     )
-    result = miner.mine(data, consequent)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = miner.mine(data, consequent)
+        finally:
+            profiler.disable()
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats(
+            pstats.SortKey.CUMULATIVE
+        ).print_stats(25)
+        hits = result.counters.cache_hits
+        misses = result.counters.cache_misses
+        lookups = hits + misses
+        rate = hits / lookups if lookups else 0.0
+        print(
+            f"kernel caches: {hits} hits / {misses} misses "
+            f"({rate:.1%} hit rate over {lookups} lookups)"
+        )
+    else:
+        result = miner.mine(data, consequent)
     print(
         f"{len(result.groups)} interesting rule groups "
         f"(consequent={consequent!r}, minsup={args.minsup}, "

@@ -14,6 +14,13 @@ operations every node performs are:
   tuple.
 
 This module also hosts the node-budget bookkeeping shared by the miners.
+
+:func:`extend_items` and :func:`scan_items` are the *reference shims* of
+the fused kernel (:mod:`repro.core.kernel`): the production engines walk
+each table once via ``extend_and_scan`` / ``CondTable.extend``, while
+these two-pass helpers remain the independently-tested ground truth the
+differential and property-based suites compare against, and the cost
+model the ``engine="reference"`` miners run.
 """
 
 from __future__ import annotations
@@ -22,13 +29,15 @@ import time
 from dataclasses import dataclass, field, fields
 from typing import Iterable
 
-from ..errors import BudgetExceeded
+from ..errors import BudgetExceeded, DataError
 
 __all__ = [
     "extend_items",
     "scan_items",
     "SearchBudget",
     "NodeCounters",
+    "CACHE_TELEMETRY_FIELDS",
+    "semantic_counters",
     "merge_counters",
 ]
 
@@ -40,13 +49,23 @@ def extend_items(
 
     Keeps exactly the items whose row mask contains ``row_bit``
     (Lemma 3.3: ``TT|X |r = TT|X∪{r}``).
+
+    Raises:
+        DataError: if ``item_ids`` and ``masks`` diverge in length — a
+            corrupted conditional table must fail loudly rather than
+            silently truncate to the shorter sequence.
     """
     new_ids: list[int] = []
     new_masks: list[int] = []
-    for item_id, mask in zip(item_ids, masks):
-        if mask & row_bit:
-            new_ids.append(item_id)
-            new_masks.append(mask)
+    try:
+        for item_id, mask in zip(item_ids, masks, strict=True):
+            if mask & row_bit:
+                new_ids.append(item_id)
+                new_masks.append(mask)
+    except ValueError as exc:
+        raise DataError(
+            "conditional table corrupt: item_ids and masks differ in length"
+        ) from exc
     return new_ids, new_masks
 
 
@@ -135,6 +154,11 @@ class NodeCounters:
         groups_emitted: upper bounds admitted into the result.
         candidates_rejected: upper bounds meeting the thresholds but
             rejected by the interestingness comparison of Step 7.
+        cache_hits: kernel memo-cache hits (:class:`repro.core.kernel.KernelCache`)
+            — telemetry, not search semantics; see
+            :data:`CACHE_TELEMETRY_FIELDS`.
+        cache_misses: kernel memo-cache misses (entries computed and
+            stored).  Zero for ``engine="reference"`` runs.
     """
 
     nodes: int = 0
@@ -144,6 +168,32 @@ class NodeCounters:
     rows_compressed: int = 0
     groups_emitted: int = 0
     candidates_rejected: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+#: Counter fields that describe kernel cache *telemetry* rather than the
+#: search itself.  Cache scope is one per serial run but one per shard
+#: task (so retries and checkpoint/resume stay deterministic), hence these
+#: fields legitimately differ between a serial and a sharded run of the
+#: same problem while every semantic counter is identical.  Tests that
+#: compare serial vs sharded counters compare :func:`semantic_counters`;
+#: sharded vs resumed-sharded runs compare full equality.
+CACHE_TELEMETRY_FIELDS: tuple[str, ...] = ("cache_hits", "cache_misses")
+
+
+def semantic_counters(counters: NodeCounters) -> dict[str, int]:
+    """The counter fields that must match across equivalent runs.
+
+    Projects away :data:`CACHE_TELEMETRY_FIELDS`, whose values depend on
+    cache scoping (serial run vs per-shard-task) rather than on what the
+    search did.
+    """
+    return {
+        spec.name: getattr(counters, spec.name)
+        for spec in fields(NodeCounters)
+        if spec.name not in CACHE_TELEMETRY_FIELDS
+    }
 
 
 def merge_counters(parts: Iterable[NodeCounters]) -> NodeCounters:

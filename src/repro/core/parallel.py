@@ -106,6 +106,7 @@ from .farmer import (
     enumerate_subtree,
     expand_node,
 )
+from .kernel import KernelCache
 
 __all__ = [
     "AdvisoryBounds",
@@ -438,6 +439,9 @@ def _decompose(
     Returns ``(plan_root, tasks, truncated)`` with tasks in dispatch
     (largest-first) order.
     """
+    # One memo cache for the whole decomposition: the coordinator's cache
+    # telemetry is deterministic because the expansion order is.
+    cache = KernelCache()
     root: object = _Leaf(root_state)
     heap: list[tuple[int, int, _Leaf, list[object] | None, int]] = [
         (-_estimate(root_state), 0, root, None, 0)
@@ -458,7 +462,9 @@ def _decompose(
         _, _, leaf, parent_children, index = heapq.heappop(heap)
         coordinator.nodes += 1
         expanded += 1
-        _outcome, candidate, children = expand_node(ctx, leaf.state, coordinator)
+        _outcome, candidate, children = expand_node(
+            ctx, leaf.state, coordinator, cache
+        )
         branch = _Branch(candidate)
         if parent_children is None:
             root = branch
@@ -769,6 +775,7 @@ def mine_table_parallel(
     checkpoint: str | Path | None = None,
     checkpoint_every: int = 1,
     resume: str | Path | None = None,
+    engine: str = "kernel",
 ) -> tuple[_IRGStore, NodeCounters, bool, ParallelReport]:
     """Mine ``table`` with the sharded decompose/execute/reduce pipeline.
 
@@ -795,6 +802,14 @@ def mine_table_parallel(
     ``resume`` is given, the same file keeps receiving checkpoints.
     ``retry`` tunes the fault-tolerance ladder (defaults:
     :class:`RetryPolicy`).
+
+    ``engine`` selects the per-node expansion engine (see
+    :class:`~repro.core.farmer.Farmer`).  Kernel memo caches are scoped
+    one per shard task (plus one for the coordinator's decomposition), so
+    a task's cache telemetry is independent of scheduling and retries —
+    resumed runs report counters identical to uninterrupted ones — while
+    the *semantic* counters match the serial miner's for any engine (see
+    :data:`repro.core.enumeration.CACHE_TELEMETRY_FIELDS`).
     """
     if n_workers < 1:
         raise ConstraintError(f"n_workers must be >= 1, got {n_workers}")
@@ -817,7 +832,7 @@ def mine_table_parallel(
         if budget.max_seconds is not None:
             deadline = time.monotonic() + budget.max_seconds
 
-    ctx = SearchContext.for_table(table, constraints, prunings)
+    ctx = SearchContext.for_table(table, constraints, prunings, engine=engine)
     coordinator = NodeCounters()
     store = _IRGStore()
     report = ParallelReport(

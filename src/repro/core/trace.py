@@ -92,21 +92,14 @@ class TracingFarmer(Farmer):
         return super().mine(dataset, consequent)
 
     # The hook: wrap the recursive visit, snapshotting node state.
-    def _visit(
-        self,
-        item_ids,
-        masks,
-        x_mask,
-        cand_pos,
-        cand_neg,
-        p1_removed,
-        supp_in,
-        supn_in,
-        rm_is_positive,
-    ):
+    def _visit(self, state):
+        # Materialize the (possibly lazy) table up front: tracing exists
+        # to *show* I(X), so it gladly pays for tables the kernel engine
+        # would have skipped on loose-pruned nodes.
+        table = state.resolve()
         node = TraceNode(
-            rows=tuple(bitset.iter_bits(x_mask)),
-            items=tuple(item_ids),
+            rows=tuple(bitset.iter_bits(state.x_mask)),
+            items=tuple(table.item_ids),
         )
         if self._trace_stack:
             self._trace_stack[-1].children.append(node)
@@ -121,17 +114,7 @@ class TracingFarmer(Farmer):
             counters.pruned_identified,
         )
         try:
-            super()._visit(
-                item_ids,
-                masks,
-                x_mask,
-                cand_pos,
-                cand_neg,
-                p1_removed,
-                supp_in,
-                supn_in,
-                rm_is_positive,
-            )
+            super()._visit(state)
         finally:
             self._trace_stack.pop()
 
@@ -147,14 +130,20 @@ class TracingFarmer(Farmer):
         elif after[1] > before[1] and not node.children:
             node.outcome = "pruned:tight"
         elif any(
-            entry[0] == tuple(item_ids) for entry in self._store.entries
+            entry[0] == tuple(table.item_ids) for entry in self._store.entries
         ):
             node.outcome = "reported"
-        # Fill the support stats for non-pre-scan-pruned nodes.
+        # Fill the support stats for non-pre-scan-pruned nodes.  Kernel
+        # tables carry their scan; reference carriers (inter is None)
+        # need one here.
         if node.outcome not in ("pruned:loose",):
-            from .enumeration import scan_items
+            intersection = table.inter
+            if intersection is None:
+                from .enumeration import scan_items
 
-            intersection, _ = scan_items(masks, self._table.all_rows_mask)
+                intersection, _ = scan_items(
+                    table.masks, self._table.all_rows_mask
+                )
             node.supp = bitset.bit_count(
                 intersection & self._table.positive_mask
             )

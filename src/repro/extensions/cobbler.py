@@ -25,6 +25,15 @@ Duplicates across subtrees (a pattern is emitted by whichever mode finds
 it first) are removed by a global support-set index, so the output is
 exactly the closed patterns above ``minsup`` — verified against CHARM,
 CARPENTER and the brute-force oracle by the test suite.
+
+Both modes run on the fused kernel (:mod:`repro.core.kernel`): row mode
+carries conditional tables lazily and materializes them with the fused
+:meth:`~repro.core.kernel.CondTable.extend` (one pass instead of
+extend-then-scan), and column mode memoizes closures in a run-wide
+:class:`~repro.core.kernel.ClosureCache` keyed by tid-set ints — sound
+across projections because every projected tid-set's closure equals its
+*global* closure (see the cache's docstring), and the same closed set is
+re-derived many times across column-mode invocations.
 """
 
 from __future__ import annotations
@@ -32,7 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core import bitset
-from ..core.enumeration import SearchBudget, extend_items, scan_items
+from ..core.enumeration import SearchBudget
+from ..core.kernel import ClosureCache, CondTable
 from ..data.dataset import ItemizedDataset
 from ..errors import ConstraintError
 from ..baselines.charm import ClosedItemset
@@ -78,6 +88,10 @@ class Cobbler:
         self._seen: set[int] = set()
         self._results: list[tuple[tuple[int, ...], int]] = []
         self.column_switches = 0
+        self._closures = ClosureCache()
+        #: Closure-cache telemetry of the last run (diagnostics).
+        self.closure_cache_hits = 0
+        self.closure_cache_misses = 0
 
         item_masks = [0] * dataset.n_items
         for row_index, row in enumerate(dataset.rows):
@@ -92,8 +106,8 @@ class Cobbler:
             )
             try:
                 self._row_visit(
-                    item_ids=list(range(dataset.n_items)),
-                    masks=item_masks,
+                    table=CondTable.build(item_masks, self._all_rows),
+                    row_bit=0,
                     x_mask=0,
                     cand=self._all_rows,
                     p1_removed=0,
@@ -101,6 +115,8 @@ class Cobbler:
             finally:
                 sys.setrecursionlimit(old_limit)
 
+        self.closure_cache_hits = self._closures.hits
+        self.closure_cache_misses = self._closures.misses
         results = [
             ClosedItemset(
                 items=frozenset(items),
@@ -118,14 +134,20 @@ class Cobbler:
 
     def _row_visit(
         self,
-        item_ids: list[int],
-        masks: list[int],
+        table: CondTable,
+        row_bit: int,
         x_mask: int,
         cand: int,
         p1_removed: int,
     ) -> None:
         self.budget.tick()
-        intersection, union = scan_items(masks, self._all_rows)
+        # Fused materialize + scan (see Carpenter): ``table`` is the
+        # parent's until extended by this node's row bit; candidate rows
+        # come from the union, so the child table is never empty.
+        if row_bit:
+            table = table.extend(row_bit)
+        intersection = table.inter
+        union = table.union
 
         witness = intersection & ~x_mask & ~cand & ~p1_removed
         if witness:
@@ -140,25 +162,22 @@ class Cobbler:
         new_cand = union & cand & ~y_mask
         child_p1_removed = p1_removed | y_mask
 
-        if new_cand and self._should_switch(masks, new_cand, support):
+        if new_cand and self._should_switch(table.masks, new_cand, support):
             self.column_switches += 1
-            self._column_solve(item_ids, masks)
+            self._column_solve(table)
         else:
             for row in bitset.iter_bits(new_cand):
-                row_bit = 1 << row
-                child_ids, child_masks = extend_items(item_ids, masks, row_bit)
-                if not child_ids:
-                    continue
+                bit = 1 << row
                 self._row_visit(
-                    item_ids=child_ids,
-                    masks=child_masks,
-                    x_mask=x_mask | row_bit,
+                    table=table,
+                    row_bit=bit,
+                    x_mask=x_mask | bit,
                     cand=new_cand & ~bitset.below_mask(row + 1),
                     p1_removed=child_p1_removed,
                 )
 
         if support >= self.minsup:
-            self._emit(tuple(item_ids), intersection)
+            self._emit(tuple(table.item_ids), intersection)
 
     def _should_switch(
         self, masks: list[int], cand: int, support: int
@@ -188,17 +207,27 @@ class Cobbler:
     # Column mode (LCM ppc-extension over the projected item universe)
     # ------------------------------------------------------------------
 
-    def _column_solve(self, item_ids: list[int], masks: list[int]) -> None:
+    def _column_solve(self, table: CondTable) -> None:
         """Enumerate every closed set inside this projection column-wise."""
+        item_ids = table.item_ids
         order = {item: position for position, item in enumerate(item_ids)}
-        tids_of = dict(zip(item_ids, masks))
+        tids_of = dict(zip(item_ids, table.masks))
+        closures = self._closures
 
-        def closure(tids: int) -> list[int]:
-            return [
-                item for item in item_ids if tids & tids_of[item] == tids
-            ]
+        def closure(tids: int) -> tuple[int, ...]:
+            # Run-wide memo keyed by the tid-set int: the closure of a
+            # projected tid-set equals its global closure, and kernel
+            # tables all preserve the root's item order, so a hit from
+            # any projection is valid verbatim here.
+            cached = closures.get(tids)
+            if cached is not None:
+                return cached
+            return closures.put(
+                tids,
+                (item for item in item_ids if tids & tids_of[item] == tids),
+            )
 
-        def expand(closed: list[int], tids: int, core_position: int) -> None:
+        def expand(closed: tuple[int, ...], tids: int, core_position: int) -> None:
             self.budget.tick()
             if bitset.bit_count(tids) >= self.minsup:
                 self._emit(tuple(closed), tids)

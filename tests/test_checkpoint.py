@@ -42,7 +42,7 @@ from repro.core.checkpoint import (
     run_fingerprint,
 )
 from repro.core.constraints import Constraints
-from repro.core.enumeration import NodeCounters, SearchBudget
+from repro.core.enumeration import NodeCounters, SearchBudget, semantic_counters
 from repro.core.farmer import Candidate, Farmer, mine_irgs
 from repro.core.parallel import RetryPolicy, shutdown_workers
 from repro.core.serialize import (
@@ -195,9 +195,16 @@ class TestWorkerFaults:
 
     def test_counters_identical_under_faults(self, paper_dataset, chaos):
         serial = mine_irgs(paper_dataset, "C", minsup=MINSUP)
+        clean = self._mine(paper_dataset)
         chaos.arm("kill:shard=0:times=1")
         result = self._mine(paper_dataset)
-        assert result.counters == serial.counters
+        # Semantic counters match the serial run; cache telemetry is
+        # scoped per shard task, so it matches the *sharded* baseline
+        # exactly — a retried shard reruns with a fresh task cache.
+        assert semantic_counters(result.counters) == semantic_counters(
+            serial.counters
+        )
+        assert result.counters == clean.counters
 
 
 # ----------------------------------------------------------------------
@@ -246,7 +253,14 @@ class TestKillAnywhere:
             )
             tag = f"resumed-{n_workers}-{k}"
             assert _serialized(resumed, tmp_path, tag) == reference, k
-            assert resumed.counters == serial.counters, k
+            assert semantic_counters(resumed.counters) == semantic_counters(
+                serial.counters
+            ), k
+            # Cache hit/miss counters ride in the checkpoint's task
+            # records, so a resumed run reports them identically to the
+            # uninterrupted sharded run — full equality, telemetry
+            # included.
+            assert resumed.counters == full.counters, k
             assert resumed.parallel.resumed_tasks >= k
 
     def test_resume_with_different_worker_count(

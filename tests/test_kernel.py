@@ -1,0 +1,411 @@
+"""Tests for the fused enumeration kernel (:mod:`repro.core.kernel`).
+
+Three layers of assurance:
+
+* unit tests for the kernel primitives (``extend_and_scan``,
+  ``max_candidate_overlap``, ``CondTable``, the memo caches), including
+  the strict-zip corruption regression;
+* a hypothesis property pinning ``extend_and_scan`` extensionally equal
+  to the pre-kernel ``extend_items`` + ``scan_items`` composition;
+* an engine differential: ``engine="kernel"`` must serialize
+  byte-identically to ``engine="reference"`` (the pre-kernel cost model)
+  across constraint settings, pruning combinations, dataset shapes and a
+  sharded run — caching and fused scans may change *work*, never output.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import test_farmer_oracle
+from conftest import DEGENERATE_SHAPES, random_dataset
+
+from repro import Constraints, mine_irgs
+from repro.core.bounds import chi_bound, confidence_bound
+from repro.core.checkpoint import TaskRecord
+from repro.core.enumeration import (
+    CACHE_TELEMETRY_FIELDS,
+    NodeCounters,
+    extend_items,
+    merge_counters,
+    scan_items,
+    semantic_counters,
+)
+from repro.core.kernel import (
+    ClosureCache,
+    CondTable,
+    KernelCache,
+    extend_and_scan,
+    max_candidate_overlap,
+)
+from repro.core.parallel import shutdown_workers
+from repro.core.serialize import save_rule_groups
+from repro.errors import DataError, UsageError
+
+CONSTRAINT_GRID = test_farmer_oracle.CONSTRAINT_GRID
+PRUNING_COMBOS = test_farmer_oracle.TestPruningAblation.PRUNING_COMBOS
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_pools():
+    yield
+    shutdown_workers()
+
+
+# ---------------------------------------------------------------------------
+# extend_and_scan
+# ---------------------------------------------------------------------------
+
+
+class TestExtendAndScan:
+    def test_filters_and_scans_in_one_pass(self):
+        ids, masks, inter, union = extend_and_scan(
+            [3, 7, 9], [0b011, 0b110, 0b101], row_bit=0b001, full_mask=0b111
+        )
+        assert ids == [3, 9]
+        assert masks == [0b011, 0b101]
+        assert inter == 0b001
+        assert union == 0b111
+
+    def test_empty_table(self):
+        ids, masks, inter, union = extend_and_scan([], [], 0b1, 0b111)
+        assert (ids, masks) == ([], [])
+        assert inter == 0b111  # empty-intersection convention
+        assert union == 0
+
+    def test_zero_row_bit_selects_nothing(self):
+        ids, masks, inter, union = extend_and_scan(
+            [1, 2], [0b01, 0b10], 0, 0b11
+        )
+        assert (ids, masks, union) == ([], [], 0)
+        assert inter == 0b11
+
+    def test_length_mismatch_is_data_error(self):
+        with pytest.raises(DataError, match="differ in length"):
+            extend_and_scan([1, 2, 3], [0b1, 0b1], 0b1, 0b1)
+
+
+class TestStrictZipRegression:
+    """A corrupt table (ids/masks lengths diverged) must fail loudly.
+
+    Before the strict-zip fix, ``extend_items`` silently truncated to the
+    shorter list — dropping items from conditional tables without a trace.
+    """
+
+    def test_extend_items_raises_on_mismatch(self):
+        with pytest.raises(DataError, match="differ in length"):
+            extend_items([1, 2, 3], [0b1, 0b1], 0b1)
+
+    def test_extend_items_mismatch_other_direction(self):
+        with pytest.raises(DataError, match="differ in length"):
+            extend_items([1], [0b1, 0b1, 0b1], 0b1)
+
+    def test_extend_items_equal_lengths_unaffected(self):
+        assert extend_items([1, 2], [0b01, 0b11], 0b10) == ([2], [0b11])
+
+
+# ---------------------------------------------------------------------------
+# Property: fused == composition of the reference shims
+# ---------------------------------------------------------------------------
+
+_masks = st.lists(st.integers(min_value=0, max_value=2**12 - 1), max_size=16)
+
+
+class TestFusedEqualsComposition:
+    @given(
+        masks=_masks,
+        row=st.integers(min_value=0, max_value=11),
+        full=st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_extensionally_equal(self, masks, row, full):
+        item_ids = list(range(100, 100 + len(masks)))
+        row_bit = 1 << row
+        ref_ids, ref_masks = extend_items(item_ids, masks, row_bit)
+        ref_inter, ref_union = scan_items(ref_masks, full)
+        assert extend_and_scan(item_ids, masks, row_bit, full) == (
+            ref_ids,
+            ref_masks,
+            ref_inter,
+            ref_union,
+        )
+
+    @given(full=st.integers(min_value=0, max_value=2**12 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_empty_table_edge(self, full):
+        ref_inter, ref_union = scan_items([], full)
+        assert extend_and_scan([], [], 0b1, full) == ([], [], ref_inter, ref_union)
+
+    @given(masks=_masks, full=st.integers(min_value=0, max_value=2**12 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_empty_mask_edge(self, masks, full):
+        # row_bit = 0 selects nothing; the composition agrees.
+        item_ids = list(range(len(masks)))
+        ref_ids, ref_masks = extend_items(item_ids, masks, 0)
+        ref_inter, ref_union = scan_items(ref_masks, full)
+        assert extend_and_scan(item_ids, masks, 0, full) == (
+            ref_ids,
+            ref_masks,
+            ref_inter,
+            ref_union,
+        )
+
+
+# ---------------------------------------------------------------------------
+# max_candidate_overlap
+# ---------------------------------------------------------------------------
+
+
+class TestMaxCandidateOverlap:
+    @given(
+        masks=_masks,
+        cand=st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_early_exit_equals_naive_max(self, masks, cand):
+        ordered = sorted(masks, key=lambda m: -m.bit_count())
+        counts = [m.bit_count() for m in ordered]
+        naive = max((m & cand).bit_count() for m in masks) if masks else 0
+        assert max_candidate_overlap(ordered, counts, cand) == naive
+        assert max_candidate_overlap(masks, None, cand) == naive
+
+    def test_empty_table(self):
+        assert max_candidate_overlap([], [], 0b111) == 0
+        assert max_candidate_overlap([], None, 0b111) == 0
+
+    def test_saturation_stops_early(self):
+        # First tuple covers every candidate; later garbage is never read.
+        masks = [0b1111, "not a mask"]
+        counts = [4, 4]
+        assert max_candidate_overlap(masks, counts, 0b0011) == 2
+
+
+# ---------------------------------------------------------------------------
+# CondTable
+# ---------------------------------------------------------------------------
+
+
+class TestCondTable:
+    MASKS = [0b0101, 0b1111, 0b0001, 0b1011]  # supports 2, 4, 1, 3
+
+    def test_build_sorts_by_support_descending(self):
+        table = CondTable.build(self.MASKS, 0b1111)
+        assert table.item_ids == [1, 3, 0, 2]
+        assert table.masks == [0b1111, 0b1011, 0b0101, 0b0001]
+        assert table.counts == [4, 3, 2, 1]
+
+    def test_build_ties_break_by_item_id(self):
+        table = CondTable.build([0b10, 0b01, 0b11], 0b11)
+        assert table.item_ids == [2, 0, 1]
+
+    def test_build_scan_results(self):
+        table = CondTable.build(self.MASKS, 0b1111)
+        assert table.inter == 0b0001
+        assert table.union == 0b1111
+        assert table.full == 0b1111
+        assert len(table) == 4
+
+    def test_extend_preserves_order_and_counts(self):
+        table = CondTable.build(self.MASKS, 0b1111)
+        child = table.extend(0b0100)  # row 2: masks with bit 2 set
+        assert child.item_ids == [1, 0]
+        assert child.masks == [0b1111, 0b0101]
+        assert child.counts == [4, 2]
+        assert child.inter == 0b0101
+        assert child.union == 0b1111
+        assert child.full == 0b1111
+
+    def test_empty_build_and_extend(self):
+        table = CondTable.build([], 0b11)
+        assert table.inter == 0b11 and table.union == 0
+        child = CondTable.build([0b01], 0b11).extend(0b10)
+        assert len(child) == 0
+        assert child.inter == 0b11  # empty-intersection convention
+
+    def test_ids_mask_lazy_and_cached(self):
+        table = CondTable.build(self.MASKS, 0b1111)
+        assert table._ids_mask is None
+        assert table.ids_mask == 0b1111
+        assert table._ids_mask == 0b1111
+
+    def test_reference_table_keeps_caller_order(self):
+        table = CondTable.reference([5, 1, 9], [0b1, 0b11, 0b1], 0b11)
+        assert table.item_ids == [5, 1, 9]
+        assert table.counts is None
+        assert table.inter is None and table.union is None
+
+    def test_reference_extend_stays_reference(self):
+        table = CondTable.reference([5, 1], [0b01, 0b11], 0b11)
+        child = table.extend(0b01)
+        assert child.counts is None
+        assert child.item_ids == [5, 1]
+        assert child.inter == 0b01 and child.union == 0b11
+
+    def test_pickle_round_trip(self):
+        table = CondTable.build(self.MASKS, 0b1111)
+        _ = table.ids_mask  # populate the lazy slot too
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone.__getstate__() == table.__getstate__()
+
+    def test_max_overlap_delegates(self):
+        table = CondTable.build(self.MASKS, 0b1111)
+        assert table.max_overlap(0b1100) == 2
+
+
+# ---------------------------------------------------------------------------
+# Memo caches
+# ---------------------------------------------------------------------------
+
+
+class TestKernelCache:
+    def test_class_split_memo_and_counters(self):
+        cache = KernelCache()
+        counters = NodeCounters()
+        split = cache.class_split(0b0111, 0b0011, counters)
+        assert split == (2, 1)
+        assert (counters.cache_hits, counters.cache_misses) == (0, 1)
+        assert cache.class_split(0b0111, 0b0011, counters) == (2, 1)
+        assert (counters.cache_hits, counters.cache_misses) == (1, 1)
+
+    def test_confidence_matches_bound(self):
+        cache = KernelCache()
+        counters = NodeCounters()
+        for _ in range(2):
+            assert cache.confidence(5, 2, counters) == confidence_bound(5, 2)
+        assert (counters.cache_hits, counters.cache_misses) == (1, 1)
+
+    def test_chi_matches_bound(self):
+        cache = KernelCache()
+        counters = NodeCounters()
+        for _ in range(2):
+            assert cache.chi(3, 1, 8, 4, counters) == chi_bound(3, 1, 8, 4)
+        assert (counters.cache_hits, counters.cache_misses) == (1, 1)
+
+    def test_satisfies_matches_constraints(self):
+        constraints = Constraints(minsup=2, minconf=0.5)
+        cache = KernelCache()
+        counters = NodeCounters()
+        for supp, supn in [(3, 1), (1, 3), (3, 1)]:
+            assert cache.satisfies(
+                constraints, supp, supn, 8, 4, counters
+            ) == constraints.satisfied_by(supp, supn, 8, 4)
+        assert (counters.cache_hits, counters.cache_misses) == (1, 2)
+
+
+class TestClosureCache:
+    def test_hit_miss_accounting(self):
+        cache = ClosureCache()
+        assert cache.get(0b101) is None
+        assert cache.put(0b101, (item for item in (2, 5))) == (2, 5)
+        assert cache.get(0b101) == (2, 5)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
+# ---------------------------------------------------------------------------
+# Cache telemetry plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestCacheTelemetry:
+    def test_merge_counters_sums_cache_fields(self):
+        merged = merge_counters(
+            [NodeCounters(cache_hits=2, cache_misses=5),
+             NodeCounters(cache_hits=1, cache_misses=1)]
+        )
+        assert (merged.cache_hits, merged.cache_misses) == (3, 6)
+
+    def test_semantic_counters_projects_cache_fields_away(self):
+        projected = semantic_counters(NodeCounters(nodes=7, cache_hits=3))
+        assert projected["nodes"] == 7
+        for field in CACHE_TELEMETRY_FIELDS:
+            assert field not in projected
+
+    def test_task_record_round_trips_cache_counters(self):
+        record = TaskRecord(
+            index=0,
+            candidates=[],
+            counters=NodeCounters(nodes=4, cache_hits=9, cache_misses=2),
+        )
+        clone = TaskRecord.from_payload(record.to_payload())
+        assert clone.counters == record.counters
+
+    def test_old_payload_defaults_cache_counters_to_zero(self):
+        payload = TaskRecord(
+            index=0, candidates=[], counters=NodeCounters(nodes=4)
+        ).to_payload()
+        for field in CACHE_TELEMETRY_FIELDS:
+            del payload["counters"][field]
+        clone = TaskRecord.from_payload(payload)
+        assert clone.counters.cache_hits == 0
+        assert clone.counters.cache_misses == 0
+        assert clone.counters.nodes == 4
+
+
+# ---------------------------------------------------------------------------
+# Engine differential: kernel output == reference output, byte for byte
+# ---------------------------------------------------------------------------
+
+
+def _irgs_bytes(result, tmp_path, tag):
+    path = tmp_path / f"{tag}.irgs"
+    save_rule_groups(path, result.groups, constraints=result.constraints)
+    return path.read_bytes()
+
+
+class TestEngineDifferential:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(UsageError, match="unknown engine"):
+            mine_irgs(random_dataset(0), "C", engine="warp")
+
+    @pytest.mark.parametrize("params", CONSTRAINT_GRID, ids=str)
+    def test_constraint_grid(self, params, tmp_path):
+        for seed in range(8):
+            data = random_dataset(seed)
+            kernel = mine_irgs(data, "C", engine="kernel", **params)
+            reference = mine_irgs(data, "C", engine="reference", **params)
+            assert _irgs_bytes(kernel, tmp_path, f"k-{seed}") == _irgs_bytes(
+                reference, tmp_path, f"r-{seed}"
+            )
+            # Same traversal, same prunings — only cache telemetry and
+            # bound-evaluation counts may differ between engines.
+            assert kernel.counters.nodes == reference.counters.nodes
+
+    @pytest.mark.parametrize("prunings", PRUNING_COMBOS, ids=str)
+    def test_pruning_combos(self, prunings, paper_dataset, tmp_path):
+        kernel = mine_irgs(
+            paper_dataset, "C", minsup=2, prunings=prunings, engine="kernel"
+        )
+        reference = mine_irgs(
+            paper_dataset, "C", minsup=2, prunings=prunings, engine="reference"
+        )
+        assert _irgs_bytes(kernel, tmp_path, "k") == _irgs_bytes(
+            reference, tmp_path, "r"
+        )
+        assert kernel.counters.nodes == reference.counters.nodes
+
+    @pytest.mark.parametrize("shape", DEGENERATE_SHAPES)
+    def test_degenerate_shapes(self, shape, tmp_path):
+        for seed in range(4):
+            data = random_dataset(seed, shape=shape)
+            if not any(label == "C" for label in data.labels):
+                continue
+            kernel = mine_irgs(data, "C", engine="kernel")
+            reference = mine_irgs(data, "C", engine="reference")
+            assert _irgs_bytes(kernel, tmp_path, f"k-{seed}") == _irgs_bytes(
+                reference, tmp_path, f"r-{seed}"
+            )
+
+    def test_sharded_kernel_matches_serial_reference(self, tmp_path):
+        for seed in range(4):
+            data = random_dataset(seed, max_rows=8)
+            sharded = mine_irgs(
+                data, "C", minsup=1, n_workers=2, engine="kernel"
+            )
+            reference = mine_irgs(data, "C", minsup=1, engine="reference")
+            assert _irgs_bytes(sharded, tmp_path, f"s-{seed}") == _irgs_bytes(
+                reference, tmp_path, f"r-{seed}"
+            )
+            assert semantic_counters(sharded.counters) == semantic_counters(
+                reference.counters
+            )

@@ -225,6 +225,46 @@ class TestFRM004BitsetDiscipline:
         )
         assert "FRM004" in rule_ids(findings)
 
+    def test_format_b_count_popcount(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/extensions/mod.py",
+            'def popcount(x):\n    return format(x, "b").count("1")\n',
+        )
+        assert "FRM004" in rule_ids(findings)
+
+    def test_format_padded_binary_count_popcount(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/extensions/mod.py",
+            'def popcount(x):\n    return format(x, "064b").count("1")\n',
+        )
+        assert "FRM004" in rule_ids(findings)
+
+    def test_fstring_binary_count_popcount(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/extensions/mod.py",
+            'def popcount(x):\n    return f"{x:b}".count("1")\n',
+        )
+        assert "FRM004" in rule_ids(findings)
+
+    def test_format_decimal_count_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/extensions/mod.py",
+            'def digits(x):\n    return format(x, "d").count("1")\n',
+        )
+        assert "FRM004" not in rule_ids(findings)
+
+    def test_fstring_decimal_count_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/extensions/mod.py",
+            'def digits(x):\n    return f"{x:d}".count("1")\n',
+        )
+        assert "FRM004" not in rule_ids(findings)
+
     def test_bit_count_helper_is_clean(self, tmp_path):
         findings, _ = lint_snippet(
             tmp_path,

@@ -8,7 +8,6 @@ order, same serialized bytes — and both must match the brute-force
 oracle.  Scheduling may vary; the output may not.
 """
 
-import dataclasses
 
 import pytest
 
@@ -17,7 +16,11 @@ from conftest import DEGENERATE_SHAPES, random_dataset
 
 from repro import Constraints, Farmer, SearchBudget, mine_irgs
 from repro.baselines import interesting_rule_groups
-from repro.core.enumeration import NodeCounters, merge_counters
+from repro.core.enumeration import (
+    NodeCounters,
+    merge_counters,
+    semantic_counters,
+)
 from repro.core.parallel import (
     AdvisoryBounds,
     mine_table_parallel,
@@ -100,7 +103,7 @@ class TestDifferential:
                 serial, tmp_path, f"s-{seed}"
             ), (seed, prunings)
             # The sharded run does the same work, not just the same output.
-            assert dataclasses.asdict(parallel.counters) == dataclasses.asdict(
+            assert semantic_counters(parallel.counters) == semantic_counters(
                 serial.counters
             ), (seed, prunings)
 
@@ -212,7 +215,7 @@ class TestApi:
         assert result.parallel is not None
         assert result.parallel.n_tasks == 0
         assert len(result.groups) == len(serial.groups) == 0
-        assert dataclasses.asdict(result.counters) == dataclasses.asdict(
+        assert semantic_counters(result.counters) == semantic_counters(
             serial.counters
         )
 
@@ -264,7 +267,7 @@ class TestAdvisoryBounds:
                 result = Farmer(
                     Constraints(minsup=1), n_workers=2, broadcast_bounds=broadcast
                 ).mine(data, "C")
-                assert dataclasses.asdict(result.counters) == dataclasses.asdict(
+                assert semantic_counters(result.counters) == semantic_counters(
                     serial.counters
                 ), (seed, broadcast)
 
