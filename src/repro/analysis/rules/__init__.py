@@ -1,4 +1,4 @@
-"""The farmer-lint rule catalogue (FRM001..FRM007).
+"""The farmer-lint rule catalogue (FRM001..FRM008).
 
 Adding a rule: subclass :class:`repro.analysis.base.Rule` in a module
 here, give it a fresh ``FRM0xx`` id, and append the class to
@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..base import Rule
 from .determinism import NondeterministicIterationRule, NondeterminismSourceRule
 from .discipline import BitsetDisciplineRule
+from .docstrings import DocstringSectionsRule
 from .exceptions import ExceptionDisciplineRule
 from .hygiene import PublicApiRule
 from .persistence import PersistenceDisciplineRule
@@ -28,6 +29,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     PublicApiRule,
     ExceptionDisciplineRule,
     PersistenceDisciplineRule,
+    DocstringSectionsRule,
 )
 
 #: Rule classes keyed by their ``FRM00x`` id.

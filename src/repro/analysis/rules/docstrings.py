@@ -1,0 +1,159 @@
+"""FRM008: docstring sections — ``Args:``/``Returns:`` on public APIs.
+
+FRM005 guarantees that public definitions *have* docstrings; this rule
+keeps the substantial ones structured.  In the packages that define the
+library's long-lived surface (``core/``, ``obs/``):
+
+* a public function taking two or more real parameters whose docstring
+  spans multiple lines must document them in an ``Args:`` section — a
+  one-line summary on a self-explanatory signature stays legal (Google
+  style's one-liner escape hatch), but once the author elaborates, the
+  parameters must not be the part left implicit;
+* a function with a non-``None`` return annotation whose docstring has
+  an ``Args:`` section must also carry ``Returns:`` (or ``Yields:``) —
+  a half-structured docstring reads as if the return value were an
+  afterthought.
+
+Only docstring-bearing definitions are checked (missing docstrings are
+FRM005's finding, not ours), and properties, dunders and private names
+are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable, Iterator
+
+from ..base import Finding, ModuleContext, Rule
+
+__all__ = ["DocstringSectionsRule"]
+
+#: Decorator names that turn a method into an attribute-like accessor —
+#: their "parameters" are the property protocol, not an API to document.
+_ACCESSOR_DECORATORS = frozenset(
+    {"property", "cached_property", "setter", "getter", "deleter", "overload"}
+)
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """The trailing identifier of a decorator expression, or ``""``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _decorator_name(node.func)
+    return ""
+
+
+def _returns_none(annotation: ast.expr | None) -> bool:
+    """Whether a return annotation is absent or spells ``None``."""
+    if annotation is None:
+        return True
+    if isinstance(annotation, ast.Constant) and annotation.value is None:
+        return True
+    return isinstance(annotation, ast.Name) and annotation.id == "None"
+
+
+class DocstringSectionsRule(Rule):
+    """FRM008: public docstrings document their Args and Returns."""
+
+    rule_id: ClassVar[str] = "FRM008"
+    name: ClassVar[str] = "docstring-sections"
+    description: ClassVar[str] = (
+        "multi-line docstrings of public functions in core/ and obs/ "
+        "document >=2 parameters under Args: and, once structured, "
+        "annotated returns under Returns:"
+    )
+    module_prefixes: ClassVar[tuple[str, ...] | None] = ("core/", "obs/")
+
+    def finish_module(self, module: ModuleContext) -> Iterable[Finding]:
+        for function, owner in self._public_functions(module.tree):
+            docstring = ast.get_docstring(function)
+            if docstring is None:
+                continue  # missing docstrings are FRM005's finding
+            label = (
+                f"{owner}.{function.name}" if owner else function.name
+            )
+            multi_line = "\n" in docstring
+            parameter_count = self._documented_params(function)
+            if multi_line and parameter_count >= 2 and (
+                "Args:" not in docstring
+            ):
+                yield self.finding(
+                    module,
+                    function,
+                    f"public function {label!r} takes "
+                    f"{parameter_count} parameters but its multi-line "
+                    "docstring has no 'Args:' section",
+                )
+            if (
+                not _returns_none(function.returns)
+                and "Args:" in docstring
+                and "Returns:" not in docstring
+                and "Yields:" not in docstring
+            ):
+                yield self.finding(
+                    module,
+                    function,
+                    f"public function {label!r} returns a value but its "
+                    "structured docstring has no 'Returns:' section",
+                )
+
+    def _public_functions(
+        self, tree: ast.Module
+    ) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+        """Yield (function, owning class name) pairs worth checking.
+
+        Covers module-level functions and the methods of module-level
+        public classes; nested functions and private scopes are the
+        implementation's business.
+        """
+        for statement in tree.body:
+            if isinstance(statement, _FUNC_NODES):
+                if self._checkable(statement):
+                    yield statement, None
+            elif isinstance(statement, ast.ClassDef) and not (
+                statement.name.startswith("_")
+            ):
+                for member in statement.body:
+                    if isinstance(member, _FUNC_NODES) and self._checkable(
+                        member
+                    ):
+                        yield member, statement.name
+
+    @staticmethod
+    def _checkable(function: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        """Whether a function is a public, non-accessor API."""
+        name = function.name
+        if name.startswith("_"):
+            return False
+        decorators = {
+            _decorator_name(decorator)
+            for decorator in function.decorator_list
+        }
+        return not (decorators & _ACCESSOR_DECORATORS)
+
+    @staticmethod
+    def _documented_params(
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> int:
+        """Number of parameters an ``Args:`` section should cover."""
+        arguments = function.args
+        names = [
+            argument.arg
+            for argument in (
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            )
+        ]
+        if names and names[0] in ("self", "cls"):
+            names = names[1:]
+        if arguments.vararg is not None:
+            names.append(arguments.vararg.arg)
+        if arguments.kwarg is not None:
+            names.append(arguments.kwarg.arg)
+        return len(names)

@@ -20,13 +20,16 @@ for the small randomized datasets the tests use (<= ~12 rows).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from ..core.closure import items_of, rows_of
 from ..core.constraints import Constraints
 from ..core.minelb import attach_lower_bounds
 from ..core.rulegroup import RuleGroup
 from ..data.dataset import ItemizedDataset
+
+if TYPE_CHECKING:
+    from ..obs.telemetry import Telemetry
 
 __all__ = [
     "all_rule_groups",
@@ -78,16 +81,35 @@ def interesting_rule_groups(
     consequent: Hashable,
     constraints: Constraints | None = None,
     compute_lower_bounds: bool = False,
+    telemetry: "Telemetry | None" = None,
 ) -> list[RuleGroup]:
     """The IRGs of ``dataset`` per Definition 2.2 + the paper's Step 7.
 
     Groups are considered smallest-antecedent-first so that, when a group
     is examined, every potential subset comparator has already been
     decided — the same well-founded order FARMER achieves via Lemma 3.4.
+
+    Args:
+        dataset: the itemized input table.
+        consequent: class label on the rule RHS.
+        constraints: admission thresholds (default: no constraints).
+        compute_lower_bounds: attach MineLB lower bounds to results.
+        telemetry: optional observability sink; when set, emits an
+            ``enumerate`` phase plus ``bruteforce.*`` counters.
+
+    Returns:
+        The admitted interesting rule groups, smallest-antecedent-first.
     """
     constraints = constraints if constraints is not None else Constraints()
     admitted: list[RuleGroup] = []
-    for group in all_rule_groups(dataset, consequent):
+    considered = 0
+    if telemetry is not None:
+        with telemetry.phase("enumerate"):
+            candidates = all_rule_groups(dataset, consequent)
+    else:
+        candidates = all_rule_groups(dataset, consequent)
+    for group in candidates:
+        considered += 1
         if not constraints.satisfied_by(
             group.support,
             group.antecedent_support - group.support,
@@ -104,6 +126,13 @@ def interesting_rule_groups(
             admitted.append(group)
     if compute_lower_bounds:
         admitted = [attach_lower_bounds(dataset, group) for group in admitted]
+    if telemetry is not None:
+        telemetry.add_counters(
+            {
+                "bruteforce.groups_considered": considered,
+                "bruteforce.groups_admitted": len(admitted),
+            }
+        )
     return admitted
 
 

@@ -27,6 +27,7 @@ itemsets become frozensets, so results are order-identical to before.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core import bitset
 from ..core.enumeration import SearchBudget
@@ -34,6 +35,9 @@ from ..core.kernel import CondTable
 from ..data.dataset import ItemizedDataset
 from ..errors import ConstraintError
 from .charm import ClosedItemset
+
+if TYPE_CHECKING:
+    from ..obs.telemetry import Telemetry
 
 __all__ = ["Carpenter", "mine_closed_carpenter"]
 
@@ -45,10 +49,15 @@ class Carpenter:
     Args:
         minsup: minimum number of supporting rows (>= 1).
         budget: optional node/time limits.
+        telemetry: optional observability sink; when set, the mine
+            emits ``run_start``/``run_end`` events, a ``search`` phase,
+            and ``carpenter.*`` counters.  ``None`` (the default) keeps
+            the hot path untouched.
     """
 
     minsup: int = 1
     budget: SearchBudget = field(default_factory=SearchBudget)
+    telemetry: "Telemetry | None" = None
 
     def __post_init__(self) -> None:
         if self.minsup < 1:
@@ -70,17 +79,34 @@ class Carpenter:
             for item in row:
                 item_masks[item] |= bit
 
+        if self.telemetry is not None:
+            self.telemetry.run_start(
+                algorithm="carpenter",
+                n_rows=dataset.n_rows,
+                n_items=dataset.n_items,
+                minsup=self.minsup,
+            )
         if self._n and dataset.n_items:
             old_limit = sys.getrecursionlimit()
             sys.setrecursionlimit(max(old_limit, self._n * 4 + 1000))
             try:
-                self._visit(
-                    table=CondTable.build(item_masks, self._all_rows),
-                    row_bit=0,
-                    x_mask=0,
-                    cand=self._all_rows,
-                    p1_removed=0,
-                )
+                if self.telemetry is not None:
+                    with self.telemetry.phase("search"):
+                        self._visit(
+                            table=CondTable.build(item_masks, self._all_rows),
+                            row_bit=0,
+                            x_mask=0,
+                            cand=self._all_rows,
+                            p1_removed=0,
+                        )
+                else:
+                    self._visit(
+                        table=CondTable.build(item_masks, self._all_rows),
+                        row_bit=0,
+                        x_mask=0,
+                        cand=self._all_rows,
+                        p1_removed=0,
+                    )
             finally:
                 sys.setrecursionlimit(old_limit)
 
@@ -93,6 +119,14 @@ class Carpenter:
             for items, row_mask in self._results
         ]
         results.sort(key=lambda c: (-c.support, sorted(c.items)))
+        if self.telemetry is not None:
+            self.telemetry.add_counters(
+                {
+                    "carpenter.nodes": self.budget.nodes,
+                    "carpenter.closed_sets": len(results),
+                }
+            )
+            self.telemetry.run_end(closed_sets=len(results))
         return results
 
     # ------------------------------------------------------------------

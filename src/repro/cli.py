@@ -102,6 +102,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the mine under cProfile and print the top-25 functions "
         "by cumulative time plus the kernel cache-hit summary",
     )
+    mine.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a live progress line (nodes/sec, pruning ratio, ETA) "
+        "on stderr; degrades to periodic plain lines when not a TTY",
+    )
+    mine.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a structured JSONL run log (events + final metrics) "
+        "to this file; see docs/observability.md for the schema",
+    )
 
     validate = sub.add_parser(
         "validate",
@@ -175,12 +187,34 @@ def _load_matrix(args: argparse.Namespace):
     return load(args.dataset, scale=args.scale)
 
 
+def _build_telemetry(args: argparse.Namespace):
+    """The ``Telemetry`` for a ``mine`` invocation, or ``None``.
+
+    Args:
+        args: the parsed ``farmer mine`` namespace.
+
+    Returns:
+        A :class:`repro.obs.Telemetry` when ``--progress`` or
+        ``--metrics-out`` was given, else ``None`` (telemetry is
+        off by default).
+    """
+    if not (args.progress or args.metrics_out):
+        return None
+    from .obs import ProgressReporter, RunLog, Telemetry
+
+    return Telemetry(
+        runlog=RunLog(args.metrics_out) if args.metrics_out else None,
+        progress=ProgressReporter(sys.stderr) if args.progress else None,
+    )
+
+
 def _command_mine(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args)
     data = EqualDepthDiscretizer(n_buckets=args.buckets).fit_transform(matrix)
     consequent = args.consequent
     if consequent is None:
         consequent = matrix.class_labels[0]
+    telemetry = _build_telemetry(args)
     miner = Farmer(
         constraints=Constraints(
             minsup=args.minsup, minconf=args.minconf, minchi=args.minchi
@@ -191,30 +225,44 @@ def _command_mine(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        telemetry=telemetry,
     )
-    if args.profile:
-        import cProfile
-        import pstats
+    try:
+        if args.profile:
+            import cProfile
+            import pstats
 
-        profiler = cProfile.Profile()
-        profiler.enable()
-        try:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                result = miner.mine(data, consequent)
+            finally:
+                profiler.disable()
+            pstats.Stats(profiler, stream=sys.stdout).sort_stats(
+                pstats.SortKey.CUMULATIVE
+            ).print_stats(25)
+            hits = result.counters.cache_hits
+            misses = result.counters.cache_misses
+            lookups = hits + misses
+            rate = hits / lookups if lookups else 0.0
+            print(
+                f"kernel caches: {hits} hits / {misses} misses "
+                f"({rate:.1%} hit rate over {lookups} lookups)"
+            )
+        else:
             result = miner.mine(data, consequent)
-        finally:
-            profiler.disable()
-        pstats.Stats(profiler, stream=sys.stdout).sort_stats(
-            pstats.SortKey.CUMULATIVE
-        ).print_stats(25)
-        hits = result.counters.cache_hits
-        misses = result.counters.cache_misses
-        lookups = hits + misses
-        rate = hits / lookups if lookups else 0.0
-        print(
-            f"kernel caches: {hits} hits / {misses} misses "
-            f"({rate:.1%} hit rate over {lookups} lookups)"
+    except BaseException:
+        if telemetry is not None:
+            telemetry.close()
+        raise
+    if telemetry is not None:
+        telemetry.close(
+            f"mined {len(result.groups)} groups in "
+            f"{result.elapsed_seconds:.2f}s "
+            f"({result.counters.nodes} nodes)"
         )
-    else:
-        result = miner.mine(data, consequent)
+        if args.metrics_out:
+            print(f"wrote run log to {args.metrics_out}")
     print(
         f"{len(result.groups)} interesting rule groups "
         f"(consequent={consequent!r}, minsup={args.minsup}, "

@@ -51,8 +51,11 @@ def loose_support_bound(
         rm_is_positive: whether the row that created this node carries the
             consequent.
 
-    When ``rm`` is negative, ORD guarantees no candidate below can be
-    positive, so the bound collapses to the support already identified.
+    Returns:
+        The loose bound on any descendant rule's positive support.  When
+        ``rm`` is negative, ORD guarantees no candidate below can be
+        positive, so the bound collapses to the support already
+        identified.
     """
     if not rm_is_positive:
         return supp_in
@@ -64,10 +67,18 @@ def tight_support_bound(
 ) -> int:
     """``Us1`` of Lemma 3.7, computable after scanning ``TT|X``.
 
-    ``max_positive_candidates_per_tuple`` is ``MAX(|TT|X.EP ∩ t|)`` over
-    the tuples ``t`` of the conditional table: any antecedent discovered
-    below must stay inside one tuple's row support, so at most that many
-    positive candidates can ever join the support set.
+    Args:
+        supp_in: identified positive support on arrival at ``X``.
+        max_positive_candidates_per_tuple: ``MAX(|TT|X.EP ∩ t|)`` over
+            the tuples ``t`` of the conditional table — any antecedent
+            discovered below must stay inside one tuple's row support,
+            so at most that many positive candidates can ever join the
+            support set.
+        rm_is_positive: whether the row that created this node carries
+            the consequent.
+
+    Returns:
+        The tight bound on any descendant rule's positive support.
     """
     if not rm_is_positive:
         return supp_in
@@ -78,10 +89,17 @@ def confidence_bound(support_bound: int, negative_support_lower: int) -> float:
     """``Uc1``/``Uc2`` of Lemma 3.8.
 
     Confidence ``x / (x + y)`` is maximized by taking ``x`` at its upper
-    bound (``support_bound``) and ``y`` at its lower bound
-    (``negative_support_lower``): every rule below has an antecedent
-    contained in this node's, hence a negative support at least as large
-    as this node's.
+    bound and ``y`` at its lower bound: every rule below has an
+    antecedent contained in this node's, hence a negative support at
+    least as large as this node's.
+
+    Args:
+        support_bound: upper bound on descendant positive support
+            (``Us1`` or ``Us2``).
+        negative_support_lower: this node's identified negative support.
+
+    Returns:
+        The confidence upper bound in ``[0, 1]``.
     """
     denominator = support_bound + negative_support_lower
     if denominator == 0:
@@ -95,5 +113,14 @@ def chi_bound(supp_total: int, supn_total: int, n: int, m: int) -> float:
 
     Delegates to :func:`repro.core.measures.chi_square_upper_bound` with
     ``x = supp + supn`` and ``y = supp``.
+
+    Args:
+        supp_total: positive support identified at the node.
+        supn_total: negative support identified at the node.
+        n: total row count of the dataset.
+        m: rows carrying the consequent class.
+
+    Returns:
+        The largest chi-square any rule below the node can achieve.
     """
     return chi_square_upper_bound(supp_total + supn_total, supp_total, n, m)

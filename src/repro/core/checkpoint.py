@@ -38,9 +38,10 @@ from __future__ import annotations
 import hashlib
 import queue
 import threading
+import time
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..errors import DataError
 from ..testing.chaos import maybe_fault_checkpoint
@@ -81,6 +82,21 @@ def run_fingerprint(
     the decomposition result (the ``x_mask`` of every frontier shard, in
     dispatch order).  Two runs share a fingerprint iff their shard
     results are interchangeable.
+
+    Args:
+        n: total row count of the dataset.
+        m: rows carrying the consequent class.
+        consequent: the class label mined against.
+        item_masks: per-item row bitsets of the transposed table.
+        positive_mask: row bitset of the consequent class.
+        constraints: the admission thresholds of the run.
+        prunings: enabled pruning strategy names.
+        target: Step-7 admission target (top-``k``).
+        expansion_cap: decomposition expansion cap.
+        task_masks: ``x_mask`` of every frontier shard in dispatch order.
+
+    Returns:
+        A hex SHA-256 digest of the canonical run description.
     """
     payload = {
         "n": n,
@@ -337,6 +353,14 @@ class Checkpointer:
     call into :meth:`record`, :meth:`flush` or :meth:`close` re-raises it
     exactly once.
 
+    ``on_write`` is an optional observation hook called as
+    ``on_write(write_index, seconds)`` on the writer thread after each
+    durable write lands, with the monotonic-clock duration of the write
+    (encode + replace + fsync).  It exists for telemetry
+    (:meth:`repro.obs.telemetry.Telemetry.checkpoint_hook`); exceptions
+    it raises are swallowed — observation must never fail a run — and it
+    must not touch the checkpoint state.
+
     Attributes:
         writes: checkpoint writes issued so far, counted synchronously on
             the coordinator.  After a clean :meth:`flush`/:meth:`close`,
@@ -344,11 +368,16 @@ class Checkpointer:
     """
 
     def __init__(
-        self, path: str | Path, state: CheckpointState, every: int = 1
+        self,
+        path: str | Path,
+        state: CheckpointState,
+        every: int = 1,
+        on_write: Callable[[int, float], None] | None = None,
     ) -> None:
         self.path = Path(path)
         self.state = state
         self.every = every
+        self.on_write = on_write
         self.writes = 0
         self._unsaved = 0
         self._delta: list[TaskRecord] = []
@@ -438,8 +467,15 @@ class Checkpointer:
                         target=self.state.target,
                         expansion_cap=self.state.expansion_cap,
                     )
+                    write_started = time.perf_counter()
                     save_checkpoint_body(self.path, body)
+                    write_seconds = time.perf_counter() - write_started
                     maybe_fault_checkpoint(write_index)
+                    if self.on_write is not None:
+                        try:
+                            self.on_write(write_index, write_seconds)
+                        except Exception:
+                            pass  # observation must never fail the run
                 except BaseException as exc:  # parked for the coordinator
                     self._error = exc
             finally:

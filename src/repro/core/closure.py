@@ -33,7 +33,13 @@ __all__ = [
 def rows_of(dataset: ItemizedDataset, items: Iterable[int]) -> frozenset[int]:
     """``R(I')``: indices of rows containing every item in ``items``.
 
-    ``R(∅)`` is all rows, per the definition.
+    Args:
+        dataset: the itemized input table.
+        items: the itemset ``I'`` (any iterable of item ids).
+
+    Returns:
+        The supporting row indices; ``R(∅)`` is all rows, per the
+        definition.
     """
     itemset = frozenset(items)
     return frozenset(
@@ -44,7 +50,13 @@ def rows_of(dataset: ItemizedDataset, items: Iterable[int]) -> frozenset[int]:
 def items_of(dataset: ItemizedDataset, rows: Iterable[int]) -> frozenset[int]:
     """``I(R')``: items common to every row in ``rows``.
 
-    ``I(∅)`` is the whole vocabulary (intersection over an empty family).
+    Args:
+        dataset: the itemized input table.
+        rows: the row combination ``R'`` (any iterable of row indices).
+
+    Returns:
+        The common items; ``I(∅)`` is the whole vocabulary (intersection
+        over an empty family).
     """
     row_list = list(rows)
     if not row_list:

@@ -56,8 +56,16 @@ class Constraints:
     ) -> "Constraints":
         """Build constraints with ``minsup`` given as a fraction of rows.
 
-        The fraction is rounded up so that a rule satisfying the returned
-        absolute threshold always satisfies the fractional one.
+        Args:
+            n_rows: total row count of the target dataset.
+            minsup_fraction: minimum support as a fraction in ``[0, 1]``.
+            minconf: minimum confidence in ``[0, 1]``.
+            minchi: minimum chi-square value.
+
+        Returns:
+            Constraints whose absolute ``minsup`` is the fraction rounded
+            up, so a rule satisfying the returned threshold always
+            satisfies the fractional one.
         """
         if not 0.0 <= minsup_fraction <= 1.0:
             raise ConstraintError(
@@ -79,6 +87,9 @@ class Constraints:
             supn: ``|R(A ∪ ¬C)|`` — negative rows matching the antecedent.
             n: total rows in the dataset.
             m: rows labelled with the consequent.
+
+        Returns:
+            Whether the candidate meets every enabled threshold.
         """
         if supp < self.minsup:
             return False

@@ -50,6 +50,14 @@ def extend_items(
     Keeps exactly the items whose row mask contains ``row_bit``
     (Lemma 3.3: ``TT|X |r = TT|X∪{r}``).
 
+    Args:
+        item_ids: item ids of the parent conditional table.
+        masks: per-item row bitsets, parallel to ``item_ids``.
+        row_bit: one-bit mask of the row extending the combination.
+
+    Returns:
+        The child table as an ``(item_ids, masks)`` pair.
+
     Raises:
         DataError: if ``item_ids`` and ``masks`` diverge in length — a
             corrupted conditional table must fail loudly rather than
@@ -72,8 +80,14 @@ def extend_items(
 def scan_items(masks: list[int], full_mask: int) -> tuple[int, int]:
     """One pass over the conditional table: ``(intersection, union)``.
 
-    The intersection over an empty table is ``full_mask`` by convention
-    (callers guard against empty tables before using it).
+    Args:
+        masks: per-item row bitsets of the conditional table.
+        full_mask: bitset of all rows, the empty-table intersection.
+
+    Returns:
+        The ``(intersection, union)`` of the masks.  The intersection
+        over an empty table is ``full_mask`` by convention (callers
+        guard against empty tables before using it).
     """
     intersection = full_mask
     union = 0

@@ -82,7 +82,8 @@ from .minelb import attach_lower_bounds
 from .rulegroup import RuleGroup
 
 if TYPE_CHECKING:
-    from .parallel import ParallelReport
+    from ..obs.telemetry import Telemetry
+    from .parallel import ParallelReport, RetryPolicy
 
 __all__ = [
     "Farmer",
@@ -180,6 +181,13 @@ class SearchContext:
     the dataset constants, the ORD class masks, the enabled prunings and
     the expansion engine.  Picklable, so worker processes receive one
     copy per task.
+
+    ``observe`` switches the kernel's Pruning-3 bound scan to its
+    telemetry-counting variant
+    (:meth:`~repro.core.kernel.KernelCache.observed_max_overlap`) so an
+    observed run can report how far the early-exiting scans walk.  It
+    never changes the mined output, and the disabled cost is one boolean
+    check on the minority of nodes that survive the loose bounds.
     """
 
     constraints: Constraints
@@ -191,6 +199,7 @@ class SearchContext:
     use_p2: bool
     use_p3: bool
     engine: str = "kernel"
+    observe: bool = False
 
     @classmethod
     def for_table(
@@ -199,7 +208,22 @@ class SearchContext:
         constraints: Constraints,
         prunings: Iterable[str],
         engine: str = "kernel",
+        observe: bool = False,
     ) -> "SearchContext":
+        """Build the context for one mining run over ``table``.
+
+        Args:
+            table: the transposed table being mined.
+            constraints: the run's thresholds.
+            prunings: enabled pruning strategies (subset of
+                ``{"p1", "p2", "p3"}``; ``p2`` degrades to off without
+                ``p1``).
+            engine: per-node expansion engine (see :data:`ENGINES`).
+            observe: enable bound-scan telemetry (kernel engine only).
+
+        Returns:
+            The immutable :class:`SearchContext` shared by every node.
+        """
         if engine not in ENGINES:
             raise UsageError(f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}")
         prunings = frozenset(prunings)
@@ -214,6 +238,7 @@ class SearchContext:
             use_p2="p2" in prunings and use_p1,
             use_p3="p3" in prunings,
             engine=engine,
+            observe=observe,
         )
 
     def root_state(self, table: TransposedTable) -> NodeState:
@@ -260,9 +285,14 @@ def expand_node(
     miner consults its store after recursing, the sharded miner defers it
     to the reduce phase.
 
-    ``cache`` memoizes pure per-node evaluations (kernel engine only);
-    passing ``None`` gives every call a throwaway cache, which is correct
-    but wasteful — traversals should share one per run or per shard task.
+    Args:
+        ctx: the immutable search parameters.
+        state: the node to expand.
+        counters: mutated in place with node/pruning statistics.
+        cache: memoizes pure per-node evaluations (kernel engine only);
+            passing ``None`` gives every call a throwaway cache, which
+            is correct but wasteful — traversals should share one per
+            run or per shard task.
 
     Returns:
         ``(outcome, candidate, children)`` where ``outcome`` is one of
@@ -341,7 +371,10 @@ def _expand_node_kernel(
     # scan early-exits on the support-sorted table order.
     if ctx.use_p3:
         if rm_is_positive and cand_pos:
-            us1 = supp_in + table.max_overlap(cand_pos)
+            if ctx.observe:
+                us1 = supp_in + cache.observed_max_overlap(table, cand_pos)
+            else:
+                us1 = supp_in + table.max_overlap(cand_pos)
         else:
             us1 = supp_in
         if (
@@ -778,6 +811,11 @@ class Farmer:
             ``"reference"`` (the pre-kernel cost model, for differential
             tests and the perf gate).  Both produce byte-identical
             serialized output.
+        telemetry: optional :class:`~repro.obs.telemetry.Telemetry` to
+            observe the run — phase timers, run-log events, live
+            progress.  ``None`` (default) disables telemetry entirely.
+            Telemetry is observational: a run produces byte-identical
+            results and artifacts with and without it.
     """
 
     #: Subclasses that hook the recursive ``_visit`` (e.g. the tracer)
@@ -797,8 +835,10 @@ class Farmer:
         checkpoint_every: int = 1,
         resume: str | None = None,
         engine: str = "kernel",
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.constraints = constraints if constraints is not None else Constraints()
+        self.telemetry = telemetry
         prunings = frozenset(prunings)
         unknown = prunings - ALL_PRUNINGS
         if unknown:
@@ -842,50 +882,111 @@ class Farmer:
         """Mine the interesting rule groups of ``dataset`` for
         ``consequent``.
 
-        Returns a :class:`FarmerResult`; groups carry lower bounds iff the
-        miner was built with ``compute_lower_bounds=True``.
+        Args:
+            dataset: the itemized input table.
+            consequent: the class label on the rule RHS.
+
+        Returns:
+            A :class:`FarmerResult`; groups carry lower bounds iff the
+            miner was built with ``compute_lower_bounds=True``.
         """
         return self.mine_table(TransposedTable.build(dataset, consequent))
 
     def mine_table(self, table: TransposedTable) -> FarmerResult:
-        """Mine from a pre-built :class:`TransposedTable`."""
+        """Mine from a pre-built :class:`TransposedTable`.
+
+        Args:
+            table: the transposed table to mine (see
+                :class:`~repro.data.transpose.TransposedTable`).
+
+        Returns:
+            The :class:`FarmerResult`; groups carry lower bounds iff the
+            miner was built with ``compute_lower_bounds=True``.
+        """
         started = time.perf_counter()
         report = None
-        if self._wants_sharding():
-            from .parallel import mine_table_parallel
-
-            store, counters, truncated, report = mine_table_parallel(
-                table,
-                constraints=self.constraints,
-                prunings=self.prunings,
-                n_workers=self.n_workers if self.n_workers is not None else 1,
-                budget=self.budget,
-                broadcast=self.broadcast_bounds,
-                retry=self.retry,
-                checkpoint=self.checkpoint,
-                checkpoint_every=self.checkpoint_every,
-                resume=self.resume,
+        telemetry = self.telemetry
+        sharded = self._wants_sharding()
+        if telemetry is not None:
+            telemetry.run_start(
+                consequent=str(table.consequent),
+                n_rows=table.n,
+                m_positive=table.m,
+                n_items=len(table.item_masks),
+                minsup=self.constraints.minsup,
+                minconf=self.constraints.minconf,
+                minchi=self.constraints.minchi,
+                prunings=sorted(self.prunings),
                 engine=self.engine,
+                mode="sharded" if sharded else "serial",
             )
-        else:
-            store = self._mine_table(table)
-            counters = self._counters
-            truncated = self._truncated
-        groups = self._build_groups(table, store)
-        if self.compute_lower_bounds:
-            groups = [
-                attach_lower_bounds(table.source, group) for group in groups
-            ]
+        try:
+            if sharded:
+                from .parallel import mine_table_parallel
+
+                store, counters, truncated, report = mine_table_parallel(
+                    table,
+                    constraints=self.constraints,
+                    prunings=self.prunings,
+                    n_workers=self.n_workers if self.n_workers is not None else 1,
+                    budget=self.budget,
+                    broadcast=self.broadcast_bounds,
+                    retry=self.retry,
+                    checkpoint=self.checkpoint,
+                    checkpoint_every=self.checkpoint_every,
+                    resume=self.resume,
+                    engine=self.engine,
+                    telemetry=telemetry,
+                )
+            elif telemetry is not None:
+                with telemetry.phase("search"):
+                    store = self._mine_table(table)
+                counters = self._counters
+                truncated = self._truncated
+            else:
+                store = self._mine_table(table)
+                counters = self._counters
+                truncated = self._truncated
+            if telemetry is not None:
+                with telemetry.phase("build"):
+                    groups = self._finish_groups(table, store)
+            else:
+                groups = self._finish_groups(table, store)
+        finally:
+            if telemetry is not None:
+                telemetry.stop_sampling()
         counters.groups_emitted = len(groups)
+        elapsed = time.perf_counter() - started
+        if telemetry is not None:
+            telemetry.fold_node_counters(counters)
+            if not sharded and self.engine == "kernel":
+                telemetry.add_counters(self._cache.stats())
+            telemetry.run_end(
+                groups=len(groups),
+                nodes=counters.nodes,
+                truncated=truncated,
+                seconds=round(elapsed, 6),
+            )
         return FarmerResult(
             groups=groups,
             consequent=table.consequent,
             constraints=self.constraints,
             counters=counters,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
             truncated=truncated,
             parallel=report,
         )
+
+    def _finish_groups(
+        self, table: TransposedTable, store: _IRGStore
+    ) -> list[RuleGroup]:
+        """Materialize rule groups (plus MineLB when enabled)."""
+        groups = self._build_groups(table, store)
+        if self.compute_lower_bounds:
+            groups = [
+                attach_lower_bounds(table.source, group) for group in groups
+            ]
+        return groups
 
     def _wants_sharding(self) -> bool:
         wants = self.n_workers is not None or self.checkpoint is not None or self.resume is not None
@@ -904,7 +1005,11 @@ class Farmer:
         self._counters = NodeCounters()
         self._store = _IRGStore()
         self._context = SearchContext.for_table(
-            table, self.constraints, self.prunings, engine=self.engine
+            table,
+            self.constraints,
+            self.prunings,
+            engine=self.engine,
+            observe=self.telemetry is not None,
         )
         self._cache = KernelCache()
         self._use_reference = self.engine == "reference"
@@ -920,13 +1025,19 @@ class Farmer:
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, table.n * 4 + 1000))
         try:
-            self._visit(self._context.root_state(table))
+            root = self._context.root_state(table)
+            if self.telemetry is None:
+                self._visit(root)
+            else:
+                self._visit_observed(root)
         except BudgetExceeded:
             if self.budget.strict:
                 raise
             self._truncated = True
         finally:
             sys.setrecursionlimit(old_limit)
+            if self.telemetry is not None:
+                self.telemetry.stop_sampling()
         self._counters.nodes = self.budget.nodes
         return self._store
 
@@ -961,6 +1072,64 @@ class Farmer:
             self._visit(child)
         if candidate is not None:
             self._store.offer(candidate, self._counters)
+
+    def _visit_observed(self, root: NodeState) -> None:
+        """The telemetry-enabled serial traversal.
+
+        Identical search to ``self._visit(root)`` — it is :meth:`_visit`
+        with the root level unrolled — but the traversal maintains an
+        enumeration-tree coverage estimate (candidate-row weights of the
+        root's children, the same proxy the sharded decomposition uses
+        for load balancing) and runs under the telemetry sampler, which
+        reads the shared counters from its own thread.  Per-node cost is
+        untouched: nothing below the root is instrumented.
+
+        Subclasses that hook :meth:`_visit` (the tracer) would lose their
+        root-node hook to the unrolling, so they fall back to the plain
+        recursion — coverage stays unknown but sampling still works.
+        """
+        coverage = {"done": 0.0, "total": 0.0}
+        counters = self._counters
+        store_entries = self._store.entries
+        budget = self.budget
+
+        def sample() -> dict:
+            return {
+                "phase": "search",
+                "nodes": budget.nodes,
+                "pruned": (
+                    counters.pruned_loose
+                    + counters.pruned_tight
+                    + counters.pruned_identified
+                ),
+                "groups": len(store_entries),
+                "done_weight": coverage["done"],
+                "total_weight": coverage["total"],
+            }
+
+        self.telemetry.start_sampling(sample)
+        if type(self)._visit is not Farmer._visit:
+            self._visit(root)
+            return
+        budget.tick()
+        if self._use_reference:
+            _outcome, candidate, children = _expand_node_reference(
+                self._context, root, counters
+            )
+        else:
+            _outcome, candidate, children = _expand_node_kernel(
+                self._context, root, counters, self._cache
+            )
+        weights = [
+            float(bitset.bit_count(child.cand_pos | child.cand_neg))
+            for child in children
+        ]
+        coverage["total"] = sum(weights)
+        for child, weight in zip(children, weights):
+            self._visit(child)
+            coverage["done"] += weight
+        if candidate is not None:
+            self._store.offer(candidate, counters)
 
     # ------------------------------------------------------------------
     # Result materialization
@@ -999,14 +1168,34 @@ def mine_irgs(
     checkpoint_every: int = 1,
     resume: str | None = None,
     engine: str = "kernel",
+    telemetry: "Telemetry | None" = None,
 ) -> FarmerResult:
     """One-call convenience wrapper around :class:`Farmer`.
 
-    ``n_workers`` shards the search across processes (see
-    :mod:`repro.core.parallel`); the result is bit-identical to the
-    serial miner for any worker count.  ``checkpoint``/``resume`` enable
-    crash-consistent progress snapshots (:mod:`repro.core.checkpoint`);
-    a resumed run's output is byte-identical to an uninterrupted one.
+    Args:
+        dataset: the itemized input table.
+        consequent: the class label on the rule RHS.
+        minsup: minimum rule support (rows).
+        minconf: minimum confidence in ``[0, 1]``.
+        minchi: minimum chi-square value.
+        compute_lower_bounds: run MineLB on the results.
+        prunings: enabled pruning strategies.
+        budget: optional node / wall-clock limits.
+        n_workers: shard the search across this many processes (see
+            :mod:`repro.core.parallel`); the result is bit-identical to
+            the serial miner for any worker count.
+        checkpoint: crash-consistent progress snapshot path
+            (:mod:`repro.core.checkpoint`).
+        checkpoint_every: shard completions per checkpoint write.
+        resume: checkpoint path to restore before mining; a resumed
+            run's output is byte-identical to an uninterrupted one.
+        engine: per-node expansion engine (see :data:`ENGINES`).
+        telemetry: optional :class:`~repro.obs.telemetry.Telemetry`
+            observer (metrics, run log, progress); ``None`` (default)
+            disables instrumentation entirely.
+
+    Returns:
+        The :class:`FarmerResult` of the configured :class:`Farmer`.
 
     >>> from repro.data.dataset import ItemizedDataset
     >>> data = ItemizedDataset.from_lists(
@@ -1025,5 +1214,6 @@ def mine_irgs(
         checkpoint_every=checkpoint_every,
         resume=resume,
         engine=engine,
+        telemetry=telemetry,
     )
     return miner.mine(dataset, consequent)

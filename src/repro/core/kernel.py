@@ -75,6 +75,12 @@ def extend_and_scan(
     in :mod:`repro.core.enumeration`), but walks the table once instead
     of twice.
 
+    Args:
+        item_ids: item ids of the parent conditional table.
+        masks: per-item row bitsets, parallel to ``item_ids``.
+        row_bit: one-bit mask of the row extending the combination.
+        full_mask: bitset of all rows, the empty-table intersection.
+
     Returns:
         ``(new_ids, new_masks, intersection, union)`` — the conditional
         table for ``X ∪ {r}`` plus its tuple intersection and union.
@@ -110,13 +116,22 @@ def max_candidate_overlap(
     """``MAX(|cand ∩ t|)`` over the tuples ``t`` of a conditional table.
 
     The tight support bound of Lemma 3.7 needs the largest number of
-    candidate rows any single tuple can still absorb.  When ``counts``
-    (per-tuple popcounts, sorted descending — the :class:`CondTable`
-    invariant) is provided the scan stops as soon as no later tuple can
-    beat the current maximum: ``|cand ∩ t| <= |t|``, and ``|t|`` only
-    shrinks from here on.  It also stops once the maximum saturates at
-    ``|cand|``.  With ``counts=None`` (reference tables) the full scan of
-    the pre-kernel path runs instead.
+    candidate rows any single tuple can still absorb.
+
+    Args:
+        masks: per-item row bitsets of the conditional table.
+        counts: per-tuple popcounts, sorted descending (the
+            :class:`CondTable` invariant), or ``None`` for reference
+            tables.
+        cand_mask: bitset of the candidate rows.
+
+    Returns:
+        The maximum overlap.  When ``counts`` is provided the scan stops
+        as soon as no later tuple can beat the current maximum:
+        ``|cand ∩ t| <= |t|``, and ``|t|`` only shrinks from here on.
+        It also stops once the maximum saturates at ``|cand|``.  With
+        ``counts=None`` the full scan of the pre-kernel path runs
+        instead.
     """
     best = 0
     if counts is None:
@@ -217,6 +232,13 @@ class CondTable:
         One pass computes popcounts, intersection and union; the sort
         (support descending, item id ascending) establishes the order
         every descendant table inherits by filtering.
+
+        Args:
+            item_masks: per-item row bitsets in item-id order.
+            full_mask: bitset of all rows.
+
+        Returns:
+            The fully scanned root :class:`CondTable`.
         """
         order = sorted(
             range(len(item_masks)),
@@ -247,6 +269,14 @@ class CondTable:
         like the pre-kernel code, so this constructor deliberately leaves
         ``inter``/``union`` unset (``None``) to fail loudly if the fused
         path ever reads them.
+
+        Args:
+            item_ids: item ids in the caller's order.
+            masks: per-item row bitsets, parallel to ``item_ids``.
+            full_mask: bitset of all rows.
+
+        Returns:
+            The unscanned reference :class:`CondTable`.
         """
         return cls(item_ids, masks, None, None, None, full_mask)
 
@@ -318,9 +348,28 @@ class KernelCache:
     ``cache_misses`` fields of the :class:`~repro.core.enumeration.NodeCounters`
     passed to each method, travelling through ``merge_counters``, the
     parallel reduce and checkpoint records like every other counter.
+
+    The cache additionally hosts the kernel's *bound-scan* statistics
+    (how far the early-exiting :func:`max_candidate_overlap` scans
+    actually walk), filled only by :meth:`observed_max_overlap` — the
+    telemetry variant the miner switches to when observability is on
+    (:class:`~repro.core.farmer.SearchContext` ``observe``).  They live
+    here rather than on :class:`~repro.core.enumeration.NodeCounters`
+    deliberately: checkpoint records serialize every counter field, so a
+    telemetry-only counter there would break the byte-identity of
+    checkpoints written with and without telemetry.
     """
 
-    __slots__ = ("splits", "confidences", "chis", "thresholds")
+    __slots__ = (
+        "splits",
+        "confidences",
+        "chis",
+        "thresholds",
+        "bound_scans",
+        "bound_rows_scanned",
+        "bound_rows_total",
+        "bound_early_exits",
+    )
 
     def __init__(self) -> None:
         #: row-set int -> (supp, supn): the class split of a closure.
@@ -331,6 +380,11 @@ class KernelCache:
         self.chis: dict[tuple[int, int], float] = {}
         #: (supp, supn) -> Step-7 threshold verdict.
         self.thresholds: dict[tuple[int, int], bool] = {}
+        #: Bound-scan telemetry (observed runs only; see class docstring).
+        self.bound_scans = 0
+        self.bound_rows_scanned = 0
+        self.bound_rows_total = 0
+        self.bound_early_exits = 0
 
     def class_split(self, row_mask: int, positive_mask: int, counters) -> tuple[int, int]:
         """``(supp, supn)`` of the closure ``R(I(X))`` given as ``row_mask``.
@@ -338,6 +392,14 @@ class KernelCache:
         Keyed by the row-set int itself: the same closure reached at
         different nodes (or re-reached with Pruning 2 off) pays its two
         popcounts once per run.
+
+        Args:
+            row_mask: the closure's supporting-row bitset.
+            positive_mask: row bitset of the consequent class.
+            counters: hit/miss statistics, mutated in place.
+
+        Returns:
+            The ``(supp, supn)`` class split of the closure.
         """
         split = self.splits.get(row_mask)
         if split is not None:
@@ -374,8 +436,20 @@ class KernelCache:
         return value
 
     def satisfies(self, constraints, supp: int, supn: int, n: int, m: int, counters) -> bool:
-        """Memoized Step-7 threshold test
-        (:meth:`~repro.core.constraints.Constraints.satisfied_by`)."""
+        """Memoized Step-7 threshold test.
+
+        Args:
+            constraints: the run's admission thresholds.
+            supp: positive support of the candidate.
+            supn: negative support of the candidate.
+            n: total row count of the dataset.
+            m: rows carrying the consequent class.
+            counters: hit/miss statistics, mutated in place.
+
+        Returns:
+            :meth:`~repro.core.constraints.Constraints.satisfied_by` for
+            ``(supp, supn, n, m)``, cached per ``(supp, supn)``.
+        """
         key = (supp, supn)
         verdict = self.thresholds.get(key)
         if verdict is not None:
@@ -385,6 +459,64 @@ class KernelCache:
         verdict = constraints.satisfied_by(supp, supn, n, m)
         self.thresholds[key] = verdict
         return verdict
+
+    def observed_max_overlap(self, table: "CondTable", cand_mask: int) -> int:
+        """:meth:`CondTable.max_overlap` plus bound-scan accounting.
+
+        Args:
+            table: a kernel-built table (``counts`` must be present —
+                the reference engine never takes the observed path).
+            cand_mask: the candidate-row bitset of Lemma 3.7.
+
+        Returns:
+            Exactly what :func:`max_candidate_overlap` returns; as a side
+            effect the scan length, the full-scan length it avoided and
+            whether it early-exited are folded into the ``bound_*``
+            telemetry fields.
+        """
+        masks = table.masks
+        counts = table.counts
+        best = 0
+        scanned = len(masks)
+        early = False
+        cand_count = cand_mask.bit_count()
+        # Accounting happens only at the exits (``scanned`` falls out of
+        # the enumerate index): the loop body must stay identical to
+        # :func:`max_candidate_overlap`, or the observed run pays a
+        # per-row tax the overhead gate forbids.
+        for index, mask in enumerate(masks):
+            if counts[index] <= best:  # type: ignore[index]
+                early = True
+                scanned = index
+                break
+            overlap = (mask & cand_mask).bit_count()
+            if overlap > best:
+                best = overlap
+                if best >= cand_count:
+                    early = True
+                    scanned = index + 1
+                    break
+        self.bound_scans += 1
+        self.bound_rows_scanned += scanned
+        self.bound_rows_total += len(masks)
+        if early:
+            self.bound_early_exits += 1
+        return best
+
+    def stats(self) -> dict[str, int]:
+        """The bound-scan telemetry as catalogue-named counters.
+
+        Returns:
+            A mapping of ``kernel.*`` counter names to values, ready for
+            :meth:`repro.obs.telemetry.Telemetry.add_counters`.  All
+            zeros unless the run took the observed path.
+        """
+        return {
+            "kernel.bound_scans": self.bound_scans,
+            "kernel.bound_rows_scanned": self.bound_rows_scanned,
+            "kernel.bound_rows_total": self.bound_rows_total,
+            "kernel.bound_early_exits": self.bound_early_exits,
+        }
 
 
 class ClosureCache:

@@ -85,8 +85,16 @@ class TwoByTwo:
 
 
 def confidence(x: int, y: int) -> float:
-    """Confidence ``y / x`` of a rule, defined as 0 for an empty antecedent
-    support (``x == 0``)."""
+    """Confidence ``y / x`` of a rule.
+
+    Args:
+        x: antecedent support ``|R(A)|``.
+        y: rule support ``|R(A ∪ C)|``.
+
+    Returns:
+        ``y / x``, defined as 0 for an empty antecedent support
+        (``x == 0``).
+    """
     if x == 0:
         return 0.0
     return y / x
@@ -95,9 +103,17 @@ def confidence(x: int, y: int) -> float:
 def chi_square(x: int, y: int, n: int, m: int) -> float:
     """Pearson chi-square statistic of the rule's 2x2 contingency table.
 
-    Degenerate tables — an empty/full antecedent column or a single-class
-    dataset — carry no association signal and return ``0.0`` (this matches
-    the convention ``chi(n, m) = 0`` used in the proof of Lemma 3.9).
+    Args:
+        x: antecedent support ``|R(A)|``.
+        y: rule support ``|R(A ∪ C)|``.
+        n: total row count of the dataset.
+        m: rows carrying the consequent class.
+
+    Returns:
+        The chi-square value.  Degenerate tables — an empty/full
+        antecedent column or a single-class dataset — carry no
+        association signal and return ``0.0`` (this matches the
+        convention ``chi(n, m) = 0`` used in the proof of Lemma 3.9).
     """
     if x == 0 or x == n or m == 0 or m == n:
         return 0.0
@@ -113,6 +129,15 @@ def chi_square_upper_bound(x: int, y: int, n: int, m: int) -> float:
     ``(x, y)``, ``(x - y + m, m)``, ``(n, m)`` and ``(y + n - m, y)``.
     Chi-square is convex over that region and zero at ``(n, m)``, so the
     maximum over the region is attained at one of the other three vertices.
+
+    Args:
+        x: antecedent support ``|R(A)|`` at the node.
+        y: rule support ``|R(A ∪ C)|`` at the node.
+        n: total row count of the dataset.
+        m: rows carrying the consequent class.
+
+    Returns:
+        The largest chi-square of any rule reachable below the node.
     """
     return max(
         chi_square(x - y + m, m, n, m),
@@ -175,7 +200,14 @@ def gini_gain(x: int, y: int, n: int, m: int) -> float:
 def correlation(x: int, y: int, n: int, m: int) -> float:
     """Phi (Pearson) correlation between antecedent and consequent.
 
-    Equals ``sqrt(chi_square / n)`` with the sign of the association.
+    Args:
+        x: antecedent support ``|R(A)|``.
+        y: rule support ``|R(A ∪ C)|``.
+        n: total row count of the dataset.
+        m: rows carrying the consequent class.
+
+    Returns:
+        ``sqrt(chi_square / n)`` with the sign of the association.
     """
     if x == 0 or x == n or m == 0 or m == n:
         return 0.0

@@ -142,6 +142,13 @@ def lower_bounds_for_group(
 
     Collects ``I(r)`` for every row outside the group's antecedent support
     set (Step 2 of Figure 9) and delegates to :func:`mine_lower_bounds`.
+
+    Args:
+        dataset: the itemized table the group was mined from.
+        group: the rule group whose bounds to compute.
+
+    Returns:
+        The group's lower bounds, smallest-first.
     """
     outside = (
         dataset.rows[index]

@@ -86,9 +86,10 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..data.transpose import TransposedTable
 from ..errors import BudgetExceeded, ConstraintError, DataError
@@ -107,6 +108,9 @@ from .farmer import (
     expand_node,
 )
 from .kernel import KernelCache
+
+if TYPE_CHECKING:
+    from ..obs.telemetry import Telemetry
 
 __all__ = [
     "AdvisoryBounds",
@@ -427,6 +431,7 @@ def _decompose(
     expansion_cap: int,
     deadline: float | None,
     strict: bool,
+    cache: KernelCache | None = None,
 ) -> tuple[object, list[_Leaf], bool]:
     """Expand the tree until ``target`` frontier subtrees exist.
 
@@ -436,12 +441,16 @@ def _decompose(
     The decomposition does not affect the mined output: any frontier
     reassembles to the serial candidate sequence in the reduce.
 
+    ``cache`` lets the caller keep the coordinator's kernel memo cache in
+    hand (to read its telemetry afterwards); ``None`` creates one.
+
     Returns ``(plan_root, tasks, truncated)`` with tasks in dispatch
     (largest-first) order.
     """
     # One memo cache for the whole decomposition: the coordinator's cache
     # telemetry is deterministic because the expansion order is.
-    cache = KernelCache()
+    if cache is None:
+        cache = KernelCache()
     root: object = _Leaf(root_state)
     heap: list[tuple[int, int, _Leaf, list[object] | None, int]] = [
         (-_estimate(root_state), 0, root, None, 0)
@@ -522,6 +531,8 @@ def _execute_tasks(
     checkpointer: Checkpointer | None = None,
     completed: frozenset[int] = frozenset(),
     advisory_snapshot: list[tuple[float, int, int]] | None = None,
+    telemetry: "Telemetry | None" = None,
+    coverage: dict[str, float] | None = None,
 ) -> bool:
     """Run every task, inline (1 worker) or on the process pool.
 
@@ -531,6 +542,11 @@ def _execute_tasks(
     requeued or degraded per ``retry`` — see the module docstring for the
     ladder.  Returns whether the run was truncated by a non-strict
     budget.
+
+    ``telemetry``/``coverage`` observe execution at *task* granularity —
+    completion events, retry/worker-death events, a queue-depth gauge,
+    and the shared coverage dict the progress sampler reads — never
+    per node, so the traversal hot path is identical either way.
     """
     advisory = (
         AdvisoryBounds(advisory_snapshot or (), cap=advisory_cap)
@@ -538,6 +554,7 @@ def _execute_tasks(
         else None
     )
     truncated = False
+    remaining = len(tasks) - len(completed)
 
     def record_leaf(
         index: int,
@@ -546,7 +563,7 @@ def _execute_tasks(
         task_drops: int,
         task_truncated: bool,
     ) -> None:
-        nonlocal truncated
+        nonlocal truncated, remaining
         leaf = tasks[index]
         leaf.candidates = sink
         leaf.counters = counters
@@ -568,6 +585,27 @@ def _execute_tasks(
                     drops=task_drops,
                 ),
                 advisory.snapshot() if advisory is not None else None,
+            )
+        remaining -= 1
+        if coverage is not None:
+            coverage["done"] += float(_estimate(leaf.state))
+            coverage["nodes"] += float(counters.nodes)
+            coverage["candidates"] += float(len(sink))
+            coverage["pruned"] += float(
+                counters.pruned_loose
+                + counters.pruned_tight
+                + counters.pruned_identified
+            )
+        if telemetry is not None:
+            telemetry.registry.inc("parallel.tasks_completed")
+            telemetry.registry.set_gauge("parallel.queue_depth", remaining)
+            telemetry.event(
+                "task_done",
+                shard=index,
+                nodes=counters.nodes,
+                candidates=len(sink),
+                drops=task_drops,
+                truncated=task_truncated,
             )
 
     if n_workers == 1:
@@ -644,7 +682,17 @@ def _execute_tasks(
             attempts[index] += 1
             pending.appendleft(index)
         report.retries += len(indices)
+        exit_codes_before = len(report.worker_exit_codes)
         _discard_executor(workers, report, settle)
+        if telemetry is not None:
+            telemetry.registry.inc("parallel.pool_failures")
+            telemetry.registry.inc("parallel.requeued", len(indices))
+            telemetry.event(
+                "worker_death",
+                requeued=indices,
+                exit_codes=report.worker_exit_codes[exit_codes_before:],
+                workers=workers,
+            )
         if consecutive_failures >= retry.degrade_after:
             if workers > 1:
                 workers = max(1, workers // 2)
@@ -734,6 +782,11 @@ def _execute_tasks(
                 attempts[index] += 1
                 report.retries += 1
                 pending.append(index)
+                if telemetry is not None:
+                    telemetry.registry.inc("parallel.retries")
+                    telemetry.event(
+                        "retry", shard=index, attempt=attempts[index]
+                    )
                 _sleep_backoff(retry, attempts[index])
                 continue
             consecutive_failures = 0
@@ -776,40 +829,61 @@ def mine_table_parallel(
     checkpoint_every: int = 1,
     resume: str | Path | None = None,
     engine: str = "kernel",
+    telemetry: "Telemetry | None" = None,
 ) -> tuple[_IRGStore, NodeCounters, bool, ParallelReport]:
     """Mine ``table`` with the sharded decompose/execute/reduce pipeline.
 
-    Returns ``(store, merged_counters, truncated, report)``; the store's
-    entries (and therefore the built rule groups, their order, and the
-    merged counters of a completed run) are bit-identical to the serial
-    :class:`~repro.core.farmer.Farmer` on the same input, for every
-    ``n_workers`` and any scheduling.
-
-    Only wall-clock budgets are supported here: ``max_seconds`` becomes a
-    shared deadline (strict budgets raise
-    :class:`~repro.errors.BudgetExceeded`; non-strict ones truncate).
-    ``max_nodes`` raises :class:`~repro.errors.ConstraintError` — deterministic node accounting
-    needs the serial traversal, and :class:`Farmer` routes such budgets
-    there automatically.
-
-    ``checkpoint`` names a file to snapshot progress into after every
-    ``checkpoint_every`` shard completions (and once more on the way
-    out, even when aborting).  ``resume`` names a checkpoint to restore
-    before executing — a missing file means a fresh start, so a crash
-    loop around ``resume=`` converges; a checkpoint from a different
-    dataset or settings is rejected with
-    :class:`~repro.errors.DataError` via the run fingerprint.  When only
-    ``resume`` is given, the same file keeps receiving checkpoints.
-    ``retry`` tunes the fault-tolerance ladder (defaults:
-    :class:`RetryPolicy`).
-
-    ``engine`` selects the per-node expansion engine (see
-    :class:`~repro.core.farmer.Farmer`).  Kernel memo caches are scoped
-    one per shard task (plus one for the coordinator's decomposition), so
-    a task's cache telemetry is independent of scheduling and retries —
-    resumed runs report counters identical to uninterrupted ones — while
-    the *semantic* counters match the serial miner's for any engine (see
+    Kernel memo caches are scoped one per shard task (plus one for the
+    coordinator's decomposition), so a task's cache telemetry is
+    independent of scheduling and retries — resumed runs report counters
+    identical to uninterrupted ones — while the *semantic* counters
+    match the serial miner's for any engine (see
     :data:`repro.core.enumeration.CACHE_TELEMETRY_FIELDS`).
+
+    Args:
+        table: the transposed table to mine.
+        constraints: the admission thresholds of the run.
+        prunings: enabled pruning strategies.
+        n_workers: worker-process count (>= 1; 1 still shards).
+        budget: wall-clock limits only — ``max_seconds`` becomes a
+            shared deadline (strict budgets raise
+            :class:`~repro.errors.BudgetExceeded`; non-strict ones
+            truncate), while ``max_nodes`` raises
+            :class:`~repro.errors.ConstraintError` because deterministic
+            node accounting needs the serial traversal, and
+            :class:`~repro.core.farmer.Farmer` routes such budgets there
+            automatically.
+        broadcast: share advisory confidence bounds across shards.
+        chunk_factor: target tasks per worker for the decomposition.
+        advisory_cap: maximum advisory bounds kept per broadcast.
+        expansion_cap: decomposition expansion cap (``None`` = derived).
+        retry: the fault-tolerance ladder (defaults:
+            :class:`RetryPolicy`).
+        checkpoint: file to snapshot progress into after every
+            ``checkpoint_every`` shard completions (and once more on the
+            way out, even when aborting).
+        checkpoint_every: shard completions per checkpoint write.
+        resume: checkpoint to restore before executing — a missing file
+            means a fresh start, so a crash loop around ``resume=``
+            converges; a checkpoint from a different dataset or settings
+            is rejected with :class:`~repro.errors.DataError` via the
+            run fingerprint.  When only ``resume`` is given, the same
+            file keeps receiving checkpoints.
+        engine: per-node expansion engine (see
+            :class:`~repro.core.farmer.Farmer`).
+        telemetry: observes the run (phase events and timers, task/fault
+            events, checkpoint write latency, the progress sampler)
+            without touching any result: mined output, checkpoint bytes
+            and ``.irgs`` files are byte-identical with and without it.
+            Workers are never instrumented — all taps are at
+            coordinator/task granularity.
+
+    Returns:
+        ``(store, merged_counters, truncated, report)``; the store's
+        entries (and therefore the built rule groups, their order, and
+        the merged counters of a completed run) are bit-identical to the
+        serial :class:`~repro.core.farmer.Farmer` on the same input, for
+        every ``n_workers`` and any scheduling.
     """
     if n_workers < 1:
         raise ConstraintError(f"n_workers must be >= 1, got {n_workers}")
@@ -833,6 +907,14 @@ def mine_table_parallel(
             deadline = time.monotonic() + budget.max_seconds
 
     ctx = SearchContext.for_table(table, constraints, prunings, engine=engine)
+    # The coordinator's own expansions run observed (its kernel cache is
+    # in hand to read the bound-scan stats from); the context shipped to
+    # workers stays unobserved — worker-side stats would be discarded.
+    coordinator_ctx = (
+        replace(ctx, observe=True)
+        if telemetry is not None and engine == "kernel"
+        else ctx
+    )
     coordinator = NodeCounters()
     store = _IRGStore()
     report = ParallelReport(
@@ -840,6 +922,9 @@ def mine_table_parallel(
     )
     if table.n == 0 or not table.item_masks:
         return store, merge_counters([coordinator]), False, report
+
+    def phase(name: str):
+        return telemetry.phase(name) if telemetry is not None else nullcontext()
 
     checkpoint_path = checkpoint if checkpoint is not None else resume
     resumed: CheckpointState | None = None
@@ -859,9 +944,18 @@ def mine_table_parallel(
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, table.n * 4 + 1000))
     try:
-        plan, tasks, truncated = _decompose(
-            ctx, ctx.root_state(table), coordinator, target, cap, deadline, strict
-        )
+        coordinator_cache = KernelCache()
+        with phase("decompose"):
+            plan, tasks, truncated = _decompose(
+                coordinator_ctx,
+                coordinator_ctx.root_state(table),
+                coordinator,
+                target,
+                cap,
+                deadline,
+                strict,
+                cache=coordinator_cache,
+            )
 
         checkpointer: Checkpointer | None = None
         completed: frozenset[int] = frozenset()
@@ -894,6 +988,16 @@ def mine_table_parallel(
                 completed = frozenset(resumed.completed)
                 advisory_snapshot = resumed.advisory
                 report.resumed_tasks = len(completed)
+                if telemetry is not None:
+                    telemetry.registry.inc(
+                        "parallel.resumed_tasks", len(completed)
+                    )
+                    telemetry.event(
+                        "resume",
+                        checkpoint=str(checkpoint_path),
+                        restored=sorted(completed),
+                        n_tasks=len(tasks),
+                    )
             state = resumed if resumed is not None else CheckpointState(
                 fingerprint=fingerprint,
                 n_tasks=len(tasks),
@@ -901,32 +1005,74 @@ def mine_table_parallel(
                 expansion_cap=cap,
             )
             checkpointer = Checkpointer(
-                checkpoint_path, state, every=checkpoint_every
+                checkpoint_path,
+                state,
+                every=checkpoint_every,
+                on_write=(
+                    telemetry.checkpoint_hook() if telemetry is not None else None
+                ),
             )
 
+        coverage: dict[str, float] | None = None
+        if telemetry is not None:
+            coverage = {
+                "done": sum(
+                    float(_estimate(tasks[index].state)) for index in completed
+                ),
+                "total": sum(float(_estimate(leaf.state)) for leaf in tasks),
+                "nodes": float(coordinator.nodes)
+                + sum(float(tasks[index].counters.nodes) for index in completed),
+                "pruned": float(
+                    coordinator.pruned_loose
+                    + coordinator.pruned_tight
+                    + coordinator.pruned_identified
+                ),
+                "candidates": 0.0,
+            }
+
+            def sample() -> dict:
+                return {
+                    "phase": "execute",
+                    "nodes": int(coverage["nodes"]),
+                    "pruned": int(coverage["pruned"]),
+                    "groups": int(coverage["candidates"]),
+                    "done_weight": coverage["done"],
+                    "total_weight": coverage["total"],
+                }
+
+            telemetry.registry.inc("parallel.tasks", len(tasks))
+
         if tasks and not truncated:
+            if telemetry is not None:
+                telemetry.start_sampling(sample)
             try:
-                task_truncated = _execute_tasks(
-                    tasks, ctx, n_workers, broadcast, advisory_cap, deadline,
-                    strict, table.n,
-                    retry=retry,
-                    report=report,
-                    checkpointer=checkpointer,
-                    completed=completed,
-                    advisory_snapshot=advisory_snapshot,
-                )
+                with phase("execute"):
+                    task_truncated = _execute_tasks(
+                        tasks, ctx, n_workers, broadcast, advisory_cap, deadline,
+                        strict, table.n,
+                        retry=retry,
+                        report=report,
+                        checkpointer=checkpointer,
+                        completed=completed,
+                        advisory_snapshot=advisory_snapshot,
+                        telemetry=telemetry,
+                        coverage=coverage,
+                    )
             finally:
                 # Even an aborting run (strict budget, injected fault)
                 # leaves its latest progress on disk for a resume.
                 if checkpointer is not None:
                     checkpointer.close()
                     report.checkpoints_written = checkpointer.writes
+                if telemetry is not None:
+                    telemetry.stop_sampling()
             truncated = truncated or task_truncated
-        replay = NodeCounters()
-        sequence: list[Candidate] = []
-        _assemble(plan, sequence)
-        for candidate in sequence:
-            store.offer(candidate, replay)
+        with phase("reduce"):
+            replay = NodeCounters()
+            sequence: list[Candidate] = []
+            _assemble(plan, sequence)
+            for candidate in sequence:
+                store.offer(candidate, replay)
     finally:
         sys.setrecursionlimit(old_limit)
 
@@ -934,4 +1080,13 @@ def mine_table_parallel(
     report.workers = [leaf.counters for leaf in tasks]
     report.advisory_drops = sum(leaf.drops for leaf in tasks)
     merged = merge_counters([coordinator, replay, *report.workers])
+    if telemetry is not None:
+        telemetry.add_counters(coordinator_cache.stats())
+        telemetry.add_counters(
+            {
+                "parallel.inline_tasks": report.inline_tasks,
+                "parallel.advisory_drops": report.advisory_drops,
+                "parallel.checkpoints_written": report.checkpoints_written,
+            }
+        )
     return store, merged, truncated, report

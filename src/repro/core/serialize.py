@@ -69,6 +69,12 @@ def save_rule_groups(
 ) -> None:
     """Write ``groups`` (all sharing one consequent) to ``path``.
 
+    Args:
+        path: destination ``.irgs`` file.
+        groups: the rule groups of one mining run.
+        constraints: the thresholds recorded in the header, if any.
+        dataset_name: dataset label recorded in the header.
+
     Raises:
         DataError: if the groups carry mixed consequents or disagree on
             the dataset constants.
@@ -233,9 +239,12 @@ def _write_durable(path: Path, text: str) -> None:
 def save_checkpoint(path: str | Path, payload: dict) -> None:
     """Write ``payload`` as a versioned, checksummed checkpoint file.
 
-    The payload must be JSON-able; callers (``core.checkpoint``) build it
-    from their state objects.  The write is atomic and fsync'd — see
-    :func:`_write_durable`.
+    Args:
+        path: destination checkpoint file.
+        payload: JSON-able state; callers (``core.checkpoint``) build it
+            from their state objects.
+
+    The write is atomic and fsync'd — see :func:`_write_durable`.
     """
     save_checkpoint_body(path, canonical_json(payload))
 
@@ -243,11 +252,15 @@ def save_checkpoint(path: str | Path, payload: dict) -> None:
 def save_checkpoint_body(path: str | Path, body: str) -> None:
     """Write an already-canonical payload text as a checkpoint file.
 
-    ``body`` must be the :func:`canonical_json` rendering of the payload
-    — the incremental writer in :mod:`repro.core.checkpoint` assembles it
-    from cached per-record fragments so a write does not re-encode the
-    whole state.  The envelope (checksum header, atomic fsync'd replace)
-    is identical to :func:`save_checkpoint`.
+    Args:
+        path: destination checkpoint file.
+        body: the :func:`canonical_json` rendering of the payload — the
+            incremental writer in :mod:`repro.core.checkpoint` assembles
+            it from cached per-record fragments so a write does not
+            re-encode the whole state.
+
+    The envelope (checksum header, atomic fsync'd replace) is identical
+    to :func:`save_checkpoint`.
     """
     path = Path(path)
     digest = hashlib.sha256(body.encode("utf-8")).hexdigest()

@@ -37,7 +37,11 @@ class TraceNode:
 
     Attributes:
         rows: the ORD row positions of the combination ``X``.
-        items: ``I(X)`` as item ids (the node label in Figure 3).
+        items: ``I(X)`` as item ids, sorted ascending (the node label in
+            Figure 3).  Sorting makes the label independent of the
+            engine's internal table order — the kernel engine keeps
+            conditional tables support-sorted, the reference engine
+            keeps insertion order.
         supp: ``|R(I(X)) ∩ C|`` (-1 when pruned before the scan).
         supn: ``|R(I(X)) ∩ ¬C|`` (-1 when pruned before the scan).
         outcome: ``"explored"``, ``"pruned:loose"``, ``"pruned:tight"``,
@@ -99,7 +103,7 @@ class TracingFarmer(Farmer):
         table = state.resolve()
         node = TraceNode(
             rows=tuple(bitset.iter_bits(state.x_mask)),
-            items=tuple(table.item_ids),
+            items=tuple(sorted(table.item_ids)),
         )
         if self._trace_stack:
             self._trace_stack[-1].children.append(node)
@@ -130,8 +134,11 @@ class TracingFarmer(Farmer):
         elif after[1] > before[1] and not node.children:
             node.outcome = "pruned:tight"
         elif any(
-            entry[0] == tuple(table.item_ids) for entry in self._store.entries
+            frozenset(entry[0]) == frozenset(node.items)
+            for entry in self._store.entries
         ):
+            # Store entries keep the engine's table order; compare as
+            # sets so "reported" detection works under both engines.
             node.outcome = "reported"
         # Fill the support stats for non-pre-scan-pruned nodes.  Kernel
         # tables carry their scan; reference carriers (inter is None)

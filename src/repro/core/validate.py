@@ -120,8 +120,15 @@ def validate_result(
     """Validate a whole mining result; see the module docstring.
 
     Args:
+        dataset: the itemized table the result was mined from.
+        groups: the mined rule groups.
+        consequent: expected class label, checked when given.
+        constraints: expected thresholds, checked when given.
         raise_on_error: raise :class:`~repro.errors.DataError` with the
             first few problems instead of returning them.
+
+    Returns:
+        Human-readable problem descriptions (empty = valid).
     """
     problems: list[str] = []
     for group in groups:

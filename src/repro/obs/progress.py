@@ -1,0 +1,156 @@
+"""Live progress reporting for ``farmer mine --progress``.
+
+A :class:`ProgressReporter` renders periodic status lines from the
+sampler's view of a run — nodes visited, nodes/sec, pruning ratio and an
+ETA derived from enumeration-tree coverage (see
+:meth:`Telemetry.start_sampling <repro.obs.telemetry.Telemetry>`):
+
+.. code-block:: text
+
+    mine | nodes 12,480 (310.2k/s) | pruned 61.3% | groups 18 | eta 0:02
+
+Rendering adapts to the stream:
+
+* on a TTY the line is redrawn in place with a carriage return;
+* on anything else (CI logs, pipes) it degrades to plain newline-
+  terminated lines at a much lower cadence, so logs stay readable.
+
+Updates are throttled (:attr:`ProgressReporter.interval`); callers may
+invoke :meth:`update` as often as they like.  The reporter writes only
+to the stream it is given — it never touches the artifacts a run
+produces, preserving the byte-identity contract of the telemetry layer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import IO
+
+__all__ = ["ProgressReporter", "format_count", "format_eta"]
+
+#: Redraw cadence on a TTY, seconds.
+_TTY_INTERVAL = 0.2
+#: Emission cadence on a non-TTY stream, seconds.
+_PLAIN_INTERVAL = 5.0
+
+
+def format_count(value: float) -> str:
+    """Render a count compactly (``12,480`` / ``310.2k`` / ``1.5M``).
+
+    Args:
+        value: the count to render (rates included, hence float).
+
+    Returns:
+        A short human-readable string.
+    """
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 100_000:
+        return f"{value / 1_000:.1f}k"
+    return f"{value:,.0f}" if value == int(value) else f"{value:,.1f}"
+
+
+def format_eta(seconds: float | None) -> str:
+    """Render an ETA as ``m:ss`` / ``h:mm:ss`` (``--:--`` when unknown).
+
+    Args:
+        seconds: estimated seconds remaining, or ``None`` when no
+            estimate is available yet.
+
+    Returns:
+        A short clock-style string.
+    """
+    if seconds is None or seconds != seconds or seconds < 0:
+        return "--:--"
+    whole = int(seconds + 0.5)
+    if whole >= 3600:
+        return f"{whole // 3600}:{whole % 3600 // 60:02d}:{whole % 60:02d}"
+    return f"{whole // 60}:{whole % 60:02d}"
+
+
+class ProgressReporter:
+    """Throttled, TTY-aware status line writer.
+
+    Args:
+        stream: where to write (typically ``sys.stderr`` so progress
+            never mixes with piped results on stdout).
+        interval: minimum seconds between emissions; defaults to 0.2 s
+            on a TTY and 5 s otherwise.
+
+    The reporter asks the stream for ``isatty()`` once at construction;
+    streams without the method (e.g. ``io.StringIO``) are treated as
+    non-TTY.
+    """
+
+    def __init__(self, stream: IO[str], interval: float | None = None) -> None:
+        self.stream = stream
+        isatty = getattr(stream, "isatty", None)
+        self.is_tty = bool(isatty()) if callable(isatty) else False
+        self.interval = (
+            interval
+            if interval is not None
+            else (_TTY_INTERVAL if self.is_tty else _PLAIN_INTERVAL)
+        )
+        self.lines = 0
+        self._last_emit = float("-inf")
+        self._last_width = 0
+
+    def update(
+        self,
+        phase: str,
+        *,
+        nodes: int,
+        rate: float,
+        pruned_fraction: float | None = None,
+        groups: int | None = None,
+        eta_seconds: float | None = None,
+        force: bool = False,
+    ) -> None:
+        """Render one status line if the throttle interval has elapsed.
+
+        Args:
+            phase: current phase name (``search``, ``reduce``, ...).
+            nodes: enumeration nodes visited so far.
+            rate: current nodes/sec estimate.
+            pruned_fraction: fraction of expansions cut by pruning, or
+                ``None`` when not yet known.
+            groups: interesting rule groups found so far, if known.
+            eta_seconds: estimated seconds remaining, if known.
+            force: bypass the throttle (used for final states).
+        """
+        now = time.perf_counter()
+        if not force and now - self._last_emit < self.interval:
+            return
+        self._last_emit = now
+        parts = [phase, f"nodes {format_count(nodes)} ({format_count(rate)}/s)"]
+        if pruned_fraction is not None:
+            parts.append(f"pruned {100.0 * pruned_fraction:.1f}%")
+        if groups is not None:
+            parts.append(f"groups {groups}")
+        parts.append(f"eta {format_eta(eta_seconds)}")
+        self._emit(" | ".join(parts))
+
+    def _emit(self, line: str) -> None:
+        if self.is_tty:
+            padding = " " * max(0, self._last_width - len(line))
+            self.stream.write("\r" + line + padding)
+            self._last_width = len(line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+        self.lines += 1
+
+    def finish(self, summary: str | None = None) -> None:
+        """End the progress display, optionally with a final summary.
+
+        Args:
+            summary: a last line to print (always emitted, throttle
+                ignored); on a TTY the in-place line is first completed
+                with a newline.
+        """
+        if self.is_tty and self._last_width:
+            self.stream.write("\n")
+            self._last_width = 0
+        if summary is not None:
+            self.stream.write(summary + "\n")
+        self.stream.flush()

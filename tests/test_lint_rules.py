@@ -1,4 +1,4 @@
-"""Fixture-driven tests for every farmer-lint rule (FRM001..FRM007).
+"""Fixture-driven tests for every farmer-lint rule (FRM001..FRM008).
 
 Each rule gets at least: a snippet that triggers it, a near-identical
 snippet that must not, and a suppression-comment check.  Fixtures are
@@ -30,9 +30,9 @@ def rule_ids(findings):
 
 
 class TestCatalogue:
-    def test_seven_rules_with_unique_ids(self):
-        assert len(ALL_RULES) == 7
-        assert sorted(RULES_BY_ID) == [f"FRM00{i}" for i in range(1, 8)]
+    def test_eight_rules_with_unique_ids(self):
+        assert len(ALL_RULES) == 8
+        assert sorted(RULES_BY_ID) == [f"FRM00{i}" for i in range(1, 9)]
 
     def test_every_rule_documented(self):
         for rule in ALL_RULES:
@@ -512,6 +512,190 @@ class TestFRM007PersistenceDiscipline:
         )
         assert "FRM007" not in rule_ids(findings)
         assert n_suppressed == 1
+
+
+class TestFRM008DocstringSections:
+    MULTILINE_TWO_PARAMS = (
+        '"""Doc."""\n'
+        '__all__ = ["combine"]\n'
+        "def combine(left: int, right: int) -> int:\n"
+        '    """Combine two values.\n\n'
+        "    Longer explanation of the combination.\n"
+        '    """\n'
+        "    return left + right\n"
+    )
+
+    def test_multiline_docstring_without_args_triggers(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path, "repro/core/mod.py", self.MULTILINE_TWO_PARAMS
+        )
+        assert any(
+            f.rule_id == "FRM008" and "'Args:'" in f.message for f in findings
+        )
+
+    def test_applies_to_obs_package(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path, "repro/obs/mod.py", self.MULTILINE_TWO_PARAMS
+        )
+        assert "FRM008" in rule_ids(findings)
+
+    def test_out_of_scope_package_exempt(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path, "repro/baselines/mod.py", self.MULTILINE_TWO_PARAMS
+        )
+        assert "FRM008" not in rule_ids(findings)
+
+    def test_one_line_docstring_is_legal(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            '"""Doc."""\n'
+            '__all__ = ["combine"]\n'
+            "def combine(left: int, right: int) -> int:\n"
+            '    """Combine two values."""\n'
+            "    return left + right\n",
+        )
+        assert "FRM008" not in rule_ids(findings)
+
+    def test_single_parameter_exempt(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            '"""Doc."""\n'
+            '__all__ = ["double"]\n'
+            "def double(value: int) -> int:\n"
+            '    """Double a value.\n\n'
+            "    Longer explanation.\n"
+            '    """\n'
+            "    return value * 2\n",
+        )
+        assert "FRM008" not in rule_ids(findings)
+
+    def test_structured_docstring_without_returns_triggers(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            '"""Doc."""\n'
+            '__all__ = ["combine"]\n'
+            "def combine(left: int, right: int) -> int:\n"
+            '    """Combine two values.\n\n'
+            "    Args:\n"
+            "        left: first value.\n"
+            "        right: second value.\n"
+            '    """\n'
+            "    return left + right\n",
+        )
+        assert any(
+            f.rule_id == "FRM008" and "'Returns:'" in f.message
+            for f in findings
+        )
+
+    def test_args_and_returns_is_clean(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            '"""Doc."""\n'
+            '__all__ = ["combine"]\n'
+            "def combine(left: int, right: int) -> int:\n"
+            '    """Combine two values.\n\n'
+            "    Args:\n"
+            "        left: first value.\n"
+            "        right: second value.\n\n"
+            "    Returns:\n"
+            "        The sum.\n"
+            '    """\n'
+            "    return left + right\n",
+        )
+        assert "FRM008" not in rule_ids(findings)
+
+    def test_yields_satisfies_returns(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            '"""Doc."""\n'
+            "from typing import Iterator\n"
+            '__all__ = ["pairs"]\n'
+            "def pairs(left: int, right: int) -> Iterator[int]:\n"
+            '    """Yield both values.\n\n'
+            "    Args:\n"
+            "        left: first value.\n"
+            "        right: second value.\n\n"
+            "    Yields:\n"
+            "        Each value in turn.\n"
+            '    """\n'
+            "    yield left\n"
+            "    yield right\n",
+        )
+        assert "FRM008" not in rule_ids(findings)
+
+    def test_none_return_needs_no_returns_section(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            '"""Doc."""\n'
+            '__all__ = ["record"]\n'
+            "def record(name: str, value: int) -> None:\n"
+            '    """Record a value.\n\n'
+            "    Args:\n"
+            "        name: the key.\n"
+            "        value: the value.\n"
+            '    """\n',
+        )
+        assert "FRM008" not in rule_ids(findings)
+
+    def test_property_and_private_and_dunder_exempt(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            '"""Doc."""\n'
+            '__all__ = ["Box"]\n'
+            "class Box:\n"
+            '    """A box."""\n'
+            "    @property\n"
+            "    def content(self) -> int:\n"
+            '        """The content.\n\n'
+            "        Longer explanation.\n"
+            '        """\n'
+            "        return 1\n"
+            "    def _helper(self, a: int, b: int) -> int:\n"
+            '        """Private.\n\n'
+            "        Longer explanation.\n"
+            '        """\n'
+            "        return a + b\n"
+            "    def __call__(self, a: int, b: int) -> int:\n"
+            '        """Dunder.\n\n'
+            "        Longer explanation.\n"
+            '        """\n'
+            "        return a + b\n",
+        )
+        assert "FRM008" not in rule_ids(findings)
+
+    def test_missing_docstring_left_to_frm005(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            '"""Doc."""\n'
+            '__all__ = ["combine"]\n'
+            "def combine(left: int, right: int) -> int:\n"
+            "    return left + right\n",
+        )
+        assert "FRM008" not in rule_ids(findings)
+
+    def test_suppression_comment(self, tmp_path):
+        findings, n_suppressed = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            '"""Doc."""\n'
+            '__all__ = ["combine"]\n'
+            "def combine(left: int, right: int) -> int:  "
+            "# farmer-lint: disable=FRM008\n"
+            '    """Combine two values.\n\n'
+            "    Longer explanation.\n"
+            '    """\n'
+            "    return left + right\n",
+        )
+        assert "FRM008" not in rule_ids(findings)
+        assert n_suppressed >= 1
 
 
 class TestRepoIsClean:

@@ -162,6 +162,50 @@ class TestCounterMerge:
         assert miner.trace_root.size() == result.counters.nodes
 
 
+class TestEngineAgreement:
+    """The trace is an engine-independent view of the search.
+
+    The kernel engine keeps conditional tables support-sorted while the
+    reference engine keeps insertion order; the tracer must normalize
+    that away so Figure 3 labels (and the ``reported`` detection, which
+    compares against store entries in engine order) agree byte for byte.
+    """
+
+    @staticmethod
+    def _flatten(node, out):
+        out.append((node.row_label(), node.items, node.supp, node.supn, node.outcome))
+        for child in node.children:
+            TestEngineAgreement._flatten(child, out)
+        return out
+
+    @pytest.mark.parametrize("prunings", [(), ("p1", "p2", "p3")])
+    def test_kernel_and_reference_traces_identical(self, paper_dataset, prunings):
+        traces = {}
+        for engine in ("kernel", "reference"):
+            miner = TracingFarmer(
+                constraints=Constraints(minsup=1),
+                prunings=prunings,
+                engine=engine,
+            )
+            miner.mine(paper_dataset, "C")
+            traces[engine] = self._flatten(miner.trace_root, [])
+        assert traces["kernel"] == traces["reference"]
+
+    def test_items_sorted_under_kernel_engine(self, paper_dataset):
+        miner = TracingFarmer(constraints=Constraints(minsup=1))
+        miner.mine(paper_dataset, "C")
+        for label, items, _, _, _ in self._flatten(miner.trace_root, []):
+            assert items == tuple(sorted(items)), label
+
+    def test_raw_render_engine_independent(self, paper_dataset):
+        rendered = {}
+        for engine in ("kernel", "reference"):
+            miner = TracingFarmer(constraints=Constraints(minsup=1), engine=engine)
+            miner.mine(paper_dataset, "C")
+            rendered[engine] = render_tree(miner.trace_root)
+        assert rendered["kernel"] == rendered["reference"]
+
+
 class TestRenderTree:
     def test_render_contains_labels(self, full_trace, paper_dataset):
         text = render_tree(full_trace, paper_dataset)
