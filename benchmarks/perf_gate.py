@@ -13,6 +13,15 @@ per sweep point:
 * **speed** — best-of-N wall time and nodes/sec for both engines, the
   kernel/reference speedup, and the kernel cache hit rate.
 
+A second sweep under ``"numpy"`` in the baseline does the same for the
+vectorized numpy engine against the kernel — byte-identity fatal at
+every point (serial plus one sharded re-mine), a committed
+``NUMPY_MIN_SPEEDUP`` aggregate floor — at the larger ``NUMPY_SCALE``
+replication where the item dimension is the workload (see the constant's
+note).  When NumPy is absent the numpy sweep is skipped cleanly: a
+refresh preserves the committed section, ``--check`` reports the skip
+and checks only the kernel pins.
+
 ``--check`` recomputes the pins, re-measures the speedup and fails if
 the aggregate speedup falls below ``min_speedup * tolerance`` — the
 tolerance is deliberately generous (CI machines are noisy; the gate
@@ -54,6 +63,19 @@ SHARDED_MINSUP = 12
 MIN_SPEEDUP = 2.0
 TOLERANCE = 0.6
 
+#: The numpy-engine sweep: the same Figure-10 minsup grid at the larger
+#: LC replication, where the item dimension is wide enough to be the
+#: engine's design-center workload (vectorization pays per item, the
+#: scalar walk pays per node).  Timed through ``Farmer.mine_table`` on a
+#: table built once per sweep: the dataset→table transpose is
+#: engine-independent preprocessing shared verbatim by every engine, and
+#: folding its constant into each point only dilutes the engine ratio
+#: being gated.
+NUMPY_SCALE = 0.2
+#: Required aggregate numpy/kernel speedup when refreshing the baseline;
+#: ``TOLERANCE`` applies to it in ``--check``.
+NUMPY_MIN_SPEEDUP = 3.0
+
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
 
 
@@ -79,6 +101,26 @@ def _best_of(workload, minsup: int, engine: str, rounds: int):
     for _ in range(rounds):
         start = time.perf_counter()
         result = _mine(workload, minsup, engine)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _mine_prebuilt(table, minsup: int, engine: str, n_workers=None):
+    miner = Farmer(
+        constraints=Constraints(minsup=minsup),
+        engine=engine,
+        n_workers=n_workers,
+    )
+    return miner.mine_table(table)
+
+
+def _best_of_prebuilt(table, minsup: int, engine: str, rounds: int):
+    """(best wall seconds, last result) mining a pre-transposed table."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = _mine_prebuilt(table, minsup, engine)
         best = min(best, time.perf_counter() - start)
     return best, result
 
@@ -154,26 +196,104 @@ def run_sweep(rounds: int, tmp_dir: Path) -> dict:
     }
 
 
-def check(payload: dict, baseline: dict) -> list[str]:
+def run_numpy_sweep(rounds: int, tmp_dir: Path) -> dict | None:
+    """The numpy-vs-kernel sweep, or ``None`` when NumPy is absent.
+
+    Byte-identity between the engines is fatal-checked at every point
+    (serial) plus one sharded re-mine; speed is recorded per point with
+    the aggregate speedup the ``--check`` floor applies to.
+    """
+    from repro.core.farmer import available_engines
+
+    if "numpy" not in available_engines():
+        return None
+    from repro.data.transpose import TransposedTable
+
+    workload = build_workload(DATASET, scale=NUMPY_SCALE)
+    table = TransposedTable.build(workload.data, workload.consequent)
+    points = []
+    kernel_total = 0.0
+    numpy_total = 0.0
+    for minsup in MINSUP_SWEEP:
+        kernel_s, kernel = _best_of_prebuilt(table, minsup, "kernel", rounds)
+        numpy_s, numpy = _best_of_prebuilt(table, minsup, "numpy", rounds)
+        kernel_sha = _irgs_sha256(kernel, tmp_dir, f"np-kernel-{minsup}")
+        numpy_sha = _irgs_sha256(numpy, tmp_dir, f"np-numpy-{minsup}")
+        if numpy_sha != kernel_sha:
+            raise SystemExit(
+                f"FATAL: numpy engine diverges from kernel at "
+                f"minsup={minsup}: {numpy_sha[:12]} != {kernel_sha[:12]}"
+            )
+        if numpy.counters.nodes != kernel.counters.nodes:
+            raise SystemExit(
+                f"FATAL: engines visited different node counts at "
+                f"minsup={minsup}: {numpy.counters.nodes} != "
+                f"{kernel.counters.nodes}"
+            )
+        kernel_total += kernel_s
+        numpy_total += numpy_s
+        points.append(
+            {
+                "minsup": minsup,
+                "nodes": numpy.counters.nodes,
+                "groups": len(numpy.groups),
+                "irgs_sha256": numpy_sha,
+                "kernel_seconds": round(kernel_s, 4),
+                "numpy_seconds": round(numpy_s, 4),
+                "speedup": round(kernel_s / numpy_s, 3),
+                "numpy_nodes_per_second": round(
+                    numpy.counters.nodes / numpy_s
+                ),
+            }
+        )
+
+    sharded = _mine_prebuilt(table, SHARDED_MINSUP, "numpy", n_workers=2)
+    shutdown_workers()
+    sharded_sha = _irgs_sha256(sharded, tmp_dir, "np-sharded")
+    serial_sha = next(
+        p["irgs_sha256"] for p in points if p["minsup"] == SHARDED_MINSUP
+    )
+    if sharded_sha != serial_sha:
+        raise SystemExit(
+            f"FATAL: sharded numpy (n_workers=2) output diverges from "
+            f"serial at minsup={SHARDED_MINSUP}"
+        )
+
+    return {
+        "dataset": DATASET,
+        "scale": NUMPY_SCALE,
+        "rounds": rounds,
+        "min_speedup": NUMPY_MIN_SPEEDUP,
+        "tolerance": TOLERANCE,
+        "sharded_minsup": SHARDED_MINSUP,
+        "aggregate_speedup": round(kernel_total / numpy_total, 3),
+        "points": points,
+    }
+
+
+def check(payload: dict, baseline: dict, label: str = "") -> list[str]:
     """Failures of ``payload`` (fresh run) against ``baseline`` (committed)."""
+    prefix = f"{label}: " if label else ""
     failures = []
     fresh = {p["minsup"]: p for p in payload["points"]}
     for pinned in baseline["points"]:
         point = fresh.get(pinned["minsup"])
         if point is None:
-            failures.append(f"minsup={pinned['minsup']}: missing from sweep")
+            failures.append(
+                f"{prefix}minsup={pinned['minsup']}: missing from sweep"
+            )
             continue
         for pin in ("nodes", "groups", "irgs_sha256"):
             if point[pin] != pinned[pin]:
                 failures.append(
-                    f"minsup={pinned['minsup']}: {pin} drifted "
+                    f"{prefix}minsup={pinned['minsup']}: {pin} drifted "
                     f"({point[pin]!r} != pinned {pinned[pin]!r})"
                 )
     floor = baseline["min_speedup"] * baseline["tolerance"]
     if payload["aggregate_speedup"] < floor:
         failures.append(
-            f"aggregate speedup {payload['aggregate_speedup']}x is below "
-            f"the gate floor {floor}x "
+            f"{prefix}aggregate speedup {payload['aggregate_speedup']}x is "
+            f"below the gate floor {floor}x "
             f"(min_speedup {baseline['min_speedup']} x tolerance "
             f"{baseline['tolerance']})"
         )
@@ -206,6 +326,7 @@ def main(argv: list[str] | None = None) -> int:
 
     with tempfile.TemporaryDirectory() as tmp:
         payload = run_sweep(args.rounds, Path(tmp))
+        numpy_payload = run_numpy_sweep(args.rounds, Path(tmp))
 
     for point in payload["points"]:
         print(
@@ -217,6 +338,22 @@ def main(argv: list[str] | None = None) -> int:
             f"cache={point['cache_hit_rate']:.1%}"
         )
     print(f"aggregate speedup: {payload['aggregate_speedup']:.2f}x")
+    if numpy_payload is None:
+        print("numpy engine unavailable — numpy sweep skipped")
+    else:
+        for point in numpy_payload["points"]:
+            print(
+                f"numpy minsup={point['minsup']:>3}  "
+                f"nodes={point['nodes']:>7}  "
+                f"groups={point['groups']:>3}  "
+                f"kernel={point['kernel_seconds']:.3f}s  "
+                f"numpy={point['numpy_seconds']:.3f}s  "
+                f"speedup={point['speedup']:.2f}x"
+            )
+        print(
+            f"numpy aggregate speedup: "
+            f"{numpy_payload['aggregate_speedup']:.2f}x"
+        )
 
     if not args.check:
         if payload["aggregate_speedup"] < MIN_SPEEDUP:
@@ -227,13 +364,30 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
+        if (
+            numpy_payload is not None
+            and numpy_payload["aggregate_speedup"] < NUMPY_MIN_SPEEDUP
+        ):
+            print(
+                f"REFUSING to commit a numpy baseline below "
+                f"{NUMPY_MIN_SPEEDUP}x aggregate speedup — run on a "
+                "quieter machine or fix the numpy engine first",
+                file=sys.stderr,
+            )
+            return 1
         # The baseline file is shared with bench_obs_overhead.py, which
         # records the telemetry overhead under "obs_overhead"; refreshing
-        # the kernel pins must not drop it.
+        # the kernel pins must not drop it.  Likewise a refresh on a
+        # machine without NumPy must not drop the committed numpy
+        # section.
         if args.baseline.exists():
             previous = json.loads(args.baseline.read_text(encoding="utf-8"))
             if "obs_overhead" in previous:
                 payload["obs_overhead"] = previous["obs_overhead"]
+            if numpy_payload is None and "numpy" in previous:
+                numpy_payload = previous["numpy"]
+        if numpy_payload is not None:
+            payload["numpy"] = numpy_payload
         args.baseline.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
@@ -243,6 +397,11 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     failures = check(payload, baseline)
+    if "numpy" in baseline:
+        if numpy_payload is None:
+            print("numpy engine unavailable — numpy pins not checked")
+        else:
+            failures.extend(check(numpy_payload, baseline["numpy"], "numpy"))
     if failures:
         print(f"PERF GATE FAILED ({len(failures)} problems):", file=sys.stderr)
         for failure in failures:

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING
 
 from ..core import bitset
 from ..core.enumeration import SearchBudget
-from ..core.kernel import CondTable
+from ..core.kernel import CondTable, CondTableProtocol
 from ..data.dataset import ItemizedDataset
 from ..errors import ConstraintError
 from .charm import ClosedItemset
@@ -49,6 +49,13 @@ class Carpenter:
     Args:
         minsup: minimum number of supporting rows (>= 1).
         budget: optional node/time limits.
+        engine: conditional-table backend, an engine name from
+            :data:`repro.core.farmer.ENGINES`.  The traversal only
+            touches the :class:`~repro.core.kernel.CondTableProtocol`
+            surface, so ``"numpy"`` swaps in the packed-uint64 table
+            with byte-identical results; ``None`` (the default) honors
+            the ``FARMER_ENGINE`` environment default.  ``"reference"``
+            has no table of its own and runs on the kernel table.
         telemetry: optional observability sink; when set, the mine
             emits ``run_start``/``run_end`` events, a ``search`` phase,
             and ``carpenter.*`` counters.  ``None`` (the default) keeps
@@ -57,11 +64,27 @@ class Carpenter:
 
     minsup: int = 1
     budget: SearchBudget = field(default_factory=SearchBudget)
+    engine: str | None = None
     telemetry: "Telemetry | None" = None
 
     def __post_init__(self) -> None:
         if self.minsup < 1:
             raise ConstraintError(f"minsup must be >= 1, got {self.minsup}")
+        from ..core.farmer import _validate_engine, default_engine
+
+        self.engine = (
+            default_engine()
+            if self.engine is None
+            else _validate_engine(self.engine)
+        )
+
+    def _build_table(self, item_masks: list[int]) -> CondTableProtocol:
+        """The root conditional table on this miner's engine backend."""
+        if self.engine == "numpy":
+            from ..core.npbitset import NumpyCondTable
+
+            return NumpyCondTable.build(item_masks, self._all_rows)
+        return CondTable.build(item_masks, self._all_rows)
 
     def mine(self, dataset: ItemizedDataset) -> list[ClosedItemset]:
         """Mine all closed itemsets with support >= ``minsup``."""
@@ -93,7 +116,7 @@ class Carpenter:
                 if self.telemetry is not None:
                     with self.telemetry.phase("search"):
                         self._visit(
-                            table=CondTable.build(item_masks, self._all_rows),
+                            table=self._build_table(item_masks),
                             row_bit=0,
                             x_mask=0,
                             cand=self._all_rows,
@@ -101,7 +124,7 @@ class Carpenter:
                         )
                 else:
                     self._visit(
-                        table=CondTable.build(item_masks, self._all_rows),
+                        table=self._build_table(item_masks),
                         row_bit=0,
                         x_mask=0,
                         cand=self._all_rows,
@@ -133,7 +156,7 @@ class Carpenter:
 
     def _visit(
         self,
-        table: CondTable,
+        table: CondTableProtocol,
         row_bit: int,
         x_mask: int,
         cand: int,
@@ -191,7 +214,10 @@ def mine_closed_carpenter(
     dataset: ItemizedDataset,
     minsup: int = 1,
     budget: SearchBudget | None = None,
+    engine: str | None = None,
 ) -> list[ClosedItemset]:
     """Convenience wrapper: run :class:`Carpenter` on ``dataset``."""
-    miner = Carpenter(minsup=minsup, budget=budget or SearchBudget())
+    miner = Carpenter(
+        minsup=minsup, budget=budget or SearchBudget(), engine=engine
+    )
     return miner.mine(dataset)

@@ -38,7 +38,7 @@ from .classify.irg import IRGClassifier
 from .classify.svm import LinearSVM
 from .core.constraints import Constraints
 from .core.enumeration import SearchBudget
-from .core.farmer import Farmer
+from .core.farmer import ENGINE_ENV, ENGINES, Farmer
 from .data.discretize import EntropyMDLDiscretizer, EqualDepthDiscretizer
 from .data.io import load_expression, save_expression
 from .data.registry import PAPER_DATASETS, load, train_test_rows
@@ -95,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore progress from this checkpoint before mining "
         "(missing file = fresh start; output is byte-identical to an "
         "uninterrupted run)",
+    )
+    mine.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        metavar="NAME",
+        help="enumeration engine: 'kernel' (fused int-bitset, the "
+        "default), 'numpy' (vectorized packed-uint64), or 'reference' "
+        "(pre-kernel cost model); all produce byte-identical output. "
+        f"Default honors ${ENGINE_ENV} when set.",
     )
     mine.add_argument(
         "--profile",
@@ -225,6 +235,7 @@ def _command_mine(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        engine=args.engine,
         telemetry=telemetry,
     )
     try:

@@ -134,6 +134,16 @@ class SearchBudget:
         """Nodes expanded so far in the current run."""
         return self._nodes
 
+    def advance(self, count: int) -> None:
+        """Account for ``count`` expanded nodes at once, without limit
+        checks.
+
+        Engines that count nodes inline (the fused numpy walker) call
+        this once per run instead of ticking per node; only valid when
+        the budget has no limits to enforce, so nothing can be missed.
+        """
+        self._nodes += count
+
     def tick(self) -> None:
         """Account for one expanded node; raise if a limit is exceeded."""
         self._nodes += 1

@@ -60,6 +60,7 @@ lists into an in-memory transposed table; we use the bitset equivalent):
 from __future__ import annotations
 
 import bisect
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -77,7 +78,7 @@ from .bounds import (
 )
 from .constraints import Constraints
 from .enumeration import NodeCounters, SearchBudget, extend_items, scan_items
-from .kernel import CondTable, KernelCache
+from .kernel import CondTable, CondTableProtocol, KernelCache
 from .minelb import attach_lower_bounds
 from .rulegroup import RuleGroup
 
@@ -91,9 +92,12 @@ __all__ = [
     "mine_irgs",
     "ALL_PRUNINGS",
     "ENGINES",
+    "ENGINE_ENV",
     "NodeState",
     "Candidate",
     "SearchContext",
+    "available_engines",
+    "default_engine",
     "expand_node",
     "enumerate_subtree",
 ]
@@ -102,7 +106,75 @@ __all__ = [
 ALL_PRUNINGS = frozenset({"p1", "p2", "p3"})
 
 #: Selectable per-node expansion engines (see module docstring).
-ENGINES = frozenset({"kernel", "reference"})
+#: ``"numpy"`` additionally requires NumPy to be installed
+#: (:func:`available_engines` reports what this interpreter can run).
+ENGINES = frozenset({"kernel", "reference", "numpy"})
+
+#: Environment variable naming the engine used when a miner is built
+#: without an explicit ``engine=`` argument (see :func:`default_engine`).
+ENGINE_ENV = "FARMER_ENGINE"
+
+
+def _load_npbitset():
+    """The packed-array backend module, or a loud :class:`UsageError`.
+
+    Import is deferred so the ``"kernel"``/``"reference"`` engines — and
+    everything else in this package — keep working on interpreters
+    without NumPy.
+    """
+    try:
+        from . import npbitset
+    except ImportError as exc:
+        raise UsageError(
+            "engine 'numpy' requires NumPy, which is not installed; "
+            "use engine='kernel' or install numpy"
+        ) from exc
+    return npbitset
+
+
+def _validate_engine(engine: str) -> str:
+    """Reject unknown engines and unavailable backends, loudly."""
+    if engine not in ENGINES:
+        raise UsageError(
+            f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
+        )
+    if engine == "numpy":
+        _load_npbitset()
+    return engine
+
+
+def available_engines() -> tuple[str, ...]:
+    """The registered engines this interpreter can actually run, sorted.
+
+    Every name in :data:`ENGINES` except ``"numpy"`` when NumPy is not
+    importable.  The conformance suite parameterizes over this.
+    """
+    names = []
+    for name in sorted(ENGINES):
+        try:
+            _validate_engine(name)
+        except UsageError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def default_engine() -> str:
+    """The engine used when none is requested explicitly.
+
+    Reads :data:`ENGINE_ENV` (``FARMER_ENGINE``) so a whole test run or
+    batch job can be switched onto one engine without touching call
+    sites — CI runs the tier-1 suite under an engine matrix this way —
+    and falls back to ``"kernel"`` when unset.
+
+    Returns:
+        A validated engine name.
+
+    Raises:
+        UsageError: if the environment names an unknown engine or one
+            whose backend is not importable.
+    """
+    return _validate_engine(os.environ.get(ENGINE_ENV, "kernel"))
 
 
 class NodeState(NamedTuple):
@@ -122,8 +194,9 @@ class NodeState(NamedTuple):
     :meth:`resolve` materializes it on demand.
 
     Attributes:
-        table: the node's :class:`~repro.core.kernel.CondTable` when
-            ``row_bit == 0``, else the parent's.
+        table: the node's conditional table (any
+            :class:`~repro.core.kernel.CondTableProtocol` engine
+            representation) when ``row_bit == 0``, else the parent's.
         row_bit: the bit of the row that extended the parent into this
             node (``0`` at the root of a traversal).
         x_mask: the row combination ``X`` as an ORD-position bitset.
@@ -135,7 +208,7 @@ class NodeState(NamedTuple):
         rm_is_positive: whether the most recently added row is positive.
     """
 
-    table: CondTable
+    table: CondTableProtocol
     row_bit: int
     x_mask: int
     cand_pos: int
@@ -145,7 +218,7 @@ class NodeState(NamedTuple):
     supn_in: int
     rm_is_positive: bool
 
-    def resolve(self) -> CondTable:
+    def resolve(self) -> CondTableProtocol:
         """This node's own conditional table, materialized if still lazy."""
         if self.row_bit:
             return self.table.extend(self.row_bit)
@@ -224,8 +297,7 @@ class SearchContext:
         Returns:
             The immutable :class:`SearchContext` shared by every node.
         """
-        if engine not in ENGINES:
-            raise UsageError(f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}")
+        _validate_engine(engine)
         prunings = frozenset(prunings)
         use_p1 = "p1" in prunings
         return cls(
@@ -245,15 +317,22 @@ class SearchContext:
         """The enumeration root: ``X = {}`` over the full table.
 
         The kernel engine builds the support-sorted, pre-scanned root
-        :class:`~repro.core.kernel.CondTable`; the reference engine keeps
-        the dataset's item order and re-scans per node, like the
-        pre-kernel code did.
+        :class:`~repro.core.kernel.CondTable`; the numpy engine builds
+        the same table on the packed-uint64 layout
+        (:class:`~repro.core.npbitset.NumpyCondTable`, identical item
+        order); the reference engine keeps the dataset's item order and
+        re-scans per node, like the pre-kernel code did.
         """
+        cond: CondTableProtocol
         if self.engine == "reference":
             cond = CondTable.reference(
                 list(range(len(table.item_masks))),
                 list(table.item_masks),
                 table.all_rows_mask,
+            )
+        elif self.engine == "numpy":
+            cond = _load_npbitset().NumpyCondTable.build(
+                table.item_masks, table.all_rows_mask
             )
         else:
             cond = CondTable.build(table.item_masks, table.all_rows_mask)
@@ -590,6 +669,221 @@ def _expand_node_reference(
     return "explored", candidate, children
 
 
+def _enumerate_numpy(
+    ctx: SearchContext,
+    state: NodeState,
+    counters: NodeCounters,
+    emit: Callable[[Candidate], None],
+    tick: Callable[[], None] | None,
+    cache: KernelCache,
+) -> None:
+    """The numpy engine's fused subtree traversal.
+
+    Node-for-node the same search as :func:`enumerate_subtree` over
+    :func:`_expand_node_kernel` — identical visit order, tick placement,
+    counter increments, cache lookups and candidate emission order, so
+    the output and every counter stay byte-identical — but flattened:
+    the per-child loose bound (Step 2) is evaluated inline at the parent
+    instead of through a fresh :class:`NodeState` and a recursive call.
+    On paper-shaped workloads ~9 in 10 nodes die at that bound, so the
+    per-node Python overhead (NamedTuple construction, call frames,
+    tuple unpacking) that dominates once table work is vectorized is
+    simply never paid for them.  Only nodes surviving the loose bound
+    recurse, with plain positional arguments.
+    """
+    counters.nodes += 1
+    if tick is not None:
+        tick()
+    constraints = ctx.constraints
+    (
+        table,
+        row_bit,
+        x_mask,
+        cand_pos,
+        cand_neg,
+        p1_removed,
+        supp_in,
+        supn_in,
+        rm_is_positive,
+    ) = state
+    # Step 2 at the subtree root (its parent, if any, ran elsewhere).
+    if ctx.use_p3:
+        us2 = supp_in + cand_pos.bit_count() if rm_is_positive else supp_in
+        if us2 < constraints.minsup or (
+            constraints.minconf > 0.0
+            and cache.confidence(us2, supn_in, counters) < constraints.minconf
+        ):
+            counters.pruned_loose += 1
+            return
+    _walk_numpy(
+        ctx,
+        table,
+        row_bit,
+        x_mask,
+        cand_pos,
+        cand_neg,
+        p1_removed,
+        supp_in,
+        supn_in,
+        rm_is_positive,
+        counters,
+        emit,
+        tick,
+        cache,
+    )
+
+
+def _walk_numpy(
+    ctx: SearchContext,
+    table: CondTableProtocol,
+    row_bit: int,
+    x_mask: int,
+    cand_pos: int,
+    cand_neg: int,
+    p1_removed: int,
+    supp_in: int,
+    supn_in: int,
+    rm_is_positive: bool,
+    counters: NodeCounters,
+    emit: Callable[[Candidate], None],
+    tick: Callable[[], None] | None,
+    cache: KernelCache,
+) -> None:
+    """Steps 1 and 3-7 of one loose-bound-surviving node, then its subtree.
+
+    The caller has already run Step 2 (and the per-node accounting) for
+    this node; see :func:`_enumerate_numpy` for the equivalence argument.
+    """
+    constraints = ctx.constraints
+    # Step 3 — materialize and scan TT|X (one vectorized selection).
+    if row_bit:
+        table = table.extend(row_bit)
+    intersection = table.inter
+    union = table.union
+    candidates = cand_pos | cand_neg
+
+    # Step 1 — Pruning 2.
+    if ctx.use_p2:
+        witness = intersection & ~x_mask & ~candidates & ~p1_removed
+        if witness:
+            counters.pruned_identified += 1
+            return
+
+    supp_total, supn_total = cache.class_split(
+        intersection, ctx.positive_mask, counters
+    )
+
+    # Step 4 — Pruning 3, tight bounds (whole-table vectorized scan).
+    if ctx.use_p3:
+        if rm_is_positive and cand_pos:
+            if ctx.observe:
+                us1 = supp_in + cache.observed_max_overlap(table, cand_pos)
+            else:
+                us1 = supp_in + table.max_overlap(cand_pos)
+        else:
+            us1 = supp_in
+        if (
+            us1 < constraints.minsup
+            or (
+                constraints.minconf > 0.0
+                and cache.confidence(us1, supn_total, counters)
+                < constraints.minconf
+            )
+            or (
+                constraints.minchi > 0.0
+                and cache.chi(supp_total, supn_total, ctx.n, ctx.m, counters)
+                < constraints.minchi
+            )
+        ):
+            counters.pruned_tight += 1
+            return
+
+    # Step 5 — Pruning 1.
+    y_mask = intersection & candidates
+    if ctx.use_p1:
+        new_pos = union & cand_pos & ~y_mask
+        new_neg = union & cand_neg & ~y_mask
+        child_p1_removed = p1_removed | y_mask
+        counters.rows_compressed += y_mask.bit_count()
+    else:
+        new_pos = union & cand_pos
+        new_neg = union & cand_neg
+        child_p1_removed = p1_removed
+
+    # Steps 6+2 — children in ORD order, their Step-2 loose bounds
+    # evaluated inline: a pruned child is counted exactly as if it had
+    # been visited recursively, but no state object or frame exists for
+    # it.  ``(bit << 1) - 1`` is ``below_mask(row + 1)``, and a positive
+    # child's ``|EP|`` popcount is the running suffix count
+    # ``pos_left`` — ORD order visits ``new_pos`` bits ascending, so the
+    # bits strictly above the current row are exactly the ones not yet
+    # visited (O(1) per child instead of a popcount).
+    use_p3 = ctx.use_p3
+    minsup = constraints.minsup
+    minconf = constraints.minconf
+    m = ctx.m
+    pos_left = new_pos.bit_count()
+    remaining = new_pos | new_neg
+    while remaining:
+        bit = remaining & -remaining
+        remaining ^= bit
+        counters.nodes += 1
+        if tick is not None:
+            tick()
+        if bit.bit_length() <= m:  # row index < m, i.e. a positive row
+            pos_left -= 1
+            child_supp = supp_total if intersection & bit else supp_total + 1
+            child_supn = supn_total
+            child_positive = True
+            us2 = child_supp + pos_left
+        else:
+            child_supp = supp_total
+            child_supn = supn_total if intersection & bit else supn_total + 1
+            child_positive = False
+            us2 = child_supp
+        if use_p3:
+            if us2 < minsup or (
+                minconf > 0.0
+                and cache.confidence(us2, child_supn, counters) < minconf
+            ):
+                counters.pruned_loose += 1
+                continue
+        if child_positive:
+            child_pos = new_pos & ~((bit << 1) - 1)
+            child_neg = new_neg
+        else:
+            child_pos = 0
+            child_neg = new_neg & ~((bit << 1) - 1)
+        _walk_numpy(
+            ctx,
+            table,
+            bit,
+            x_mask | bit,
+            child_pos,
+            child_neg,
+            child_p1_removed,
+            child_supp,
+            child_supn,
+            child_positive,
+            counters,
+            emit,
+            tick,
+            cache,
+        )
+
+    # Step 7, threshold half; admission stays with the caller's ``emit``.
+    if cache.satisfies(constraints, supp_total, supn_total, ctx.n, ctx.m, counters):
+        emit(
+            Candidate(
+                tuple(table.item_ids),
+                table.ids_mask,
+                supp_total,
+                supn_total,
+                intersection,
+            )
+        )
+
+
 def enumerate_subtree(
     ctx: SearchContext,
     state: NodeState,
@@ -622,6 +916,23 @@ def enumerate_subtree(
     """
     if cache is None:
         cache = KernelCache()
+    if ctx.engine == "numpy":
+        if advisory is None:
+            emit = sink.append
+        else:
+
+            def emit(candidate: Candidate) -> None:
+                size = len(candidate.item_ids)
+                confidence = candidate.confidence
+                if advisory.covers(candidate.item_mask, size, confidence):
+                    counters.candidates_rejected += 1
+                    advisory.drops += 1
+                    return
+                advisory.extend(candidate.item_mask, size, confidence)
+                sink.append(candidate)
+
+        _enumerate_numpy(ctx, state, counters, emit, tick, cache)
+        return
     counters.nodes += 1
     if tick is not None:
         tick()
@@ -806,11 +1117,14 @@ class Farmer:
         resume: checkpoint file to restore progress from before mining;
             a missing file starts fresh.  The resumed run's output is
             byte-identical to an uninterrupted one.
-        engine: per-node expansion engine — ``"kernel"`` (default, the
-            fused lazy kernel of :mod:`repro.core.kernel`) or
+        engine: per-node expansion engine — ``"kernel"`` (the fused lazy
+            kernel of :mod:`repro.core.kernel`), ``"numpy"`` (the
+            packed-uint64 columnar backend of
+            :mod:`repro.core.npbitset`; requires NumPy) or
             ``"reference"`` (the pre-kernel cost model, for differential
-            tests and the perf gate).  Both produce byte-identical
-            serialized output.
+            tests and the perf gate).  ``None`` (default) resolves via
+            :func:`default_engine` (``$FARMER_ENGINE`` or ``"kernel"``).
+            All engines produce byte-identical serialized output.
         telemetry: optional :class:`~repro.obs.telemetry.Telemetry` to
             observe the run — phase timers, run-log events, live
             progress.  ``None`` (default) disables telemetry entirely.
@@ -834,7 +1148,7 @@ class Farmer:
         checkpoint: str | None = None,
         checkpoint_every: int = 1,
         resume: str | None = None,
-        engine: str = "kernel",
+        engine: str | None = None,
         telemetry: "Telemetry | None" = None,
     ) -> None:
         self.constraints = constraints if constraints is not None else Constraints()
@@ -844,11 +1158,9 @@ class Farmer:
         if unknown:
             raise ConstraintError(f"unknown pruning strategies: {sorted(unknown)}")
         self.prunings = prunings
-        if engine not in ENGINES:
-            raise UsageError(
-                f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
-            )
-        self.engine = engine
+        self.engine = (
+            default_engine() if engine is None else _validate_engine(engine)
+        )
         self.compute_lower_bounds = compute_lower_bounds
         self.budget = budget if budget is not None else SearchBudget()
         if n_workers is not None and n_workers < 1:
@@ -959,7 +1271,7 @@ class Farmer:
         elapsed = time.perf_counter() - started
         if telemetry is not None:
             telemetry.fold_node_counters(counters)
-            if not sharded and self.engine == "kernel":
+            if not sharded and self.engine != "reference":
                 telemetry.add_counters(self._cache.stats())
             telemetry.run_end(
                 groups=len(groups),
@@ -1026,7 +1338,35 @@ class Farmer:
         sys.setrecursionlimit(max(old_limit, table.n * 4 + 1000))
         try:
             root = self._context.root_state(table)
-            if self.telemetry is None:
+            if (
+                self.engine == "numpy"
+                and self.telemetry is None
+                and type(self)._visit is Farmer._visit
+            ):
+                # The numpy engine's fused traversal (same search, no
+                # per-node state objects); subclasses hooking _visit
+                # (the tracer) fall back to the generic recursion.  With
+                # no budget limits the per-node tick is pure counting,
+                # so the walker counts nodes itself and syncs the budget
+                # once at the end.
+                def offer(candidate: Candidate) -> None:
+                    self._store.offer(candidate, self._counters)
+
+                unlimited = (
+                    self.budget.max_nodes is None
+                    and self.budget.max_seconds is None
+                )
+                _enumerate_numpy(
+                    self._context,
+                    root,
+                    self._counters,
+                    offer,
+                    None if unlimited else self.budget.tick,
+                    self._cache,
+                )
+                if unlimited:
+                    self.budget.advance(self._counters.nodes)
+            elif self.telemetry is None:
                 self._visit(root)
             else:
                 self._visit_observed(root)
@@ -1167,7 +1507,7 @@ def mine_irgs(
     checkpoint: str | None = None,
     checkpoint_every: int = 1,
     resume: str | None = None,
-    engine: str = "kernel",
+    engine: str | None = None,
     telemetry: "Telemetry | None" = None,
 ) -> FarmerResult:
     """One-call convenience wrapper around :class:`Farmer`.

@@ -48,18 +48,71 @@ differential testing and the committed perf gate
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 from ..errors import DataError
 from .bounds import chi_bound, confidence_bound
 
 __all__ = [
     "CondTable",
+    "CondTableProtocol",
     "KernelCache",
     "ClosureCache",
     "extend_and_scan",
     "max_candidate_overlap",
 ]
+
+
+@runtime_checkable
+class CondTableProtocol(Protocol):
+    """The conditional-table seam every expansion engine implements.
+
+    :func:`repro.core.farmer.expand_node`, the sharded miner and the
+    baselines never touch a table's representation — they consume
+    exactly this surface, so an engine is free to store its tuples as
+    int lists (:class:`CondTable`) or packed uint64 arrays
+    (:class:`~repro.core.npbitset.NumpyCondTable`) as long as the scan
+    results are plain ints and the item order matches the kernel's
+    support-descending build order (candidates must serialize
+    byte-identically across engines).
+
+    Attributes:
+        inter: tuple intersection as an int row mask (``full`` when the
+            table is empty); ``None`` only on reference-engine carriers,
+            which re-scan per node.
+        union: tuple union as an int row mask (``None`` on reference
+            carriers).
+        full: the all-rows mask, the empty-intersection convention.
+    """
+
+    inter: int | None
+    union: int | None
+    full: int
+
+    @property
+    def item_ids(self) -> Sequence[int]:
+        """Item ids in table order (plain Python ints)."""
+        ...
+
+    @property
+    def ids_mask(self) -> int:
+        """The item ids as a bitset (lazily computed)."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+    def extend(self, row_bit: int) -> "CondTableProtocol":
+        """The child table ``TT|X∪{r}``, scanned (Lemma 3.3 + scan)."""
+        ...
+
+    def max_overlap(self, cand_mask: int) -> int:
+        """``MAX(|cand ∩ t|)`` over this table's tuples (Lemma 3.7)."""
+        ...
+
+    def observed_max_overlap(self, cache: "KernelCache", cand_mask: int) -> int:
+        """:meth:`max_overlap` plus bound-scan telemetry on ``cache``."""
+        ...
 
 
 def extend_and_scan(
@@ -331,6 +384,47 @@ class CondTable:
         """Early-exiting ``MAX(|cand ∩ t|)`` over this table's tuples."""
         return max_candidate_overlap(self.masks, self.counts, cand_mask)
 
+    def observed_max_overlap(self, cache: "KernelCache", cand_mask: int) -> int:
+        """:meth:`max_overlap` plus bound-scan accounting on ``cache``.
+
+        Args:
+            cache: receives the ``bound_*`` telemetry (scan length, the
+                full-scan length avoided, whether the scan early-exited).
+            cand_mask: the candidate-row bitset of Lemma 3.7.
+
+        Returns:
+            Exactly what :func:`max_candidate_overlap` returns; requires
+            ``counts`` (the reference engine never takes this path).
+        """
+        masks = self.masks
+        counts = self.counts
+        best = 0
+        scanned = len(masks)
+        early = False
+        cand_count = cand_mask.bit_count()
+        # Accounting happens only at the exits (``scanned`` falls out of
+        # the enumerate index): the loop body must stay identical to
+        # :func:`max_candidate_overlap`, or the observed run pays a
+        # per-row tax the overhead gate forbids.
+        for index, mask in enumerate(masks):
+            if counts[index] <= best:  # type: ignore[index]
+                early = True
+                scanned = index
+                break
+            overlap = (mask & cand_mask).bit_count()
+            if overlap > best:
+                best = overlap
+                if best >= cand_count:
+                    early = True
+                    scanned = index + 1
+                    break
+        cache.bound_scans += 1
+        cache.bound_rows_scanned += scanned
+        cache.bound_rows_total += len(masks)
+        if early:
+            cache.bound_early_exits += 1
+        return best
+
 
 class KernelCache:
     """Per-run memo caches for the pure per-node evaluations.
@@ -460,48 +554,26 @@ class KernelCache:
         self.thresholds[key] = verdict
         return verdict
 
-    def observed_max_overlap(self, table: "CondTable", cand_mask: int) -> int:
-        """:meth:`CondTable.max_overlap` plus bound-scan accounting.
+    def observed_max_overlap(
+        self, table: "CondTableProtocol", cand_mask: int
+    ) -> int:
+        """The table's bound scan, with telemetry folded into this cache.
+
+        Dispatches through the protocol so each engine accounts for its
+        own cost model — the kernel table records how far its early exit
+        walked, the packed table records full-length vectorized scans.
 
         Args:
-            table: a kernel-built table (``counts`` must be present —
-                the reference engine never takes the observed path).
+            table: an engine-built table (the reference engine never
+                takes the observed path).
             cand_mask: the candidate-row bitset of Lemma 3.7.
 
         Returns:
-            Exactly what :func:`max_candidate_overlap` returns; as a side
-            effect the scan length, the full-scan length it avoided and
-            whether it early-exited are folded into the ``bound_*``
-            telemetry fields.
+            Exactly what :meth:`CondTableProtocol.max_overlap` returns;
+            as a side effect the scan statistics land in the ``bound_*``
+            telemetry fields here.
         """
-        masks = table.masks
-        counts = table.counts
-        best = 0
-        scanned = len(masks)
-        early = False
-        cand_count = cand_mask.bit_count()
-        # Accounting happens only at the exits (``scanned`` falls out of
-        # the enumerate index): the loop body must stay identical to
-        # :func:`max_candidate_overlap`, or the observed run pays a
-        # per-row tax the overhead gate forbids.
-        for index, mask in enumerate(masks):
-            if counts[index] <= best:  # type: ignore[index]
-                early = True
-                scanned = index
-                break
-            overlap = (mask & cand_mask).bit_count()
-            if overlap > best:
-                best = overlap
-                if best >= cand_count:
-                    early = True
-                    scanned = index + 1
-                    break
-        self.bound_scans += 1
-        self.bound_rows_scanned += scanned
-        self.bound_rows_total += len(masks)
-        if early:
-            self.bound_early_exits += 1
-        return best
+        return table.observed_max_overlap(self, cand_mask)
 
     def stats(self) -> dict[str, int]:
         """The bound-scan telemetry as catalogue-named counters.

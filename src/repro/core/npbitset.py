@@ -1,0 +1,428 @@
+"""Packed-uint64 bitset arrays: the NumPy columnar engine backend.
+
+:mod:`repro.core.bitset` represents a row set over ``n`` rows as one
+arbitrary-precision Python int with bit ``k`` standing for row ``k``.
+This module is the vectorized counterpart: the same row set packed into
+``w = ceil(n / 64)`` little-endian ``uint64`` words, and a conditional
+transposed table of ``k`` item masks packed columnar into one
+C-contiguous ``(w + 1, k)`` array (one item per column; the loose
+helpers like :func:`pack_masks` use the row-per-mask ``(k, w)``
+orientation).  The two representations are exact mirrors —
+``pack_mask`` / ``unpack_words`` round-trip through ``int.to_bytes`` /
+``int.from_bytes`` with byte order ``"little"``, so word ``k // 64`` bit
+``k % 64`` is int bit ``k`` — and the hypothesis suite in
+``tests/test_npbitset.py`` pins every array op here against the int-mask
+reference.
+
+:class:`NumpyCondTable` implements the
+:class:`~repro.core.kernel.CondTableProtocol` seam on this layout and is
+what ``engine="numpy"`` (see :data:`repro.core.farmer.ENGINES`) puts
+inside every :class:`~repro.core.farmer.NodeState`.  Scalar node state
+(row combinations, candidate lists, closures) stays Python ints: only
+the per-item table work — extend-and-scan, whole-table Pruning-3 bound
+scans — crosses into NumPy, and scan results are converted back to ints
+at the table boundary so every consumer of the protocol sees identical
+values regardless of engine.
+
+Popcounts are batched through ``np.bitwise_count`` when the installed
+NumPy has it (2.0+); older NumPy falls back to a byte lookup table
+(:data:`POPCOUNT8`) over the ``uint8`` view of the same words.  Both
+paths are exported so the property suite can pin them against each other
+and against ``int.bit_count``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "HAS_BITWISE_COUNT",
+    "POPCOUNT8",
+    "NumpyCondTable",
+    "complement_words",
+    "mask_words",
+    "pack_mask",
+    "pack_masks",
+    "popcount_cols",
+    "popcount_words",
+    "popcount_words_lut",
+    "popcount_words_native",
+    "tail_mask",
+    "unpack_words",
+    "word_count",
+]
+
+_WORD_BITS = 64
+_WORD_BYTES = 8
+
+#: Whether the installed NumPy provides the hardware-popcount ufunc
+#: (added in NumPy 2.0); without it the lookup-table fallback runs.
+HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Per-byte popcounts, the lookup table of the pre-2.0 fallback.  The
+#: ``bin(i).count("1")`` spelling is the sanctioned construction idiom
+#: for vectorized popcount tables (recognized by FRM004): the table is
+#: built once at import, never per popcount.
+POPCOUNT8 = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+def word_count(n_rows: int) -> int:
+    """How many uint64 words a row set over ``n_rows`` rows packs into."""
+    return (n_rows + _WORD_BITS - 1) // _WORD_BITS
+
+
+def pack_mask(mask: int, width: int) -> np.ndarray:
+    """One int row mask as a ``(width,)`` little-endian uint64 array.
+
+    Args:
+        mask: non-negative int bitset (bit ``k`` = row ``k``).
+        width: word count of the packed layout (``word_count(n_rows)``).
+
+    Returns:
+        A read-only ``(width,)`` uint64 array; word ``k // 64`` holds int
+        bits ``64k .. 64k+63``.
+    """
+    return np.frombuffer(
+        mask.to_bytes(width * _WORD_BYTES, "little"), dtype=np.uint64
+    )
+
+
+def pack_masks(masks: Sequence[int], width: int) -> np.ndarray:
+    """Many int row masks as one C-contiguous ``(len(masks), width)`` array.
+
+    Args:
+        masks: non-negative int bitsets.
+        width: word count of the packed layout.
+
+    Returns:
+        A writable ``(len(masks), width)`` uint64 array, one row per mask.
+    """
+    if not len(masks):
+        return np.zeros((0, width), dtype=np.uint64)
+    payload = b"".join(
+        mask.to_bytes(width * _WORD_BYTES, "little") for mask in masks
+    )
+    packed = np.frombuffer(payload, dtype=np.uint64).reshape(
+        len(masks), width
+    )
+    return packed.copy()
+
+
+def unpack_words(words: np.ndarray) -> int:
+    """The int row mask of one packed ``(width,)`` word vector.
+
+    Exact inverse of :func:`pack_mask` (pinned by the property suite).
+    """
+    return int.from_bytes(np.ascontiguousarray(words).tobytes(), "little")
+
+
+def tail_mask(n_rows: int, width: int) -> np.ndarray:
+    """The packed all-rows mask: valid bits set, tail bits clear.
+
+    The last word of a packed row set over ``n_rows`` rows has
+    ``64 * width - n_rows`` bits that correspond to no row; complement
+    must never set them (:func:`complement_words`).
+
+    Args:
+        n_rows: number of real rows.
+        width: word count of the packed layout.
+
+    Returns:
+        ``pack_mask((1 << n_rows) - 1, width)``, computed wordwise.
+    """
+    return pack_mask((1 << n_rows) - 1, width)
+
+
+def complement_words(words: np.ndarray, n_rows: int) -> np.ndarray:
+    """Bitwise complement within the ``n_rows`` universe (tail-masked).
+
+    Args:
+        words: packed ``(..., width)`` row sets.
+        n_rows: universe size; bits at or above it stay clear.
+
+    Returns:
+        ``~words`` with the tail bits of the last word forced to zero —
+        the packed mirror of :func:`repro.core.bitset.complement`.
+    """
+    return ~words & tail_mask(n_rows, words.shape[-1])
+
+
+def popcount_words_native(words: np.ndarray) -> np.ndarray:
+    """Per-mask popcounts via ``np.bitwise_count`` (NumPy 2.0+).
+
+    Args:
+        words: ``(..., width)`` packed row sets.
+
+    Returns:
+        int64 array of shape ``words.shape[:-1]``: total set bits per
+        packed row set.
+    """
+    return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+
+
+def popcount_words_lut(words: np.ndarray) -> np.ndarray:
+    """Per-mask popcounts via the :data:`POPCOUNT8` byte lookup table.
+
+    The fallback for NumPy builds without ``bitwise_count``: reinterpret
+    the words as bytes, index the table, sum.  Extensionally equal to
+    :func:`popcount_words_native` (pinned by the property suite).
+
+    Args:
+        words: ``(..., width)`` packed row sets.
+
+    Returns:
+        int64 array of shape ``words.shape[:-1]``.
+    """
+    flat = np.ascontiguousarray(words)
+    # Explicit byte width, not -1: reshape(-1) is ambiguous at size 0.
+    as_bytes = flat.view(np.uint8).reshape(
+        *flat.shape[:-1], flat.shape[-1] * _WORD_BYTES
+    )
+    return POPCOUNT8[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+popcount_words = (
+    popcount_words_native if HAS_BITWISE_COUNT else popcount_words_lut
+)
+"""Batched per-mask popcount: native ufunc when available, else LUT."""
+
+
+def popcount_cols(words: np.ndarray) -> np.ndarray:
+    """Per-column popcounts of a ``(width, k)`` word-row array.
+
+    The transposed-layout counterpart of :func:`popcount_words`: column
+    ``i`` holds one packed row set spread down the rows, so the sum runs
+    over axis 0.  Same native/LUT split, pinned extensionally equal to
+    ``popcount_words(words.T)`` by the property suite.
+
+    Args:
+        words: ``(width, k)`` array, one packed row set per column.
+
+    Returns:
+        int64 array of shape ``(k,)``: total set bits per column.
+    """
+    if HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=0, dtype=np.int64)
+    flat = np.ascontiguousarray(words)
+    as_bytes = flat.view(np.uint8).reshape(
+        flat.shape[0], flat.shape[1], _WORD_BYTES
+    )
+    return POPCOUNT8[as_bytes].sum(axis=(0, 2), dtype=np.int64)
+
+
+class NumpyCondTable:
+    """A conditional transposed table on the packed-uint64 layout.
+
+    The ``engine="numpy"`` implementation of
+    :class:`~repro.core.kernel.CondTableProtocol`.  All per-item state
+    lives in one C-contiguous uint64 array ``data`` of shape
+    ``(width + 1, k)``: item ``i`` is column ``i``, with its packed row
+    mask spread down rows ``0..width-1`` and its item id in row
+    ``width``.  The transposed ("columnar") orientation makes the hot
+    operations walk contiguous memory: extending to a child table is one
+    :func:`np.compress` along axis 1, and the AND/OR reductions for the
+    child's intersection/union run along contiguous word rows.
+    ``inter``/``union``/``full`` are plain Python ints (converted at the
+    table boundary), which keeps every consumer of the protocol —
+    witness math, memo-cache keys, candidate row masks — byte-identical
+    to the kernel engine.
+
+    Item order is support-descending with item-id ties ascending, the
+    exact :meth:`~repro.core.kernel.CondTable.build` order, inherited by
+    children through filtering; candidates therefore serialize
+    identically across engines.  Unlike the kernel table no per-item
+    popcounts are kept: the Pruning-3 bound scan
+    (:meth:`max_overlap`) is one vectorized AND + popcount + max over
+    the whole table, so the early-exit key is dead weight here.
+
+    Instances ride inside :class:`~repro.core.farmer.NodeState` values
+    across the worker-process boundary; ``data`` is a plain ndarray and
+    the scan fields are ints, so default pickling round-trips (spelled
+    out per FRM003).
+    """
+
+    __slots__ = ("data", "width", "inter", "union", "full", "_ids_mask")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        width: int,
+        inter: int,
+        union: int,
+        full: int,
+    ) -> None:
+        self.data = data
+        self.width = width
+        self.inter = inter
+        self.union = union
+        self.full = full
+        self._ids_mask: int | None = None
+
+    def __getstate__(self) -> tuple:
+        """Picklable state (crosses the worker-process boundary)."""
+        return (
+            self.data,
+            self.width,
+            self.inter,
+            self.union,
+            self.full,
+            self._ids_mask,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        """Restore from :meth:`__getstate__`."""
+        (
+            self.data,
+            self.width,
+            self.inter,
+            self.union,
+            self.full,
+            self._ids_mask,
+        ) = state
+
+    def __len__(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def item_ids(self) -> list[int]:
+        """Item ids in table order, as plain Python ints.
+
+        Read at candidate emission and by the tracer — a small fraction
+        of visited nodes — so the row-to-list conversion is paid rarely
+        and never on the per-node hot path.
+        """
+        return self.data[self.width].tolist()
+
+    @classmethod
+    def build(cls, item_masks: Sequence[int], full_mask: int) -> "NumpyCondTable":
+        """The packed root table over every item, support-sorted + scanned.
+
+        Mirrors :meth:`repro.core.kernel.CondTable.build` exactly —
+        same order (support descending, item id ascending), same
+        intersection/union values — on the packed layout.
+
+        Args:
+            item_masks: per-item row bitsets in item-id order.
+            full_mask: bitset of all rows (``(1 << n_rows) - 1``).
+
+        Returns:
+            The fully scanned root table.
+        """
+        width = word_count(full_mask.bit_count())
+        words = pack_masks(item_masks, width)
+        if not len(item_masks):
+            data = np.zeros((width + 1, 0), dtype=np.uint64)
+            return cls(data, width, full_mask, 0, full_mask)
+        counts = popcount_words(words)
+        ids = np.arange(len(item_masks), dtype=np.uint64)
+        # Stable sort on descending count == (-count, id) lexicographic.
+        order = np.argsort(-counts, kind="stable")
+        data = np.empty((width + 1, len(item_masks)), dtype=np.uint64)
+        data[:width] = words[order].T
+        data[width] = ids[order]
+        inter = unpack_words(np.bitwise_and.reduce(words, axis=0)) & full_mask
+        union = unpack_words(np.bitwise_or.reduce(words, axis=0))
+        return cls(data, width, inter, union, full_mask)
+
+    def extend(self, row_bit: int) -> "NumpyCondTable":
+        """The child table ``TT|X∪{r}`` — one selection, one fused scan.
+
+        The packed mirror of :meth:`repro.core.kernel.CondTable.extend`:
+        select the items whose mask contains the row (one
+        :func:`np.compress` over columns; a nonzero AND result is the
+        membership test), then AND/OR-reduce the survivors' contiguous
+        word rows for the child's intersection and union.  Order is
+        preserved by the selection.
+        """
+        row = row_bit.bit_length() - 1
+        word_index, bit_index = divmod(row, _WORD_BITS)
+        data = self.data
+        # ndarray.compress, not np.compress: same op, no dispatch shim —
+        # this is the hottest allocation in the engine.
+        selected = data.compress(
+            data[word_index] & np.uint64(1 << bit_index), axis=1
+        )
+        width = self.width
+        if not selected.shape[1]:
+            return NumpyCondTable(selected, width, self.full, 0, self.full)
+        words = selected[:width]
+        # Reduce outputs are fresh contiguous arrays; convert straight
+        # from their bytes (the unpack_words fast path, inlined).
+        inter = int.from_bytes(
+            np.bitwise_and.reduce(words, axis=1).tobytes(), "little"
+        )
+        union = int.from_bytes(
+            np.bitwise_or.reduce(words, axis=1).tobytes(), "little"
+        )
+        return NumpyCondTable(selected, width, inter, union, self.full)
+
+    @property
+    def ids_mask(self) -> int:
+        """The item ids of this table as a bitset (computed lazily)."""
+        mask = self._ids_mask
+        if mask is None:
+            mask = 0
+            for item_id in self.item_ids:
+                mask |= 1 << item_id
+            self._ids_mask = mask
+        return mask
+
+    def max_overlap(self, cand_mask: int) -> int:
+        """``MAX(|cand ∩ t|)`` over the tuples, as one vectorized pass.
+
+        AND the packed candidate mask against every tuple at once, batch
+        the popcounts, take the max — the whole-candidate-list
+        replacement for the kernel's early-exiting scan, same value.
+        """
+        data = self.data
+        if not data.shape[1]:
+            return 0
+        width = self.width
+        cand = np.frombuffer(
+            cand_mask.to_bytes(width * _WORD_BYTES, "little"), dtype=np.uint64
+        )
+        overlaps = popcount_cols(data[:width] & cand[:, None])
+        return int(overlaps.max())
+
+    def observed_max_overlap(self, cache, cand_mask: int) -> int:
+        """:meth:`max_overlap` plus the cache's bound-scan accounting.
+
+        The vectorized scan always touches every tuple, so the scan
+        length equals the table length and no early exit is recorded —
+        the honest shape of this engine's cost model in the
+        ``kernel.bound_*`` telemetry.
+
+        Args:
+            cache: the node's :class:`~repro.core.kernel.KernelCache`,
+                whose ``bound_*`` counters are advanced.
+            cand_mask: candidate row bitset, as in :meth:`max_overlap`.
+
+        Returns:
+            ``MAX(|cand ∩ t|)`` over the tuples.
+        """
+        size = self.data.shape[1]
+        cache.bound_scans += 1
+        cache.bound_rows_scanned += size
+        cache.bound_rows_total += size
+        return self.max_overlap(cand_mask)
+
+
+def mask_words(table: NumpyCondTable) -> list[int]:
+    """The table's row masks as ints, in table order (test/debug helper).
+
+    Args:
+        table: a packed conditional table.
+
+    Returns:
+        One int bitset per item, matching what the kernel table's
+        ``masks`` list would hold at the same node.
+    """
+    width = table.width
+    return [
+        unpack_words(table.data[:width, index])
+        for index in range(table.data.shape[1])
+    ]

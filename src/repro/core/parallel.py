@@ -912,7 +912,7 @@ def mine_table_parallel(
     # workers stays unobserved — worker-side stats would be discarded.
     coordinator_ctx = (
         replace(ctx, observe=True)
-        if telemetry is not None and engine == "kernel"
+        if telemetry is not None and engine != "reference"
         else ctx
     )
     coordinator = NodeCounters()

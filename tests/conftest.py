@@ -85,6 +85,26 @@ DEGENERATE_SHAPES = (
     "no_consequent",
     "all_identical",
     "shared_item",
+    "word_tail_63",
+    "word_tail_64",
+    "word_tail_65",
+    "zero_rows",
+    "one_item",
+)
+
+#: The shapes that can actually be mined for consequent ``"C"`` — the
+#: rest (``no_consequent``, ``zero_rows``) pin the ``DataError`` path.
+MINEABLE_SHAPES = tuple(
+    shape
+    for shape in DEGENERATE_SHAPES
+    if shape not in ("no_consequent", "zero_rows")
+)
+
+#: The mineable shapes the brute-force oracle can afford: it enumerates
+#: all row subsets, so the 63/64/65-row word-boundary shapes (trivial
+#: for the miner, whose tree collapses under pruning) are out of reach.
+ORACLE_SHAPES = tuple(
+    shape for shape in MINEABLE_SHAPES if not shape.startswith("word_tail_")
 )
 
 
@@ -108,6 +128,14 @@ def random_dataset(
       Pruning 1 compresses the whole candidate list at the root.
     * ``"shared_item"`` — one item occurs in every row (the vocabulary
       intersection is non-empty at every node).
+    * ``"word_tail_63"`` / ``"word_tail_64"`` / ``"word_tail_65"`` —
+      exactly that many rows over a tiny vocabulary, straddling the
+      64-bit word boundary of packed bitset layouts (one word with a
+      tail bit, exactly one full word, two words with a near-empty
+      second).
+    * ``"zero_rows"`` — an empty table (no rows, no labels; mining any
+      consequent raises :class:`~repro.errors.DataError`).
+    * ``"one_item"`` — a single-column table (vocabulary of one item).
     """
     if shape is not None:
         return _degenerate_dataset(shape, seed)
@@ -161,4 +189,27 @@ def _degenerate_dataset(shape: str, seed: int) -> ItemizedDataset:
         if "C" not in labels:
             labels[0] = "C"
         return ItemizedDataset.from_lists(rows, labels, n_items=n_items)
+    if shape.startswith("word_tail_"):
+        # Row count pinned at the word boundary; the vocabulary stays
+        # tiny so the row-enumeration tree (and the brute-force oracle)
+        # stays small despite the many rows.
+        n_rows = int(shape.rsplit("_", 1)[1])
+        n_word_items = rng.randint(2, 3)
+        rows = [
+            [item for item in range(n_word_items) if rng.random() < 0.5]
+            for _ in range(n_rows)
+        ]
+        labels = [rng.choice("CD") for _ in range(n_rows)]
+        if "C" not in labels:
+            labels[0] = "C"
+        return ItemizedDataset.from_lists(rows, labels, n_items=n_word_items)
+    if shape == "zero_rows":
+        return ItemizedDataset.from_lists([], [], n_items=rng.randint(1, 4))
+    if shape == "one_item":
+        n_rows = rng.randint(2, 7)
+        rows = [[0] if rng.random() < 0.7 else [] for _ in range(n_rows)]
+        labels = [rng.choice("CD") for _ in range(n_rows)]
+        if "C" not in labels:
+            labels[0] = "C"
+        return ItemizedDataset.from_lists(rows, labels, n_items=1)
     raise ValueError(f"unknown degenerate shape: {shape!r}")

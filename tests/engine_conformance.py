@@ -1,0 +1,77 @@
+"""Reusable cross-engine conformance machinery.
+
+The repo's guarantee structure is byte-identity: every engine registered
+in :data:`repro.core.farmer.ENGINES` must serialize the exact same
+``.irgs`` bytes as the ``kernel`` engine on the exact same search tree.
+This module holds the machinery — engine discovery, serialization
+helpers, the shared constraint/pruning grids — and
+``test_engine_conformance.py`` drives it over every registered engine.
+
+A new engine gets the whole suite for free: register it in ``ENGINES``
+(and make :func:`repro.core.farmer.available_engines` report it) and the
+parameterized tests pick it up — no new test code.  CI legs that only
+care about one engine can restrict the sweep with the
+:data:`ENGINES_ENV` environment variable (comma-separated engine
+names).
+"""
+
+from __future__ import annotations
+
+import os
+
+import test_farmer_oracle
+
+from repro.core.farmer import available_engines, mine_irgs
+from repro.core.serialize import save_rule_groups
+
+#: Comma-separated engine-name filter for the conformance sweep; unset
+#: runs every available non-kernel engine.
+ENGINES_ENV = "FARMER_CONFORMANCE_ENGINES"
+
+#: The constraint grid every engine is differentially mined over
+#: (shared with the oracle suite, the ground truth these engines chase).
+CONSTRAINT_GRID = test_farmer_oracle.CONSTRAINT_GRID
+
+#: Every pruning on/off combination (shared with the ablation suite).
+PRUNING_COMBOS = test_farmer_oracle.TestPruningAblation.PRUNING_COMBOS
+
+
+def engines_under_test() -> list[str]:
+    """The engines the conformance suite compares against ``kernel``.
+
+    Every available engine except the kernel baseline itself, optionally
+    filtered down by :data:`ENGINES_ENV`.
+    """
+    names = [name for name in available_engines() if name != "kernel"]
+    selected = os.environ.get(ENGINES_ENV)
+    if selected is not None:
+        wanted = {part.strip() for part in selected.split(",") if part.strip()}
+        names = [name for name in names if name in wanted]
+    return names
+
+
+def irgs_bytes(result, tmp_path, tag) -> bytes:
+    """The serialized ``.irgs`` bytes of a mining result."""
+    path = tmp_path / f"{tag}.irgs"
+    save_rule_groups(path, result.groups, constraints=result.constraints)
+    return path.read_bytes()
+
+
+def assert_serial_conformant(
+    data, engine: str, tmp_path, tag: str, **constraints
+):
+    """Mine ``data`` serially with ``engine`` and ``kernel``; both runs
+    must serialize identical bytes over an identical search tree.
+
+    Returns:
+        ``(kernel_result, engine_result)`` for additional assertions.
+    """
+    kernel = mine_irgs(data, "C", engine="kernel", **constraints)
+    candidate = mine_irgs(data, "C", engine=engine, **constraints)
+    assert irgs_bytes(candidate, tmp_path, f"{tag}-{engine}") == irgs_bytes(
+        kernel, tmp_path, f"{tag}-kernel"
+    ), (engine, tag)
+    # Same traversal, same prunings — only cache telemetry and
+    # bound-evaluation counts may differ between engines.
+    assert candidate.counters.nodes == kernel.counters.nodes, (engine, tag)
+    return kernel, candidate

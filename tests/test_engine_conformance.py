@@ -1,0 +1,197 @@
+"""Cross-engine conformance suite (machinery in ``engine_conformance``).
+
+Every engine in :data:`repro.core.farmer.ENGINES` other than ``kernel``
+is differentially mined against the kernel baseline over the shared
+constraint grid, every pruning combination, every degenerate dataset
+shape, a sharded run, and a killed-then-resumed run — in all cases the
+serialized ``.irgs`` bytes must match exactly.  A set of literal sha256
+pins on the paper's Figure 1(a) dataset anchors the whole family to
+fixed bytes, so a drift that somehow hit *all* engines at once still
+fails loudly.
+
+Registering a new engine extends this suite automatically — the
+parametrization reads :func:`engine_conformance.engines_under_test`, so
+no test code changes are needed (see ``engine_conformance`` for the
+``FARMER_CONFORMANCE_ENGINES`` filter CI legs can apply).
+"""
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from conftest import DEGENERATE_SHAPES, random_dataset
+from engine_conformance import (
+    CONSTRAINT_GRID,
+    PRUNING_COMBOS,
+    assert_serial_conformant,
+    engines_under_test,
+    irgs_bytes,
+)
+
+from repro import mine_irgs
+from repro.core.enumeration import semantic_counters
+from repro.core.parallel import shutdown_workers
+from repro.errors import DataError, UsageError
+from repro.testing.chaos import InjectedFault
+
+ENGINES = engines_under_test()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_pools():
+    yield
+    shutdown_workers()
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(UsageError, match="unknown engine"):
+        mine_irgs(random_dataset(0), "C", engine="warp")
+
+
+def test_engines_available():
+    """The conformance sweep is not vacuously green: unless CI filtered
+    the engine set down on purpose, at least ``reference`` must run."""
+    import os
+
+    from engine_conformance import ENGINES_ENV
+
+    if os.environ.get(ENGINES_ENV):
+        pytest.skip(f"engine set restricted via {ENGINES_ENV}")
+    assert "reference" in ENGINES
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestEngineConformance:
+    """Byte-identity of each engine against the kernel baseline."""
+
+    @pytest.mark.parametrize("params", CONSTRAINT_GRID, ids=str)
+    def test_constraint_grid(self, engine, params, tmp_path):
+        for seed in range(8):
+            data = random_dataset(seed)
+            assert_serial_conformant(
+                data, engine, tmp_path, f"grid-{seed}", **params
+            )
+
+    @pytest.mark.parametrize("prunings", PRUNING_COMBOS, ids=str)
+    def test_pruning_combos(self, engine, prunings, paper_dataset, tmp_path):
+        assert_serial_conformant(
+            paper_dataset,
+            engine,
+            tmp_path,
+            "prune",
+            minsup=2,
+            prunings=prunings,
+        )
+
+    @pytest.mark.parametrize("shape", DEGENERATE_SHAPES)
+    def test_degenerate_shapes(self, engine, shape, tmp_path):
+        for seed in range(4):
+            data = random_dataset(seed, shape=shape)
+            if not any(label == "C" for label in data.labels):
+                # No-consequent shapes pin the error path instead: every
+                # engine must reject them the same way.
+                with pytest.raises(DataError):
+                    mine_irgs(data, "C", engine=engine)
+                continue
+            assert_serial_conformant(
+                data, engine, tmp_path, f"{shape}-{seed}"
+            )
+
+    def test_sharded_matches_serial_kernel(self, engine, tmp_path):
+        for seed in range(4):
+            data = random_dataset(seed, max_rows=8)
+            serial = mine_irgs(data, "C", minsup=1, engine="kernel")
+            sharded = mine_irgs(
+                data, "C", minsup=1, n_workers=2, engine=engine
+            )
+            assert irgs_bytes(sharded, tmp_path, f"s-{seed}") == irgs_bytes(
+                serial, tmp_path, f"k-{seed}"
+            ), (engine, seed)
+            assert semantic_counters(sharded.counters) == semantic_counters(
+                serial.counters
+            ), (engine, seed)
+
+    def test_killed_and_resumed_matches_serial_kernel(
+        self, engine, paper_dataset, tmp_path, chaos
+    ):
+        serial = mine_irgs(paper_dataset, "C", minsup=1, engine="kernel")
+        reference = irgs_bytes(serial, tmp_path, "serial-kernel")
+        ckpt = str(tmp_path / f"crash-{engine}.ckpt")
+        chaos.arm("ckpt-raise:after=1")
+        with pytest.raises(InjectedFault):
+            mine_irgs(
+                paper_dataset,
+                "C",
+                minsup=1,
+                n_workers=2,
+                engine=engine,
+                checkpoint=ckpt,
+            )
+        chaos.disarm()
+        resumed = mine_irgs(
+            paper_dataset,
+            "C",
+            minsup=1,
+            n_workers=2,
+            engine=engine,
+            resume=ckpt,
+        )
+        assert irgs_bytes(resumed, tmp_path, "resumed") == reference, engine
+        assert semantic_counters(resumed.counters) == semantic_counters(
+            serial.counters
+        ), engine
+        assert resumed.parallel.resumed_tasks >= 1
+
+
+# Literal pins on the paper's Figure 1(a) dataset: the bytes the whole
+# engine family must serialize, fixed as constants so a drift hitting
+# every engine at once (e.g. a serializer change) still fails.
+PINNED_HASHES = {
+    (1, 0.0): "cb81a0bcb563ea42dd160c77f46e87b1c2029c46acf41894f7de1ab556899be3",
+    (1, 0.6): "a1d3770ccd5ae17fadb6a47744ae10c1a133812df8350d8b50d0eabd6f2de694",
+    (2, 0.0): "74a4d08f024697064458b434bb8e7e3acdcea5d6197ec24f8387d28313078ce5",
+    (2, 0.6): "3f24c2b80308caf2f8efbea8ca385063ef324af47afefb4983609b668b8a6075",
+}
+
+
+def test_every_engine_documented():
+    """Doc-vs-code gate: each registered engine name is documented.
+
+    The same pattern as the observability catalogue gate — every name in
+    :data:`repro.core.farmer.ENGINES` must appear backticked in the
+    performance and architecture docs, so registering an engine without
+    documenting it fails here.
+    """
+    from repro.core.farmer import ENGINES as REGISTERED
+
+    docs_dir = Path(__file__).resolve().parent.parent / "docs"
+    for doc_name in ("performance.md", "architecture.md"):
+        text = (docs_dir / doc_name).read_text()
+        missing = sorted(
+            name
+            for name in REGISTERED
+            if f"`{name}`" not in text and f'engine="{name}"' not in text
+        )
+        assert not missing, f"undocumented engines in {doc_name}: {missing}"
+
+
+class TestPinnedHashes:
+    @pytest.mark.parametrize("engine", ["kernel", *ENGINES])
+    @pytest.mark.parametrize(
+        "minsup,minconf", sorted(PINNED_HASHES), ids=str
+    )
+    def test_paper_dataset_bytes_are_pinned(
+        self, engine, minsup, minconf, paper_dataset, tmp_path
+    ):
+        result = mine_irgs(
+            paper_dataset, "C", minsup=minsup, minconf=minconf, engine=engine
+        )
+        digest = hashlib.sha256(
+            irgs_bytes(result, tmp_path, "pin")
+        ).hexdigest()
+        assert digest == PINNED_HASHES[(minsup, minconf)], (
+            engine,
+            minsup,
+            minconf,
+        )

@@ -8,7 +8,7 @@ constraint setting and every pruning configuration.
 
 import pytest
 
-from conftest import DEGENERATE_SHAPES, random_dataset
+from conftest import ORACLE_SHAPES, random_dataset
 
 from repro import Constraints, mine_irgs
 from repro.baselines import all_rule_groups, interesting_rule_groups
@@ -53,7 +53,7 @@ class TestDegenerateShapes:
     single-row trees (no children to shard), fully-compressed roots,
     items shared by every row.  The oracle is authoritative here too."""
 
-    SHAPES = tuple(s for s in DEGENERATE_SHAPES if s != "no_consequent")
+    SHAPES = ORACLE_SHAPES
 
     @pytest.mark.parametrize("shape", SHAPES)
     @pytest.mark.parametrize("params", CONSTRAINT_GRID, ids=str)

@@ -7,10 +7,12 @@ Three layers of assurance:
   the strict-zip corruption regression;
 * a hypothesis property pinning ``extend_and_scan`` extensionally equal
   to the pre-kernel ``extend_items`` + ``scan_items`` composition;
-* an engine differential: ``engine="kernel"`` must serialize
-  byte-identically to ``engine="reference"`` (the pre-kernel cost model)
-  across constraint settings, pruning combinations, dataset shapes and a
-  sharded run — caching and fused scans may change *work*, never output.
+* cache telemetry plumbing (merge/projection/checkpoint round-trips).
+
+The engine differential — every registered engine serializing
+byte-identically to the kernel across constraints, prunings, shapes,
+sharded and killed+resumed runs — lives in
+``test_engine_conformance.py``.
 """
 
 import pickle
@@ -18,10 +20,7 @@ import pickle
 import pytest
 from hypothesis import given, settings, strategies as st
 
-import test_farmer_oracle
-from conftest import DEGENERATE_SHAPES, random_dataset
-
-from repro import Constraints, mine_irgs
+from repro import Constraints
 from repro.core.bounds import chi_bound, confidence_bound
 from repro.core.checkpoint import TaskRecord
 from repro.core.enumeration import (
@@ -40,11 +39,7 @@ from repro.core.kernel import (
     max_candidate_overlap,
 )
 from repro.core.parallel import shutdown_workers
-from repro.core.serialize import save_rule_groups
-from repro.errors import DataError, UsageError
-
-CONSTRAINT_GRID = test_farmer_oracle.CONSTRAINT_GRID
-PRUNING_COMBOS = test_farmer_oracle.TestPruningAblation.PRUNING_COMBOS
+from repro.errors import DataError
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -342,70 +337,6 @@ class TestCacheTelemetry:
         assert clone.counters.nodes == 4
 
 
-# ---------------------------------------------------------------------------
-# Engine differential: kernel output == reference output, byte for byte
-# ---------------------------------------------------------------------------
-
-
-def _irgs_bytes(result, tmp_path, tag):
-    path = tmp_path / f"{tag}.irgs"
-    save_rule_groups(path, result.groups, constraints=result.constraints)
-    return path.read_bytes()
-
-
-class TestEngineDifferential:
-    def test_unknown_engine_rejected(self):
-        with pytest.raises(UsageError, match="unknown engine"):
-            mine_irgs(random_dataset(0), "C", engine="warp")
-
-    @pytest.mark.parametrize("params", CONSTRAINT_GRID, ids=str)
-    def test_constraint_grid(self, params, tmp_path):
-        for seed in range(8):
-            data = random_dataset(seed)
-            kernel = mine_irgs(data, "C", engine="kernel", **params)
-            reference = mine_irgs(data, "C", engine="reference", **params)
-            assert _irgs_bytes(kernel, tmp_path, f"k-{seed}") == _irgs_bytes(
-                reference, tmp_path, f"r-{seed}"
-            )
-            # Same traversal, same prunings — only cache telemetry and
-            # bound-evaluation counts may differ between engines.
-            assert kernel.counters.nodes == reference.counters.nodes
-
-    @pytest.mark.parametrize("prunings", PRUNING_COMBOS, ids=str)
-    def test_pruning_combos(self, prunings, paper_dataset, tmp_path):
-        kernel = mine_irgs(
-            paper_dataset, "C", minsup=2, prunings=prunings, engine="kernel"
-        )
-        reference = mine_irgs(
-            paper_dataset, "C", minsup=2, prunings=prunings, engine="reference"
-        )
-        assert _irgs_bytes(kernel, tmp_path, "k") == _irgs_bytes(
-            reference, tmp_path, "r"
-        )
-        assert kernel.counters.nodes == reference.counters.nodes
-
-    @pytest.mark.parametrize("shape", DEGENERATE_SHAPES)
-    def test_degenerate_shapes(self, shape, tmp_path):
-        for seed in range(4):
-            data = random_dataset(seed, shape=shape)
-            if not any(label == "C" for label in data.labels):
-                continue
-            kernel = mine_irgs(data, "C", engine="kernel")
-            reference = mine_irgs(data, "C", engine="reference")
-            assert _irgs_bytes(kernel, tmp_path, f"k-{seed}") == _irgs_bytes(
-                reference, tmp_path, f"r-{seed}"
-            )
-
-    def test_sharded_kernel_matches_serial_reference(self, tmp_path):
-        for seed in range(4):
-            data = random_dataset(seed, max_rows=8)
-            sharded = mine_irgs(
-                data, "C", minsup=1, n_workers=2, engine="kernel"
-            )
-            reference = mine_irgs(data, "C", minsup=1, engine="reference")
-            assert _irgs_bytes(sharded, tmp_path, f"s-{seed}") == _irgs_bytes(
-                reference, tmp_path, f"r-{seed}"
-            )
-            assert semantic_counters(sharded.counters) == semantic_counters(
-                reference.counters
-            )
+# The engine differential (kernel vs reference vs numpy, byte for byte)
+# lives in test_engine_conformance.py — shared machinery that every
+# registered engine runs through automatically.

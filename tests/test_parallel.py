@@ -12,7 +12,7 @@ oracle.  Scheduling may vary; the output may not.
 import pytest
 
 import test_farmer_oracle
-from conftest import DEGENERATE_SHAPES, random_dataset
+from conftest import MINEABLE_SHAPES, random_dataset
 
 from repro import Constraints, Farmer, SearchBudget, mine_irgs
 from repro.baselines import interesting_rule_groups
@@ -151,7 +151,7 @@ class TestDeterminism:
 
 
 class TestDegenerateShapesParallel:
-    SHAPES = tuple(s for s in DEGENERATE_SHAPES if s != "no_consequent")
+    SHAPES = MINEABLE_SHAPES
 
     @pytest.mark.parametrize("shape", SHAPES)
     def test_identical_to_serial(self, shape, tmp_path):

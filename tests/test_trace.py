@@ -9,7 +9,12 @@ from conftest import itemset_to_letters, random_dataset
 
 from repro import Constraints, Farmer, mine_irgs
 from repro.core.enumeration import NodeCounters, merge_counters, semantic_counters
+from repro.core.farmer import available_engines
 from repro.core.trace import TracingFarmer, render_tree
+
+#: Every engine the tracer must normalize identically (numpy rides along
+#: whenever NumPy is importable).
+TRACE_ENGINES = tuple(sorted(available_engines()))
 
 
 @pytest.fixture
@@ -165,10 +170,11 @@ class TestCounterMerge:
 class TestEngineAgreement:
     """The trace is an engine-independent view of the search.
 
-    The kernel engine keeps conditional tables support-sorted while the
-    reference engine keeps insertion order; the tracer must normalize
-    that away so Figure 3 labels (and the ``reported`` detection, which
-    compares against store entries in engine order) agree byte for byte.
+    The kernel and numpy engines keep conditional tables support-sorted
+    while the reference engine keeps insertion order; the tracer must
+    normalize that away so Figure 3 labels (and the ``reported``
+    detection, which compares against store entries in engine order)
+    agree byte for byte across every registered engine.
     """
 
     @staticmethod
@@ -179,9 +185,9 @@ class TestEngineAgreement:
         return out
 
     @pytest.mark.parametrize("prunings", [(), ("p1", "p2", "p3")])
-    def test_kernel_and_reference_traces_identical(self, paper_dataset, prunings):
+    def test_engine_traces_identical(self, paper_dataset, prunings):
         traces = {}
-        for engine in ("kernel", "reference"):
+        for engine in TRACE_ENGINES:
             miner = TracingFarmer(
                 constraints=Constraints(minsup=1),
                 prunings=prunings,
@@ -189,7 +195,8 @@ class TestEngineAgreement:
             )
             miner.mine(paper_dataset, "C")
             traces[engine] = self._flatten(miner.trace_root, [])
-        assert traces["kernel"] == traces["reference"]
+        for engine in TRACE_ENGINES:
+            assert traces[engine] == traces["kernel"], engine
 
     def test_items_sorted_under_kernel_engine(self, paper_dataset):
         miner = TracingFarmer(constraints=Constraints(minsup=1))
@@ -199,11 +206,12 @@ class TestEngineAgreement:
 
     def test_raw_render_engine_independent(self, paper_dataset):
         rendered = {}
-        for engine in ("kernel", "reference"):
+        for engine in TRACE_ENGINES:
             miner = TracingFarmer(constraints=Constraints(minsup=1), engine=engine)
             miner.mine(paper_dataset, "C")
             rendered[engine] = render_tree(miner.trace_root)
-        assert rendered["kernel"] == rendered["reference"]
+        for engine in TRACE_ENGINES:
+            assert rendered[engine] == rendered["kernel"], engine
 
 
 class TestRenderTree:
