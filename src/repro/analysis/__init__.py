@@ -12,13 +12,26 @@ statically, as a CI gate and a ``farmer lint`` subcommand.
 
 Layout:
 
+Per-module walks catch local violations; the whole-program phase
+(:mod:`~repro.analysis.project` + :mod:`~repro.analysis.dataflow`)
+builds a symbol table and over-approximate call graph over every linted
+module, then tracks nondeterminism taint across call boundaries
+(FRM009), checks registered engines structurally against the
+``CondTableProtocol`` seam (FRM010), and inherits hot-path purity
+bottom-up over the call graph (FRM011).
+
+Layout:
+
 * :mod:`~repro.analysis.base` — :class:`Finding`, :class:`Rule`,
   :class:`ModuleContext` and suppression parsing;
-* :mod:`~repro.analysis.engine` — file discovery, AST dispatch, and the
-  :class:`LintResult` aggregation;
+* :mod:`~repro.analysis.engine` — file discovery, AST dispatch, the
+  whole-program phase, and the :class:`LintResult` aggregation;
+* :mod:`~repro.analysis.project` — symbol table + call graph index;
+* :mod:`~repro.analysis.dataflow` — interprocedural taint machinery;
+* :mod:`~repro.analysis.cache` — the mtime-keyed AST/findings cache;
 * :mod:`~repro.analysis.baseline` — the committed grandfather file;
-* :mod:`~repro.analysis.reporters` — text and JSON output;
-* :mod:`~repro.analysis.rules` — the FRM001..FRM007 rule set;
+* :mod:`~repro.analysis.reporters` — text, JSON and SARIF output;
+* :mod:`~repro.analysis.rules` — the FRM001..FRM011 rule set;
 * :mod:`~repro.analysis.cli` — the ``farmer lint`` entry point.
 
 See ``docs/static-analysis.md`` for the rule catalogue, the per-line
@@ -30,8 +43,10 @@ from __future__ import annotations
 
 from .base import Finding, ModuleContext, Rule
 from .baseline import load_baseline, save_baseline
+from .cache import LintCache
 from .engine import Engine, LintResult
-from .reporters import render_json, render_text
+from .project import PackageIndex, ProjectIndex
+from .reporters import render_json, render_sarif, render_text
 from .rules import ALL_RULES, RULES_BY_ID, default_rules
 
 __all__ = [
@@ -40,6 +55,9 @@ __all__ = [
     "Rule",
     "Engine",
     "LintResult",
+    "LintCache",
+    "PackageIndex",
+    "ProjectIndex",
     "ALL_RULES",
     "RULES_BY_ID",
     "default_rules",
@@ -47,4 +65,5 @@ __all__ = [
     "save_baseline",
     "render_text",
     "render_json",
+    "render_sarif",
 ]

@@ -13,7 +13,10 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import ClassVar, Iterable, Iterator
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .project import ProjectIndex
 
 __all__ = [
     "Finding",
@@ -128,13 +131,20 @@ class ModuleContext:
             self.package_path = rel_path
 
     def is_test(self) -> bool:
-        """Whether the module is test code (relaxed rules apply)."""
+        """Whether the module is test code (relaxed rules apply).
+
+        Benchmarks count: they are pytest-collected modules (see
+        ``python_files`` in ``pyproject.toml``) and carry the same
+        relaxed documentation/assert conventions as tests.
+        """
         name = Path(self.rel_path).name
         parts = Path(self.rel_path).parts
         return (
             name.startswith("test_")
+            or name.startswith("bench_")
             or name == "conftest.py"
             or "tests" in parts
+            or "benchmarks" in parts
         )
 
     def in_package(self, *prefixes: str) -> bool:
@@ -167,6 +177,8 @@ class Rule:
         module_prefixes: package-path prefixes the rule applies to, or
             ``None`` for every module.
         check_tests: whether the rule also applies to test modules.
+        needs_project: whether the rule participates in the whole-program
+            phase (:meth:`start_project` / :meth:`finish_project`).
     """
 
     rule_id: ClassVar[str] = "FRM000"
@@ -175,6 +187,7 @@ class Rule:
     node_types: ClassVar[tuple[type[ast.AST], ...]] = ()
     module_prefixes: ClassVar[tuple[str, ...] | None] = None
     check_tests: ClassVar[bool] = False
+    needs_project: ClassVar[bool] = False
 
     def applies_to(self, module: ModuleContext) -> bool:
         """Whether this rule runs on ``module`` at all."""
@@ -193,6 +206,15 @@ class Rule:
 
     def finish_module(self, module: ModuleContext) -> Iterable[Finding]:
         """Hook called after the walk; yield module-level findings."""
+        return ()
+
+    def start_project(self, project: "ProjectIndex") -> None:
+        """Hook called once with the whole-program index, before
+        :meth:`finish_project`.  Only runs when :attr:`needs_project`."""
+
+    def finish_project(self, project: "ProjectIndex") -> Iterable[Finding]:
+        """Yield whole-program findings.  The engine filters them through
+        the owning module's suppressions and test policy afterwards."""
         return ()
 
     def finding(

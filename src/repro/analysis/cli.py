@@ -5,12 +5,18 @@ bad arguments, and plain-text output by default::
 
     farmer lint src/repro
     farmer lint src/repro --format json
+    farmer lint src/repro --format sarif
     farmer lint src/repro --baseline .farmer-lint-baseline.json
     farmer lint src/repro --update-baseline
+    farmer lint src/repro --no-cache
     farmer lint --list-rules
 
 Exit codes: ``0`` clean (or everything baselined), ``1`` new findings,
 ``2`` bad arguments (missing path, unreadable baseline).
+
+Re-runs are accelerated by an mtime-keyed cache of parsed ASTs and
+per-module findings (``.farmer-lint-cache``, gitignored); ``--no-cache``
+disables both reading and writing it.
 """
 
 from __future__ import annotations
@@ -25,8 +31,9 @@ from .baseline import (
     partition,
     save_baseline,
 )
+from .cache import DEFAULT_CACHE_NAME, LintCache
 from .engine import Engine
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .rules import ALL_RULES
 
 __all__ = ["add_lint_arguments", "run_lint"]
@@ -44,9 +51,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"ignore and do not write the {DEFAULT_CACHE_NAME} cache",
+    )
+    parser.add_argument(
+        "--cache-file",
+        metavar="FILE",
+        default=DEFAULT_CACHE_NAME,
+        help=f"cache file location (default: {DEFAULT_CACHE_NAME})",
     )
     parser.add_argument(
         "--baseline",
@@ -75,11 +93,16 @@ def run_lint(args: argparse.Namespace) -> int:
 
     paths = args.paths or [_PACKAGE_ROOT]
     engine = Engine()
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(Path(args.cache_file), engine.cache_signature())
     try:
-        result = engine.lint_paths(paths)
+        result = engine.lint_paths(paths, cache=cache)
     except ReproError as error:
         print(f"error: {error}")
         return 2
+    if cache is not None:
+        cache.save()
 
     baseline_path = args.baseline
     if baseline_path is None and Path(DEFAULT_BASELINE_NAME).is_file():
@@ -102,6 +125,6 @@ def run_lint(args: argparse.Namespace) -> int:
             return 2
         result.findings, result.baselined = partition(result.findings, baseline)
 
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(result))
+    renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
+    print(renderers[args.format](result))
     return 1 if result.findings else 0

@@ -3,20 +3,27 @@
 One walk per module: every AST node is offered to the rules that
 registered interest in its type, findings are filtered through per-line
 suppressions, and the caller subtracts the baseline afterwards
-(:func:`repro.analysis.baseline.partition`).  Discovery order, dispatch
-order and the final finding order are all deterministic — the linter
-holds itself to the invariants it checks.
+(:func:`repro.analysis.baseline.partition`).  After the per-module
+walks, rules that declared ``needs_project`` get a whole-program phase:
+the engine builds a :class:`~repro.analysis.project.ProjectIndex` over
+every parsed module and lets those rules emit cross-module findings,
+which are filtered through the owning module's suppression comments and
+test policy exactly like per-module findings.  Discovery order,
+dispatch order and the final finding order are all deterministic — the
+linter holds itself to the invariants it checks.
 """
 
 from __future__ import annotations
 
 import ast
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from ..errors import DataError
 from .base import Finding, ModuleContext, Rule
+from .cache import CACHE_VERSION, LintCache
 
 __all__ = ["Engine", "LintResult", "iter_python_files"]
 
@@ -140,14 +147,90 @@ class Engine:
     # Tree-level API
     # ------------------------------------------------------------------
 
-    def lint_paths(self, paths: Iterable[Path | str]) -> LintResult:
-        """Lint every python file under ``paths``."""
+    def cache_signature(self) -> str:
+        """Invalidation token for :class:`~repro.analysis.cache.LintCache`.
+
+        Any change to the rule catalogue, interpreter minor version,
+        cache format, or report-path root must discard cached findings.
+        """
+        rules = ",".join(
+            f"{rule.rule_id}:{type(rule).__module__}.{type(rule).__qualname__}"
+            for rule in self.rules
+        )
+        version = ".".join(str(part) for part in sys.version_info[:2])
+        return f"v{CACHE_VERSION}|py{version}|root={self.root}|{rules}"
+
+    def lint_paths(
+        self, paths: Iterable[Path | str], cache: LintCache | None = None
+    ) -> LintResult:
+        """Lint every python file under ``paths``.
+
+        With a ``cache``, files whose ``(mtime, size)`` match a cached
+        entry skip both the parse and the per-module rule walks; the
+        whole-program phase always runs (it depends on every module at
+        once).  The caller owns :meth:`~repro.analysis.cache.LintCache.save`.
+        """
         result = LintResult()
+        contexts: list[ModuleContext] = []
         for path in iter_python_files([Path(p) for p in paths]):
-            module = self.parse_module(path)
-            findings, n_suppressed = self.lint_module(module)
+            cached = cache.lookup(path.resolve()) if cache is not None else None
+            if cached is not None:
+                module = ModuleContext(
+                    path.resolve(), cached.rel_path, cached.source, cached.tree
+                )
+                findings = list(cached.findings)
+                n_suppressed = cached.n_suppressed
+            else:
+                module = self.parse_module(path)
+                findings, n_suppressed = self.lint_module(module)
+                if cache is not None:
+                    cache.store(
+                        module.path,
+                        module.rel_path,
+                        module.source,
+                        module.tree,
+                        tuple(findings),
+                        n_suppressed,
+                    )
+            contexts.append(module)
             result.findings.extend(findings)
             result.n_suppressed += n_suppressed
             result.n_files += 1
+        project_findings, n_suppressed = self.lint_project(contexts)
+        result.findings.extend(project_findings)
+        result.n_suppressed += n_suppressed
         result.findings.sort(key=lambda f: f.sort_key)
         return result
+
+    def lint_project(
+        self, contexts: Sequence[ModuleContext]
+    ) -> tuple[list[Finding], int]:
+        """Run the whole-program phase over the parsed modules.
+
+        Returns ``(findings, n_suppressed)``; findings are filtered
+        through the owning module's suppressions and the emitting
+        rule's test policy, exactly like per-module findings.
+        """
+        project_rules = [rule for rule in self.rules if rule.needs_project]
+        if not project_rules or not contexts:
+            return [], 0
+        from .project import ProjectIndex
+
+        project = ProjectIndex.build(contexts)
+        by_rel_path = {module.rel_path: module for module in contexts}
+        findings: list[Finding] = []
+        n_suppressed = 0
+        for rule in project_rules:
+            rule.start_project(project)
+        for rule in project_rules:
+            for finding in rule.finish_project(project):
+                owner = by_rel_path.get(finding.path)
+                if owner is not None:
+                    if owner.is_test() and not rule.check_tests:
+                        continue
+                    if owner.is_suppressed(finding.rule_id, finding.line):
+                        n_suppressed += 1
+                        continue
+                findings.append(finding)
+        findings.sort(key=lambda f: f.sort_key)
+        return findings, n_suppressed

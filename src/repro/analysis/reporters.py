@@ -1,4 +1,4 @@
-"""Finding reporters: human text and machine JSON.
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
 
 The JSON schema is versioned and covered by the test suite, so CI
 tooling can depend on it::
@@ -22,10 +22,26 @@ import json
 
 from .engine import LintResult
 
-__all__ = ["JSON_REPORT_VERSION", "render_text", "render_json"]
+__all__ = [
+    "JSON_REPORT_VERSION",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "render_text",
+    "render_json",
+    "render_sarif",
+]
 
 #: Schema version of the ``--format json`` payload.
 JSON_REPORT_VERSION = 1
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+
+#: Canonical schema URI for SARIF 2.1.0 logs.
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult) -> str:
@@ -67,6 +83,71 @@ def render_json(result: LintResult) -> str:
                 "message": finding.message,
             }
             for finding in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(result: LintResult) -> str:
+    """A SARIF 2.1.0 log of the findings (editor/CI integration).
+
+    One run, one ``farmer-lint`` driver, one result per finding.  The
+    rule catalogue in ``tool.driver.rules`` lists every shipped rule
+    (not only the violated ones) so ``ruleIndex`` stays meaningful for
+    viewers that pre-index it.  Columns are converted to SARIF's
+    1-based convention.
+    """
+    from .. import __version__ as lint_version
+    from .rules import ALL_RULES
+
+    rule_index = {rule.rule_id: i for i, rule in enumerate(ALL_RULES)}
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "farmer-lint",
+                        "version": lint_version,
+                        "informationUri": (
+                            "https://example.invalid/farmer-lint"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "name": rule.name,
+                                "shortDescription": {
+                                    "text": rule.description
+                                },
+                            }
+                            for rule in ALL_RULES
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule_id,
+                        "ruleIndex": rule_index.get(finding.rule_id, -1),
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": finding.path,
+                                    },
+                                    "region": {
+                                        "startLine": finding.line,
+                                        "startColumn": finding.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for finding in result.findings
+                ],
+            }
         ],
     }
     return json.dumps(payload, indent=2)

@@ -1,4 +1,4 @@
-"""The farmer-lint rule catalogue (FRM001..FRM008).
+"""The farmer-lint rule catalogue (FRM001..FRM011).
 
 Adding a rule: subclass :class:`repro.analysis.base.Rule` in a module
 here, give it a fresh ``FRM0xx`` id, and append the class to
@@ -10,6 +10,7 @@ rule with bad/good examples.
 from __future__ import annotations
 
 from ..base import Rule
+from .conformance import EngineConformanceRule
 from .determinism import NondeterministicIterationRule, NondeterminismSourceRule
 from .discipline import BitsetDisciplineRule
 from .docstrings import DocstringSectionsRule
@@ -17,6 +18,8 @@ from .exceptions import ExceptionDisciplineRule
 from .hygiene import PublicApiRule
 from .persistence import PersistenceDisciplineRule
 from .picklability import WorkerPicklabilityRule
+from .purity import HotPathPurityRule
+from .taint import NondeterminismTaintRule
 
 __all__ = ["ALL_RULES", "RULES_BY_ID", "default_rules"]
 
@@ -30,6 +33,9 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ExceptionDisciplineRule,
     PersistenceDisciplineRule,
     DocstringSectionsRule,
+    NondeterminismTaintRule,
+    EngineConformanceRule,
+    HotPathPurityRule,
 )
 
 #: Rule classes keyed by their ``FRM00x`` id.

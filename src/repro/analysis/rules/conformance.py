@@ -1,0 +1,243 @@
+"""FRM010: static engine-protocol conformance.
+
+The engine seam is structural: ``root_state`` binds a name annotated
+``CondTableProtocol`` and assigns it whichever backend the run selects
+(``CondTable.reference(...)``, ``CondTable.build(...)``,
+``NumpyCondTable.build(...)``).  Python checks none of that until the
+call actually happens, and the runtime conformance suite only runs on
+backends it can import — a protocol drift in an optional engine
+(renamed keyword, dropped method, narrowed arity) ships silently on
+machines without its dependency.
+
+This rule closes the gap statically: every class that is *registered*
+as an engine — assigned to a name annotated with the protocol — is
+checked member-by-member against the protocol class itself (method
+presence, positional parameter names in order, required-argument
+counts, keyword-only names), using only the AST index.  A drift fails
+lint before any test imports anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from ..base import Finding, Rule
+from ..project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    PackageIndex,
+    ProjectIndex,
+)
+
+__all__ = ["EngineConformanceRule"]
+
+#: Members every class has; never required of an implementation.
+_IMPLICIT = frozenset({"__init__", "__init_subclass__", "__subclasshook__"})
+
+
+class EngineConformanceRule(Rule):
+    """FRM010: registered engines must structurally satisfy the protocol."""
+
+    rule_id: ClassVar[str] = "FRM010"
+    name: ClassVar[str] = "engine-protocol-conformance"
+    description: ClassVar[str] = (
+        "every class assigned to a CondTableProtocol-annotated name must "
+        "provide the protocol's methods, attributes, arities and keyword "
+        "names"
+    )
+    needs_project: ClassVar[bool] = True
+
+    #: The protocol seam this rule guards.
+    protocol_name: ClassVar[str] = "CondTableProtocol"
+
+    def finish_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for package in project.sorted_packages():
+            protocol = self._find_protocol(package)
+            if protocol is None:
+                continue
+            for engine, line in self._registered_engines(package, protocol):
+                for problem in self._check(package, protocol, engine):
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        rule_name=self.name,
+                        path=engine.module.context.rel_path,
+                        line=engine.line,
+                        col=engine.node.col_offset,
+                        message=(
+                            f"engine {engine.name} (registered at "
+                            f"{line}) does not satisfy "
+                            f"{protocol.name}: {problem}"
+                        ),
+                    )
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+
+    def _find_protocol(self, package: PackageIndex) -> ClassInfo | None:
+        candidates = [
+            cls
+            for cls in package.class_names.get(self.protocol_name, ())
+            if cls.is_protocol
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _registered_engines(
+        self, package: PackageIndex, protocol: ClassInfo
+    ) -> list[tuple[ClassInfo, str]]:
+        """Classes assigned to a protocol-annotated name, with site."""
+        engines: dict[str, tuple[ClassInfo, str]] = {}
+        for fn in package.sorted_functions():
+            for engine, line in self._engines_in(package, fn, protocol):
+                engines.setdefault(engine.display, (engine, line))
+        return [engines[key] for key in sorted(engines)]
+
+    def _engines_in(
+        self, package: PackageIndex, fn: FunctionInfo, protocol: ClassInfo
+    ) -> Iterator[tuple[ClassInfo, str]]:
+        annotated: set[str] = set()
+        callmap = {id(site.node): site for site in fn.calls}
+        for stmt in self._statements(fn):
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                parts = self._annotation_tail(stmt.annotation)
+                if parts == self.protocol_name:
+                    annotated.add(stmt.target.id)
+                    if isinstance(stmt.value, ast.Call):
+                        engine = self._engine_of(package, callmap, stmt.value)
+                        if engine is not None:
+                            yield engine, f"{fn.display}:{stmt.lineno}"
+            elif isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, ast.Call
+            ):
+                names = {
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)
+                }
+                if not (names & annotated):
+                    continue
+                engine = self._engine_of(package, callmap, stmt.value)
+                if engine is not None:
+                    yield engine, f"{fn.display}:{stmt.lineno}"
+
+    @staticmethod
+    def _statements(fn: FunctionInfo) -> Iterator[ast.stmt]:
+        node = fn.node
+        if isinstance(node, ast.Module):
+            for stmt in node.body:
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    yield from ast.walk(stmt)  # type: ignore[misc]
+            return
+        for stmt in node.body:  # type: ignore[attr-defined]
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.stmt):
+                    yield inner
+
+    @staticmethod
+    def _annotation_tail(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value.split(".")[-1].strip()
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    @staticmethod
+    def _engine_of(
+        package: PackageIndex,
+        callmap: dict[int, object],
+        call: ast.Call,
+    ) -> ClassInfo | None:
+        site = callmap.get(id(call))
+        target = getattr(site, "target", None)
+        if isinstance(target, ClassInfo):
+            return target if not target.is_protocol else None
+        if isinstance(target, FunctionInfo) and target.class_name is not None:
+            owner = target.module.classes.get(target.class_name)
+            if owner is not None and not owner.is_protocol:
+                return owner
+        return None
+
+    # ------------------------------------------------------------------
+    # Structural check
+    # ------------------------------------------------------------------
+
+    def _check(
+        self, package: PackageIndex, protocol: ClassInfo, engine: ClassInfo
+    ) -> Iterator[str]:
+        methods, properties, attrs = package.class_members(engine)
+        available = set(methods) | set(properties) | set(attrs)
+        for name in sorted(protocol.methods):
+            if name in _IMPLICIT or name in protocol.properties:
+                continue
+            spec = protocol.methods[name]
+            impl = methods.get(name)
+            if impl is None:
+                if name in available:
+                    # Satisfied by a data member (callable attribute);
+                    # signatures cannot be checked statically.
+                    continue
+                yield (
+                    f"missing method {name}"
+                    f"({', '.join(spec.params + spec.kwonly)})"
+                )
+                continue
+            yield from self._check_signature(name, spec, impl)
+        for name in sorted(
+            (set(protocol.properties) | set(protocol.class_attrs))
+            - set(protocol.methods)
+            - {"__slots__"}
+        ):
+            if name not in available:
+                yield f"missing attribute or property {name}"
+
+    @staticmethod
+    def _check_signature(
+        name: str, spec: FunctionInfo, impl: FunctionInfo
+    ) -> Iterator[str]:
+        if impl.has_vararg and impl.has_kwarg:
+            return
+        shared = min(len(spec.params), len(impl.params))
+        if impl.params[:shared] != spec.params[:shared]:
+            yield (
+                f"method {name} positional parameters "
+                f"({', '.join(impl.params)}) do not match the protocol's "
+                f"({', '.join(spec.params)})"
+            )
+            return
+        if len(impl.params) < len(spec.params) and not impl.has_vararg:
+            missing = spec.params[len(impl.params) :]
+            yield (
+                f"method {name} is missing positional parameter(s) "
+                f"{', '.join(missing)}"
+            )
+        n_required = len(impl.params) - impl.n_defaults
+        if n_required > len(spec.params):
+            extra = impl.params[len(spec.params) : n_required]
+            yield (
+                f"method {name} requires extra positional argument(s) "
+                f"{', '.join(extra)} the protocol does not pass"
+            )
+        if not impl.has_kwarg:
+            accepted = set(impl.params) | set(impl.kwonly)
+            for kw in spec.kwonly:
+                if kw not in accepted:
+                    yield (
+                        f"method {name} does not accept keyword "
+                        f"argument {kw}"
+                    )
+        required_kwonly = set(impl.kwonly) - set(impl.kwonly_defaults)
+        unsatisfied = required_kwonly - set(spec.kwonly) - set(spec.params)
+        if unsatisfied:
+            yield (
+                f"method {name} requires keyword-only argument(s) "
+                f"{', '.join(sorted(unsatisfied))} the protocol does not "
+                f"pass"
+            )

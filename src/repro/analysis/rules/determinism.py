@@ -122,10 +122,14 @@ class NondeterminismSourceRule(Rule):
     name: ClassVar[str] = "nondeterminism-source"
     description: ClassVar[str] = (
         "no unseeded RNGs, wall-clock time, pids, or id() in core/baseline "
-        "mining code"
+        "mining code or the deterministic chaos harness"
     )
     node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call,)
-    module_prefixes: ClassVar[tuple[str, ...] | None] = ("core/", "baselines/")
+    module_prefixes: ClassVar[tuple[str, ...] | None] = (
+        "core/",
+        "baselines/",
+        "testing/",
+    )
 
     _WALL_CLOCK = frozenset({"time", "time_ns"})
     _DATETIME = frozenset({"now", "utcnow", "today"})

@@ -146,7 +146,8 @@ def active_spec() -> ChaosSpec | None:
 def _die() -> None:
     # SIGKILL leaves no chance for cleanup handlers, finally blocks or
     # buffered writes — the honest model of an OOM kill or power loss.
-    os.kill(os.getpid(), signal.SIGKILL)
+    # The pid read is the kill target, not data; it cannot reach output.
+    os.kill(os.getpid(), signal.SIGKILL)  # farmer-lint: disable=FRM002
 
 
 def maybe_fault_worker(shard: int, attempt: int) -> None:

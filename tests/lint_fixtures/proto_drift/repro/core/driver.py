@@ -1,0 +1,13 @@
+"""Fixture driver registering the drifted engine against the seam."""
+
+from .engines import DriftTable
+from .kernel import CondTableProtocol
+
+__all__ = ["root_state"]
+
+
+def root_state(rows):
+    """Bind the engine exactly like the real ``root_state`` does."""
+    cond: CondTableProtocol
+    cond = DriftTable(0, 0, rows)
+    return cond

@@ -1,0 +1,31 @@
+"""Fixture engine that has drifted from the protocol.
+
+Two deliberate violations: ``max_overlap`` is missing entirely, and
+``extend`` renamed its parameter (``bit`` instead of ``row_bit``), so a
+caller using the protocol's keyword name breaks.
+"""
+
+__all__ = ["DriftTable"]
+
+
+class DriftTable:
+    """An engine that no longer satisfies ``CondTableProtocol``."""
+
+    __slots__ = ("inter", "union", "rows")
+
+    def __init__(self, inter, union, rows):
+        self.inter = inter
+        self.union = union
+        self.rows = rows
+
+    @property
+    def item_ids(self):
+        """Sorted item identifiers."""
+        return tuple(sorted(self.rows))
+
+    def __len__(self):
+        return len(self.rows)
+
+    def extend(self, bit):
+        """Renamed parameter: protocol callers pass ``row_bit=``."""
+        return DriftTable(self.inter & bit, self.union | bit, self.rows)

@@ -1,0 +1,12 @@
+"""Fixture driver registering the conforming engine against the seam."""
+
+from .engines import OkTable
+from .kernel import CondTableProtocol
+
+__all__ = ["root_state"]
+
+
+def root_state(rows):
+    """Bind the engine via its classmethod constructor."""
+    cond: CondTableProtocol = OkTable.build(rows)
+    return cond

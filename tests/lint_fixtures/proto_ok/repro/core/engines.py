@@ -1,0 +1,41 @@
+"""Fixture engine that satisfies the protocol exactly.
+
+Data attributes (``inter``, ``union``) live in ``__slots__``, which the
+conformance rule must accept as satisfying annotated protocol members.
+The engine is registered through a classmethod constructor to exercise
+that resolution path too.
+"""
+
+__all__ = ["OkTable"]
+
+
+class OkTable:
+    """A conforming ``CondTableProtocol`` implementation."""
+
+    __slots__ = ("inter", "union", "rows")
+
+    def __init__(self, inter, union, rows):
+        self.inter = inter
+        self.union = union
+        self.rows = rows
+
+    @classmethod
+    def build(cls, rows):
+        """Constructor used by the fixture driver registration."""
+        return cls(0, 0, rows)
+
+    @property
+    def item_ids(self):
+        """Sorted item identifiers."""
+        return tuple(sorted(self.rows))
+
+    def __len__(self):
+        return len(self.rows)
+
+    def extend(self, row_bit):
+        """A new table with ``row_bit`` folded in."""
+        return OkTable(self.inter & row_bit, self.union | row_bit, self.rows)
+
+    def max_overlap(self, cand_mask):
+        """Best overlap against ``cand_mask``."""
+        return self.inter & cand_mask

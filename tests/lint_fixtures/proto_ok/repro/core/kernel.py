@@ -1,0 +1,29 @@
+"""Fixture protocol seam mirroring ``CondTableProtocol``."""
+
+from typing import Protocol
+
+__all__ = ["CondTableProtocol"]
+
+
+class CondTableProtocol(Protocol):
+    """Structural contract every fixture engine must satisfy."""
+
+    inter: int
+    union: int
+
+    @property
+    def item_ids(self):
+        """Sorted item identifiers of the conditional table."""
+        ...
+
+    def __len__(self):
+        """Number of rows."""
+        ...
+
+    def extend(self, row_bit):
+        """A new table with ``row_bit`` folded in."""
+        ...
+
+    def max_overlap(self, cand_mask):
+        """Best overlap against ``cand_mask``."""
+        ...

@@ -1,0 +1,17 @@
+"""Fixture helpers: ``fold`` calls ``trace``, which is impure."""
+
+__all__ = ["fold", "trace"]
+
+_SEEN = {}
+
+
+def trace(value):
+    """Impure: console IO plus mutation of module-level state."""
+    print("fold", value)
+    _SEEN[value] = True
+    return value
+
+
+def fold(state, row):
+    """One enumeration step, indirectly impure via ``trace``."""
+    return trace(state | row)

@@ -1,0 +1,13 @@
+"""Fixture hot root whose call graph reaches impure helpers."""
+
+from .helpers import fold
+
+__all__ = ["extend_and_scan"]
+
+
+def extend_and_scan(state, rows):
+    """Hot root: two hops below, ``trace`` prints and mutates a cache."""
+    best = state
+    for row in rows:
+        best = fold(best, row)
+    return best

@@ -1,0 +1,11 @@
+"""Fixture helpers that mutate only their own parameters."""
+
+__all__ = ["fold"]
+
+
+def fold(state, row, scratch=None):
+    """Pure under the rule: parameter mutation is allowed."""
+    merged = state | row
+    if scratch is not None:
+        scratch.append(merged)
+    return merged

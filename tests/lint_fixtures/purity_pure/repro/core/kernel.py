@@ -1,0 +1,15 @@
+"""Fixture hot root whose whole call graph stays pure."""
+
+from .helpers import fold
+
+__all__ = ["extend_and_scan"]
+
+
+def extend_and_scan(state, rows, on_step=None):
+    """Hot root: helpers only touch parameters and locals."""
+    best = state
+    for row in rows:
+        best = fold(best, row)
+        if on_step is not None:
+            on_step(best)
+    return best

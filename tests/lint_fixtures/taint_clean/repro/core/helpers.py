@@ -1,0 +1,20 @@
+"""Fixture helpers with no entropy reaching any sink.
+
+A monotonic deadline is read and *used* — but only for control flow,
+never as a value that lands in persisted output; and iteration happens
+over a sorted view of the set, which is deterministic.
+"""
+
+import time
+
+__all__ = ["budget_ok", "ordered_items"]
+
+
+def budget_ok(deadline):
+    """Control flow on the clock is fine; the value goes nowhere."""
+    return time.monotonic() < deadline
+
+
+def ordered_items(items):
+    """Sorting launders the unordered container before iteration."""
+    return [item for item in sorted(set(items))]

@@ -1,0 +1,12 @@
+"""Fixture pipeline where every sink call is deterministic."""
+
+from .helpers import ordered_items
+from .serialize import save_rule_groups
+
+__all__ = ["emit"]
+
+
+def emit(path, groups):
+    """Deterministic data only: sorted items and counts."""
+    meta = {"n": len(groups), "items": ordered_items(groups)}
+    return save_rule_groups(path, groups, meta)

@@ -1,0 +1,11 @@
+"""Fixture stand-in for the checkpoint record surface."""
+
+__all__ = ["TaskRecord"]
+
+
+class TaskRecord:
+    """One fixture shard record."""
+
+    def __init__(self, shard, payload):
+        self.shard = shard
+        self.payload = payload

@@ -1,0 +1,21 @@
+"""Fixture helpers: one entropy source behind two layers of calls.
+
+``time.monotonic()`` is deliberately the source here: FRM002 allows
+monotonic clocks (budgets and timings are legitimate), so only the
+interprocedural taint pass can see that this particular value ends up
+inside persisted records.
+"""
+
+import time
+
+__all__ = ["stamp", "wrap"]
+
+
+def stamp():
+    """A monotonic reading, laundered through ``round``."""
+    return round(time.monotonic(), 6)
+
+
+def wrap(value):
+    """Tuck ``value`` into an envelope dict."""
+    return {"t": value}

@@ -1,0 +1,10 @@
+"""Fixture helper whose source line carries a FRM009 suppression."""
+
+import time
+
+__all__ = ["stamp"]
+
+
+def stamp():
+    """A clock value some sink will receive — deliberately waved off."""
+    return time.monotonic()  # farmer-lint: disable=FRM009

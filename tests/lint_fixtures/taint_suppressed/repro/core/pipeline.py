@@ -1,0 +1,11 @@
+"""Fixture pipeline whose only flow is suppressed at the source."""
+
+from .helpers import stamp
+from .serialize import save_rule_groups
+
+__all__ = ["emit"]
+
+
+def emit(path, groups):
+    """The flow exists, but its source line is suppressed."""
+    return save_rule_groups(path, groups, {"t": stamp()})

@@ -1,0 +1,8 @@
+"""Fixture stand-in for the ``.irgs`` writer surface (suppression case)."""
+
+__all__ = ["save_rule_groups"]
+
+
+def save_rule_groups(path, groups, meta):
+    """Pretend to persist ``groups`` with ``meta`` to ``path``."""
+    return (path, tuple(groups), dict(meta))

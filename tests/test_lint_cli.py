@@ -138,8 +138,8 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for index in range(1, 8):
-            assert f"FRM00{index}" in out
+        for index in range(1, 12):
+            assert f"FRM{index:03d}" in out
 
     def test_clean_tree_exits_zero(self, tmp_path, capsys):
         target = tmp_path / "repro" / "ok.py"

@@ -30,9 +30,9 @@ def rule_ids(findings):
 
 
 class TestCatalogue:
-    def test_eight_rules_with_unique_ids(self):
-        assert len(ALL_RULES) == 8
-        assert sorted(RULES_BY_ID) == [f"FRM00{i}" for i in range(1, 9)]
+    def test_eleven_rules_with_unique_ids(self):
+        assert len(ALL_RULES) == 11
+        assert sorted(RULES_BY_ID) == [f"FRM{i:03d}" for i in range(1, 12)]
 
     def test_every_rule_documented(self):
         for rule in ALL_RULES:
