@@ -8,6 +8,17 @@ row per (dataset, minsup, workers)); ``test_speedup_curve`` prints the
 speedup/efficiency table via :func:`repro.experiments.format_scaling` and
 asserts the bar — skipped on machines without 4 cores, where a process
 pool cannot physically speed anything up.
+
+Alongside aggregate speedup the curve reports each worker count's *tail
+latency* — ``max(ParallelReport.task_seconds)``, the longest interval
+any single dispatch held a worker.  Aggregate speedup hides stragglers:
+a skewed shard split can post 2x while one worker carries half the
+tree.  ``test_tail_latency_stealing`` pins the complement on the skewed
+hardest sweep point: work stealing must cut the tail against the static
+scheduler (donations bound every part by the quantum), a per-dispatch
+property that holds even on single-core machines, so it is not
+core-count gated.  The committed reference numbers live in the
+``"steal"`` section of ``BENCH_core.json`` (see ``perf_gate.py``).
 """
 
 import os
@@ -27,9 +38,20 @@ GRID = [
 
 WORKER_COUNTS = (1, 2, 4)
 
+#: The skewed tail-latency point — keep in lockstep with the ``steal``
+#: section constants in ``perf_gate.py``.
+STEAL_MINSUP = 9
+STEAL_QUANTUM = 512
+STEAL_MIN_TAIL_IMPROVEMENT = 1.3
+
 
 def _ids(grid):
     return [f"{name}-minsup{minsup}" for name, minsup in grid]
+
+
+def _tail(result) -> float:
+    """The run's tail latency: the longest single dispatch's wall time."""
+    return max(result.parallel.task_seconds)
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -61,6 +83,7 @@ def test_parallel_farmer(benchmark, workloads, name, minsup, n_workers):
     ]
     assert result.parallel is not None
     assert result.parallel.n_workers == n_workers
+    assert result.parallel.task_seconds
 
 
 def test_speedup_curve(shape_workloads, capsys):
@@ -74,16 +97,18 @@ def test_speedup_curve(shape_workloads, capsys):
         .groups
     )
     runs: list[tuple[int, TimedRun]] = []
+    tails: dict[int, float] = {}
+
+    def mine_and_tail(n: int):
+        result = Farmer(constraints=constraints, n_workers=n).mine(
+            workload.data, workload.consequent
+        )
+        tails[n] = _tail(result)
+        return result.groups
+
     for n_workers in WORKER_COUNTS:
         runs.append(
-            (
-                n_workers,
-                timed(
-                    lambda n=n_workers: Farmer(constraints=constraints, n_workers=n)
-                    .mine(workload.data, workload.consequent)
-                    .groups
-                ),
-            )
+            (n_workers, timed(lambda n=n_workers: mine_and_tail(n)))
         )
     points = scaling_curve(serial, runs)
     with capsys.disabled():
@@ -95,9 +120,48 @@ def test_speedup_curve(shape_workloads, capsys):
                 points,
             )
         )
+        print(
+            "tail latency (max task wall): "
+            + "  ".join(
+                f"w={n} {tails[n]:.3f}s" for n in WORKER_COUNTS
+            )
+        )
 
     cores = os.cpu_count() or 1
     if cores < 4:
         pytest.skip(f"speedup bar needs >= 4 cores, machine has {cores}")
     by_workers = {point.n_workers: point for point in points}
     assert by_workers[4].speedup >= 2.0
+
+
+def test_tail_latency_stealing(workloads, capsys):
+    """Stealing cuts the per-dispatch tail on the skewed sweep point.
+
+    Best-of-2 per scheduler damps single-dispatch noise; the measured
+    headroom over the bar is ~1.7x (see ``BENCH_core.json``).
+    """
+    workload = workloads["LC"]
+    constraints = Constraints(minsup=STEAL_MINSUP)
+
+    def best_tail(**kwargs) -> float:
+        return min(
+            _tail(
+                Farmer(constraints=constraints, n_workers=4, **kwargs).mine(
+                    workload.data, workload.consequent
+                )
+            )
+            for _ in range(2)
+        )
+
+    static_tail = best_tail()
+    steal_tail = best_tail(steal=True, steal_quantum=STEAL_QUANTUM)
+    improvement = static_tail / steal_tail
+    with capsys.disabled():
+        print()
+        print(
+            f"skewed tail latency — {workload.name}, "
+            f"minsup={STEAL_MINSUP}, 4 workers: "
+            f"static {static_tail:.4f}s, steal {steal_tail:.4f}s "
+            f"({improvement:.2f}x)"
+        )
+    assert improvement >= STEAL_MIN_TAIL_IMPROVEMENT

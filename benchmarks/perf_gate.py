@@ -22,10 +22,24 @@ note).  When NumPy is absent the numpy sweep is skipped cleanly: a
 refresh preserves the committed section, ``--check`` reports the skip
 and checks only the kernel pins.
 
+A third section, ``"steal"``, pins the work-stealing scheduler's
+tail-latency claim on the skewed hardest sweep point: the same LC
+workload at ``STEAL_MINSUP`` mined at 4 workers under the static and
+the stealing scheduler.  Byte-identity with the serial run is fatal for
+both schedulers, and the tail latency — the longest single dispatch,
+``max(ParallelReport.task_seconds)`` — must improve by at least
+``STEAL_MIN_TAIL_IMPROVEMENT`` under stealing, because donations bound
+every part by the quantum while the static scheduler waits for its
+largest shard.  Tail latency is wall-clock *per dispatch*, not
+aggregate throughput, so it is meaningful even on single-core CI.
+
 ``--check`` recomputes the pins, re-measures the speedup and fails if
 the aggregate speedup falls below ``min_speedup * tolerance`` — the
 tolerance is deliberately generous (CI machines are noisy; the gate
 exists to catch the kernel *losing its reason to exist*, not 5% noise).
+The steal tail floor is checked without the tolerance: the committed
+improvement carries ~1.7x headroom over the floor, and best-of-N
+damps the noise a single dispatch could add.
 
 Usage::
 
@@ -75,6 +89,19 @@ NUMPY_SCALE = 0.2
 #: Required aggregate numpy/kernel speedup when refreshing the baseline;
 #: ``TOLERANCE`` applies to it in ``--check``.
 NUMPY_MIN_SPEEDUP = 3.0
+
+#: The work-stealing tail-latency point: the hardest (most skewed)
+#: sweep minsup at 4 workers.  The quantum is set well below the
+#: largest shard's node count so the dominant subtree is actually
+#: donated apart (~50 donations at this scale); with the default
+#: quantum nothing donates and the comparison would measure noise.
+STEAL_MINSUP = 9
+STEAL_WORKERS = 4
+STEAL_QUANTUM = 512
+#: Required static/steal tail-latency ratio when refreshing the
+#: baseline; ``--check`` re-measures against the same floor (no
+#: tolerance — see the module docstring).
+STEAL_MIN_TAIL_IMPROVEMENT = 1.3
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
 
@@ -271,6 +298,87 @@ def run_numpy_sweep(rounds: int, tmp_dir: Path) -> dict | None:
     }
 
 
+def run_steal_sweep(rounds: int, tmp_dir: Path) -> dict:
+    """The static-vs-stealing tail-latency point (see module docstring).
+
+    Byte-identity against the serial run is fatal for both schedulers
+    on every round; the recorded tails are best-of-``rounds``.
+    """
+    workload = build_workload(DATASET, scale=SCALE)
+    serial = _mine(workload, STEAL_MINSUP, "kernel")
+    serial_sha = _irgs_sha256(serial, tmp_dir, "steal-serial")
+    static_tail = float("inf")
+    steal_tail = float("inf")
+    stealing = None
+    for attempt in range(rounds):
+        static = _mine(
+            workload, STEAL_MINSUP, "kernel", n_workers=STEAL_WORKERS
+        )
+        if _irgs_sha256(static, tmp_dir, f"steal-static-{attempt}") != (
+            serial_sha
+        ):
+            raise SystemExit(
+                f"FATAL: static (n_workers={STEAL_WORKERS}) output "
+                f"diverges from serial at minsup={STEAL_MINSUP}"
+            )
+        static_tail = min(static_tail, max(static.parallel.task_seconds))
+        stealing = Farmer(
+            constraints=Constraints(minsup=STEAL_MINSUP),
+            n_workers=STEAL_WORKERS,
+            steal=True,
+            steal_quantum=STEAL_QUANTUM,
+        ).mine(workload.data, workload.consequent)
+        if _irgs_sha256(stealing, tmp_dir, f"steal-steal-{attempt}") != (
+            serial_sha
+        ):
+            raise SystemExit(
+                f"FATAL: stealing (n_workers={STEAL_WORKERS}) output "
+                f"diverges from serial at minsup={STEAL_MINSUP}"
+            )
+        steal_tail = min(steal_tail, max(stealing.parallel.task_seconds))
+    shutdown_workers()
+    if not stealing.parallel.donations:
+        raise SystemExit(
+            f"FATAL: no donations at quantum={STEAL_QUANTUM} — the "
+            "tail-latency comparison would measure nothing"
+        )
+    return {
+        "minsup": STEAL_MINSUP,
+        "workers": STEAL_WORKERS,
+        "quantum": STEAL_QUANTUM,
+        "rounds": rounds,
+        "nodes": serial.counters.nodes,
+        "groups": len(serial.groups),
+        "irgs_sha256": serial_sha,
+        "donations": stealing.parallel.donations,
+        "parts": stealing.parallel.parts,
+        "static_tail_seconds": round(static_tail, 4),
+        "steal_tail_seconds": round(steal_tail, 4),
+        "tail_improvement": round(static_tail / steal_tail, 3),
+        "min_tail_improvement": STEAL_MIN_TAIL_IMPROVEMENT,
+    }
+
+
+def check_steal(payload: dict, baseline: dict) -> list[str]:
+    """Failures of a fresh steal point against the committed section."""
+    failures = []
+    for pin in ("nodes", "groups", "irgs_sha256"):
+        if payload[pin] != baseline[pin]:
+            failures.append(
+                f"steal: {pin} drifted "
+                f"({payload[pin]!r} != pinned {baseline[pin]!r})"
+            )
+    floor = baseline["min_tail_improvement"]
+    if payload["tail_improvement"] < floor:
+        failures.append(
+            f"steal: tail improvement {payload['tail_improvement']}x is "
+            f"below the {floor}x floor (static tail "
+            f"{payload['static_tail_seconds']}s vs steal tail "
+            f"{payload['steal_tail_seconds']}s)"
+        )
+    return failures
+
+
 def check(payload: dict, baseline: dict, label: str = "") -> list[str]:
     """Failures of ``payload`` (fresh run) against ``baseline`` (committed)."""
     prefix = f"{label}: " if label else ""
@@ -327,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         payload = run_sweep(args.rounds, Path(tmp))
         numpy_payload = run_numpy_sweep(args.rounds, Path(tmp))
+        steal_payload = run_steal_sweep(args.rounds, Path(tmp))
 
     for point in payload["points"]:
         print(
@@ -354,6 +463,15 @@ def main(argv: list[str] | None = None) -> int:
             f"numpy aggregate speedup: "
             f"{numpy_payload['aggregate_speedup']:.2f}x"
         )
+    print(
+        f"steal minsup={steal_payload['minsup']:>3}  "
+        f"workers={steal_payload['workers']}  "
+        f"quantum={steal_payload['quantum']}  "
+        f"donations={steal_payload['donations']:>3}  "
+        f"static tail={steal_payload['static_tail_seconds']:.4f}s  "
+        f"steal tail={steal_payload['steal_tail_seconds']:.4f}s  "
+        f"improvement={steal_payload['tail_improvement']:.2f}x"
+    )
 
     if not args.check:
         if payload["aggregate_speedup"] < MIN_SPEEDUP:
@@ -375,6 +493,14 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
+        if steal_payload["tail_improvement"] < STEAL_MIN_TAIL_IMPROVEMENT:
+            print(
+                f"REFUSING to commit a steal baseline below "
+                f"{STEAL_MIN_TAIL_IMPROVEMENT}x tail improvement — run on "
+                "a quieter machine or fix the stealing scheduler first",
+                file=sys.stderr,
+            )
+            return 1
         # The baseline file is shared with bench_obs_overhead.py, which
         # records the telemetry overhead under "obs_overhead"; refreshing
         # the kernel pins must not drop it.  Likewise a refresh on a
@@ -388,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
                 numpy_payload = previous["numpy"]
         if numpy_payload is not None:
             payload["numpy"] = numpy_payload
+        payload["steal"] = steal_payload
         args.baseline.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
@@ -402,6 +529,8 @@ def main(argv: list[str] | None = None) -> int:
             print("numpy engine unavailable — numpy pins not checked")
         else:
             failures.extend(check(numpy_payload, baseline["numpy"], "numpy"))
+    if "steal" in baseline:
+        failures.extend(check_steal(steal_payload, baseline["steal"]))
     if failures:
         print(f"PERF GATE FAILED ({len(failures)} problems):", file=sys.stderr)
         for failure in failures:

@@ -97,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
         "uninterrupted run)",
     )
     mine.add_argument(
+        "--steal",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="schedule shards with the work-stealing scheduler: "
+        "quantum-expired workers donate their remaining enumeration "
+        "frontier and starving queues split it across idle workers; "
+        "output stays byte-identical to the static schedule "
+        "(default: --no-steal)",
+    )
+    mine.add_argument(
+        "--steal-quantum",
+        type=int,
+        default=None,
+        metavar="NODES",
+        help="nodes a stealing worker expands before donating its "
+        "frontier (default: 4096)",
+    )
+    mine.add_argument(
         "--engine",
         choices=sorted(ENGINES),
         default=None,
@@ -236,6 +254,8 @@ def _command_mine(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
         engine=args.engine,
+        steal=args.steal,
+        steal_quantum=args.steal_quantum,
         telemetry=telemetry,
     )
     try:
@@ -285,6 +305,12 @@ def _command_mine(args: argparse.Namespace) -> int:
             f"sharded across {result.parallel.n_workers} workers "
             f"({result.parallel.n_tasks} subtree tasks)"
         )
+        if result.parallel.stealing:
+            print(
+                f"work stealing: {result.parallel.parts} parts, "
+                f"{result.parallel.donations} donations, "
+                f"{result.parallel.steals} steals"
+            )
         if result.parallel.resumed_tasks:
             print(
                 f"resumed {result.parallel.resumed_tasks} finished shards "

@@ -130,12 +130,19 @@ class TaskRecord:
         counters: the node/pruning counters of the shard traversal.
         drops: candidates dropped against broadcast advisory bounds
             (already accounted in ``counters.candidates_rejected``).
+        steals: steal events the shard went through before completing —
+            how many times its enumeration frontier was donated and
+            re-enqueued by the work-stealing scheduler.  Diagnostics
+            only: the stitched candidate sequence is byte-identical for
+            any steal count, and records written by static-schedule runs
+            simply carry ``0``.
     """
 
     index: int
     candidates: list[Candidate]
     counters: NodeCounters
     drops: int = 0
+    steals: int = 0
 
     def to_payload(self) -> dict:
         """This record as a JSON-able dict (canonical field order)."""
@@ -150,6 +157,7 @@ class TaskRecord:
                 for spec in fields(NodeCounters)
             },
             "drops": self.drops,
+            "steals": self.steals,
         }
 
     @classmethod
@@ -162,11 +170,18 @@ class TaskRecord:
             raw_candidates = payload["candidates"]
             raw_counters = payload["counters"]
             drops = payload.get("drops", 0)
+            steals = payload.get("steals", 0)
         except KeyError as exc:
             raise DataError(f"checkpoint task record missing {exc}") from exc
         if not isinstance(index, int) or isinstance(index, bool) or index < 0:
             raise DataError(f"checkpoint task index {index!r} is not valid")
-        if not isinstance(raw_candidates, list) or not isinstance(drops, int):
+        if (
+            not isinstance(raw_candidates, list)
+            or not isinstance(drops, int)
+            or not isinstance(steals, int)
+            or isinstance(steals, bool)
+            or steals < 0
+        ):
             raise DataError(f"checkpoint task {index}: malformed record")
         candidates: list[Candidate] = []
         for entry in raw_candidates:
@@ -203,7 +218,11 @@ class TaskRecord:
                 )
             setattr(counters, spec.name, value)
         return cls(
-            index=index, candidates=candidates, counters=counters, drops=drops
+            index=index,
+            candidates=candidates,
+            counters=counters,
+            drops=drops,
+            steals=steals,
         )
 
 

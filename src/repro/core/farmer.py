@@ -100,6 +100,9 @@ __all__ = [
     "default_engine",
     "expand_node",
     "enumerate_subtree",
+    "enumerate_frontier",
+    "FRONTIER_STATE",
+    "FRONTIER_CAND",
 ]
 
 #: The full set of pruning strategy names.
@@ -955,6 +958,106 @@ def enumerate_subtree(
     sink.append(candidate)
 
 
+#: Tag of a frontier unit holding an unexplored :class:`NodeState`.
+FRONTIER_STATE = "state"
+
+#: Tag of a frontier unit holding a pending, not-yet-emitted
+#: :class:`Candidate` (its node's children were already captured ahead
+#: of it, preserving the children-first emission order).
+FRONTIER_CAND = "cand"
+
+
+def enumerate_frontier(
+    ctx: SearchContext,
+    units: Sequence[tuple[str, NodeState | Candidate]],
+    counters: NodeCounters,
+    sink: list[Candidate],
+    quantum: int,
+    advisory=None,
+    tick: Callable[[], None] | None = None,
+    cache: KernelCache | None = None,
+) -> list[tuple[str, NodeState | Candidate]] | None:
+    """Enumerate an ordered frontier for up to ``quantum`` nodes.
+
+    The preemptible counterpart of :func:`enumerate_subtree`, and the
+    frontier *split hook* of the work-stealing scheduler
+    (:mod:`repro.core.parallel`): the traversal runs as an explicit-stack
+    depth-first walk over :func:`expand_node`, so after ``quantum`` node
+    expansions it can stop and hand back the exact remaining frontier —
+    an ordered list of ``(tag, payload)`` units where
+    :data:`FRONTIER_STATE` carries an unexplored subtree root and
+    :data:`FRONTIER_CAND` a pending candidate whose children were
+    already captured ahead of it.  Enumerating the emitted prefix plus
+    the returned frontier (in order, under any partition onto workers)
+    reproduces exactly the serial traversal's candidate discovery
+    sequence and per-node accounting, which is what keeps stolen
+    schedules byte-identical after the Step-7 replay.
+
+    Because :func:`expand_node` works through the
+    :class:`~repro.core.kernel.CondTableProtocol` seam, every registered
+    engine supports splitting: the ``kernel`` and ``numpy`` conditional
+    tables both travel inside the captured :class:`NodeState` units.
+
+    Args:
+        ctx: the immutable search parameters.
+        units: the ordered frontier to enumerate — ``[("state", root)]``
+            for a fresh subtree, or the return value of a previous
+            preempted call.
+        counters: mutated in place, exactly as the serial traversal
+            would (each node is expanded by exactly one call, wherever
+            it is scheduled).
+        sink: receives the threshold-satisfying candidates discovered by
+            this slice, in discovery order.
+        quantum: node expansions allowed before preemption (values below
+            one still expand one node, so every call makes progress).
+            Pending candidates are always flushed — a returned frontier
+            never leads with work-free units.
+        advisory: optional dominance bounds, as in
+            :func:`enumerate_subtree`.
+        tick: optional per-node budget hook; may raise
+            :class:`~repro.errors.BudgetExceeded`.
+        cache: kernel memo cache for this slice; ``None`` creates one
+            scoped to the call.
+
+    Returns:
+        ``None`` when the frontier was fully enumerated, else the
+        ordered remaining frontier to continue from.
+    """
+    if cache is None:
+        cache = KernelCache()
+    stack = list(units)
+    stack.reverse()
+    expanded = 0
+    while stack:
+        tag, payload = stack.pop()
+        if tag == FRONTIER_CAND:
+            candidate = payload
+            if advisory is not None:
+                size = len(candidate.item_ids)
+                confidence = candidate.confidence
+                if advisory.covers(candidate.item_mask, size, confidence):
+                    counters.candidates_rejected += 1
+                    advisory.drops += 1
+                    continue
+                advisory.extend(candidate.item_mask, size, confidence)
+            sink.append(candidate)
+            continue
+        if expanded >= quantum:
+            stack.append((tag, payload))
+            stack.reverse()
+            return stack
+        expanded += 1
+        counters.nodes += 1
+        if tick is not None:
+            tick()
+        _outcome, candidate, children = expand_node(ctx, payload, counters, cache)
+        if candidate is not None:
+            stack.append((FRONTIER_CAND, candidate))
+        for child in reversed(children):
+            stack.append((FRONTIER_STATE, child))
+    return None
+
+
 @dataclass
 class FarmerResult:
     """Outcome of one FARMER run.
@@ -1110,6 +1213,16 @@ class Farmer:
         retry: fault-tolerance policy for sharded runs
             (:class:`~repro.core.parallel.RetryPolicy`); ``None`` uses
             the defaults.
+        steal: in sharded runs with more than one worker, schedule
+            shards cooperatively with work stealing — long-running
+            subtrees yield their enumeration frontier every
+            ``steal_quantum`` nodes, and the coordinator re-enqueues
+            donated halves onto idle workers
+            (:mod:`repro.core.parallel`).  The mined result stays
+            byte-identical to the serial miner for any steal schedule.
+        steal_quantum: node expansions a stealing shard runs between
+            yield points; ``None`` uses
+            :data:`~repro.core.parallel.DEFAULT_STEAL_QUANTUM`.
         checkpoint: file to snapshot sharded-run progress into (see
             :mod:`repro.core.checkpoint`); implies the sharded pipeline
             even when ``n_workers`` is ``None``.
@@ -1145,6 +1258,8 @@ class Farmer:
         n_workers: int | None = None,
         broadcast_bounds: bool = True,
         retry: "RetryPolicy | None" = None,
+        steal: bool = False,
+        steal_quantum: int | None = None,
         checkpoint: str | None = None,
         checkpoint_every: int = 1,
         resume: str | None = None,
@@ -1168,6 +1283,8 @@ class Farmer:
         self.n_workers = n_workers
         self.broadcast_bounds = broadcast_bounds
         self.retry = retry
+        self.steal = steal
+        self.steal_quantum = steal_quantum
         self.checkpoint = checkpoint
         self.checkpoint_every = checkpoint_every
         self.resume = resume
@@ -1244,6 +1361,8 @@ class Farmer:
                     budget=self.budget,
                     broadcast=self.broadcast_bounds,
                     retry=self.retry,
+                    steal=self.steal,
+                    steal_quantum=self.steal_quantum,
                     checkpoint=self.checkpoint,
                     checkpoint_every=self.checkpoint_every,
                     resume=self.resume,
@@ -1504,6 +1623,8 @@ def mine_irgs(
     prunings: Iterable[str] = ALL_PRUNINGS,
     budget: SearchBudget | None = None,
     n_workers: int | None = None,
+    steal: bool = False,
+    steal_quantum: int | None = None,
     checkpoint: str | None = None,
     checkpoint_every: int = 1,
     resume: str | None = None,
@@ -1524,6 +1645,10 @@ def mine_irgs(
         n_workers: shard the search across this many processes (see
             :mod:`repro.core.parallel`); the result is bit-identical to
             the serial miner for any worker count.
+        steal: schedule sharded runs with cooperative work stealing
+            (see :class:`Farmer`); never changes the mined result.
+        steal_quantum: nodes a stealing worker expands before donating
+            its frontier (``None`` = the default quantum).
         checkpoint: crash-consistent progress snapshot path
             (:mod:`repro.core.checkpoint`).
         checkpoint_every: shard completions per checkpoint write.
@@ -1550,6 +1675,8 @@ def mine_irgs(
         compute_lower_bounds=compute_lower_bounds,
         budget=budget,
         n_workers=n_workers,
+        steal=steal,
+        steal_quantum=steal_quantum,
         checkpoint=checkpoint,
         checkpoint_every=checkpoint_every,
         resume=resume,

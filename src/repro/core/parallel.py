@@ -69,6 +69,40 @@ a crash (:mod:`repro.core.checkpoint`): a run killed at any point and
 resumed from its latest checkpoint produces byte-identical output to an
 uninterrupted run, which ``tests/test_checkpoint.py`` pins at every
 checkpoint boundary.
+
+**Work stealing** (``steal=True``).  The static queue leaves a long
+single-worker tail on skewed trees — FARMER's interleaved ORD order
+makes the first rows' subtrees cover most of the unpruned space, so the
+largest shard keeps one worker busy long after the others drain the
+queue.  The stealing scheduler bounds that tail *cooperatively*: a
+process-pool worker cannot be preempted mid-task, so stealing tasks run
+:func:`~repro.core.farmer.enumerate_frontier` with a node ``quantum``
+and, when it expires, *donate* — return the emitted candidate prefix
+plus the exact remaining enumeration frontier (ordered
+state/pending-candidate units).  The coordinator re-enqueues the
+frontier as continuation parts, splitting it in half whenever the queue
+is starving (the steal), so idle workers pick up the donated half of
+the largest in-flight subtree.  Each original shard's parts are
+stitched back in frontier order into one completed-shard record, which
+keeps every downstream contract unchanged:
+
+* the reduce still replays the per-shard candidate sequences in serial
+  discovery order, so ``.irgs`` output is byte-identical to the serial
+  miner for any worker count, steal schedule, and quantum;
+* checkpoints still hold whole-shard :class:`TaskRecord` entries (plus
+  a ``steals`` diagnostic), so a mid-steal crash resumes exactly like a
+  static one — incomplete shards re-run from their roots — and
+  checkpoints are interchangeable between static and stealing runs;
+* the fault ladder applies per *part*: parts are deterministic replays
+  of their unit lists, so a dead donor or thief is requeued like any
+  failed shard (the chaos layer injects ``donor-*``/``steal-*`` faults
+  at exactly those points).
+
+Semantic counters still sum to the serial miner's; per-shard cache
+telemetry and advisory-drop counts become schedule-dependent (each part
+scopes its own memo cache), which
+:data:`~repro.core.enumeration.CACHE_TELEMETRY_FIELDS` already keeps
+out of the pinned comparisons.
 """
 
 from __future__ import annotations
@@ -93,17 +127,23 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..data.transpose import TransposedTable
 from ..errors import BudgetExceeded, ConstraintError, DataError
-from ..testing.chaos import maybe_fault_worker
+from ..testing.chaos import (
+    maybe_fault_donor,
+    maybe_fault_thief,
+    maybe_fault_worker,
+)
 from . import bitset
 from .checkpoint import Checkpointer, CheckpointState, TaskRecord, run_fingerprint
 from .constraints import Constraints
 from .enumeration import NodeCounters, SearchBudget, merge_counters
 from .farmer import (
     ALL_PRUNINGS,
+    FRONTIER_STATE,
     Candidate,
     NodeState,
     SearchContext,
     _IRGStore,
+    enumerate_frontier,
     enumerate_subtree,
     expand_node,
 )
@@ -114,6 +154,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "AdvisoryBounds",
+    "DEFAULT_STEAL_QUANTUM",
     "ParallelReport",
     "RetryPolicy",
     "mine_table_parallel",
@@ -128,6 +169,12 @@ DEFAULT_CHUNK_FACTOR = 4
 #: in confidence-descending order, so the cap drops the weakest bounds
 #: first; capping is safe because the bounds are advisory.
 DEFAULT_ADVISORY_CAP = 256
+
+#: Node expansions a stealing part runs between yield points.  Small
+#: enough to bound the straggler tail well below a skewed shard's size,
+#: large enough that the donate round trip (pickling the frontier's
+#: conditional tables) stays a few percent of a quantum's work.
+DEFAULT_STEAL_QUANTUM = 4096
 
 
 class AdvisoryBounds:
@@ -256,6 +303,20 @@ class ParallelReport:
         resumed_tasks: shards restored from a checkpoint instead of
             being executed.
         checkpoints_written: durable checkpoint files written.
+        stealing: whether the work-stealing scheduler ran (``steal=``
+            requested and more than one worker).
+        donations: frontiers yielded by quantum-expired parts.
+        steals: donated frontier halves re-enqueued for idle workers
+            beyond the donor's own continuation.
+        parts: stealing parts scheduled in total (equals ``n_tasks``
+            when nothing was preempted).
+        task_seconds: wall-clock seconds of every *successful* unit of
+            scheduled work in completion order — whole shards under the
+            static scheduler, individual parts under work stealing.
+            ``max(task_seconds)`` is the scheduler's tail latency: the
+            longest interval any single dispatch held a worker, which
+            stealing bounds by the quantum while the static scheduler
+            is stuck with its largest shard.
     """
 
     n_workers: int
@@ -270,18 +331,24 @@ class ParallelReport:
     inline_tasks: int = 0
     resumed_tasks: int = 0
     checkpoints_written: int = 0
+    stealing: bool = False
+    donations: int = 0
+    steals: int = 0
+    parts: int = 0
+    task_seconds: list[float] = field(default_factory=list)
 
 
 class _Leaf:
     """A frontier subtree: one work-queue task, result attached in place."""
 
-    __slots__ = ("state", "candidates", "counters", "drops")
+    __slots__ = ("state", "candidates", "counters", "drops", "steals")
 
     def __init__(self, state: NodeState) -> None:
         self.state = state
         self.candidates: list[Candidate] = []
         self.counters = NodeCounters()
         self.drops = 0
+        self.steals = 0
 
 
 class _Branch:
@@ -351,6 +418,69 @@ def _run_subtree_task(
         truncated = True
     drops = advisory.drops if advisory is not None else 0
     return sink, counters, drops, truncated
+
+
+def _run_frontier_task(
+    ctx: SearchContext,
+    units: list,
+    snapshot: list[tuple[float, int, int]] | None,
+    advisory_cap: int,
+    deadline: float | None,
+    strict: bool,
+    quantum: int,
+    shard: int = 0,
+    stolen: bool = False,
+    attempt: int = 0,
+) -> tuple[list[Candidate], NodeCounters, int, bool, list | None]:
+    """Executed in a worker process: one quantum slice of a frontier.
+
+    Args:
+        ctx: the immutable search parameters.
+        units: the ordered frontier to enumerate (a shard root, or a
+            previously donated continuation).
+        snapshot: advisory-bounds snapshot, as in
+            :func:`_run_subtree_task`.
+        advisory_cap: maximum advisory bounds kept.
+        deadline: shared monotonic deadline, or ``None``.
+        strict: whether a tripped budget raises instead of truncating.
+        quantum: node expansions before the part yields.
+        shard: original shard index (fault scoping, diagnostics).
+        stolen: whether this part continues a donated frontier (arms the
+            thief-side chaos hook instead of the worker one).
+        attempt: retry ordinal of this part.
+
+    Returns:
+        ``(sink, counters, drops, truncated, frontier)`` where
+        ``frontier`` is the ordered remaining work (``None`` when the
+        part finished its units).
+    """
+    if stolen:
+        maybe_fault_thief(shard, attempt)
+    else:
+        maybe_fault_worker(shard, attempt)
+    counters = NodeCounters()
+    sink: list[Candidate] = []
+    advisory = (
+        AdvisoryBounds(snapshot, cap=advisory_cap) if snapshot is not None else None
+    )
+    tick = _DeadlineTicker(deadline) if deadline is not None else None
+    truncated = False
+    frontier: list | None = None
+    try:
+        frontier = enumerate_frontier(
+            ctx, units, counters, sink, quantum, advisory, tick
+        )
+    except BudgetExceeded:
+        if strict:
+            raise
+        truncated = True
+    if frontier is not None:
+        # The donation point: the frontier exists only in this process
+        # until the return value lands, which is exactly where a dying
+        # donor loses the donated half.
+        maybe_fault_donor(shard, attempt)
+    drops = advisory.drops if advisory is not None else 0
+    return sink, counters, drops, truncated, frontier
 
 
 # ----------------------------------------------------------------------
@@ -616,6 +746,7 @@ def _execute_tasks(
             before = advisory.drops if advisory is not None else 0
             sink: list[Candidate] = []
             counters = NodeCounters()
+            started = time.monotonic()
             try:
                 enumerate_subtree(ctx, leaf.state, counters, sink, advisory, tick)
             except BudgetExceeded:
@@ -623,6 +754,7 @@ def _execute_tasks(
                     raise
                 truncated = True
                 continue
+            report.task_seconds.append(time.monotonic() - started)
             delta = (advisory.drops - before) if advisory is not None else 0
             record_leaf(index, sink, counters, delta, False)
         return truncated
@@ -644,7 +776,9 @@ def _execute_tasks(
         before = advisory.drops if advisory is not None else 0
         sink: list[Candidate] = []
         counters = NodeCounters()
+        started = time.monotonic()
         enumerate_subtree(ctx, leaf.state, counters, sink, advisory, tick)
+        report.task_seconds.append(time.monotonic() - started)
         delta = (advisory.drops - before) if advisory is not None else 0
         report.inline_tasks += 1
         record_leaf(index, sink, counters, delta, False)
@@ -790,9 +924,436 @@ def _execute_tasks(
                 _sleep_backoff(retry, attempts[index])
                 continue
             consecutive_failures = 0
+            report.task_seconds.append(time.monotonic() - started)
             record_leaf(index, sink, counters, task_drops, task_truncated)
         if pool_broken:
             fail_pool(settle=2.0)
+    if error is not None:
+        raise error
+    return truncated
+
+
+class _Part:
+    """One scheduled slice of a shard's subtree under work stealing.
+
+    A shard starts as a single root part holding ``[("state", root)]``;
+    every donation replaces the donor's remaining work with ordered
+    child parts.  The per-part results are stitched back — own prefix
+    first, children in frontier order — into the shard's serial
+    candidate sequence.
+    """
+
+    __slots__ = (
+        "shard",
+        "seq",
+        "units",
+        "stolen",
+        "attempts",
+        "candidates",
+        "counters",
+        "drops",
+        "children",
+        "truncated",
+    )
+
+    def __init__(self, shard: int, seq: int, units: list, stolen: bool) -> None:
+        self.shard = shard
+        self.seq = seq
+        self.units = units
+        self.stolen = stolen
+        self.attempts = 0
+        self.candidates: list[Candidate] = []
+        self.counters = NodeCounters()
+        self.drops = 0
+        self.children: list[_Part] = []
+        self.truncated = False
+
+    def flatten(self, out: list[Candidate]) -> None:
+        """Stitch this part's subtree results in frontier order."""
+        out.extend(self.candidates)
+        for child in self.children:
+            child.flatten(out)
+
+
+def _execute_tasks_stealing(
+    tasks: Sequence[_Leaf],
+    ctx: SearchContext,
+    n_workers: int,
+    broadcast: bool,
+    advisory_cap: int,
+    deadline: float | None,
+    strict: bool,
+    quantum: int,
+    *,
+    retry: RetryPolicy,
+    report: ParallelReport,
+    checkpointer: Checkpointer | None = None,
+    completed: frozenset[int] = frozenset(),
+    advisory_snapshot: list[tuple[float, int, int]] | None = None,
+    telemetry: "Telemetry | None" = None,
+    coverage: dict[str, float] | None = None,
+) -> bool:
+    """Run every task on the pool with cooperative work stealing.
+
+    The stealing counterpart of :func:`_execute_tasks` (which keeps the
+    static schedule): work is scheduled as :class:`_Part` slices that
+    yield their enumeration frontier every ``quantum`` nodes, and the
+    coordinator splits a returned frontier in half whenever the queue
+    is starving, so idle workers steal the donated half.  Results are
+    stitched per original shard and attached to the leaves exactly as
+    the static executor does; the same retry/requeue/degradation ladder
+    applies per part (parts are deterministic replays of their unit
+    lists).  Returns whether the run was truncated by a non-strict
+    budget.
+
+    Args:
+        tasks: the decomposition's frontier leaves.
+        ctx: the immutable search parameters.
+        n_workers: worker-process count (the caller routes single-worker
+            runs to the static executor — stealing needs a thief).
+        broadcast: share advisory confidence bounds across parts.
+        advisory_cap: maximum advisory bounds kept per broadcast.
+        deadline: shared monotonic deadline, or ``None``.
+        strict: whether a tripped budget raises instead of truncating.
+        quantum: node expansions per part between yield points.
+        retry: the fault-tolerance ladder.
+        report: mutated in place with scheduling diagnostics.
+        checkpointer: records stitched whole-shard results.
+        completed: shards restored from a checkpoint, skipped here.
+        advisory_snapshot: restored advisory bounds, if resuming.
+        telemetry: observes scheduling at part/shard granularity.
+        coverage: the progress sampler's shared accumulator dict.
+    """
+    advisory = (
+        AdvisoryBounds(advisory_snapshot or (), cap=advisory_cap)
+        if broadcast
+        else None
+    )
+    truncated = False
+    remaining = len(tasks) - len(completed)
+    report.stealing = True
+
+    pending: deque[_Part] = deque()
+    sequence = 0
+    shard_parts: dict[int, list[_Part]] = {}
+    shard_open: dict[int, int] = {}
+    shard_donations: dict[int, int] = {}
+    for index in range(len(tasks)):
+        if index in completed:
+            continue
+        part = _Part(index, sequence, [(FRONTIER_STATE, tasks[index].state)], False)
+        sequence += 1
+        pending.append(part)
+        shard_parts[index] = [part]
+        shard_open[index] = 1
+        shard_donations[index] = 0
+    report.parts = len(pending)
+    inflight: dict[Future, tuple[_Part, float]] = {}
+    error: BudgetExceeded | None = None
+    consecutive_failures = 0
+    workers = n_workers
+    inline_only = False
+
+    def finish_shard(shard: int) -> None:
+        """All parts done: stitch, attach to the leaf, checkpoint."""
+        nonlocal remaining
+        parts = shard_parts[shard]
+        root = parts[0]
+        sink: list[Candidate] = []
+        root.flatten(sink)
+        counters = merge_counters([part.counters for part in parts])
+        drops = sum(part.drops for part in parts)
+        steals = shard_donations[shard]
+        shard_truncated = any(part.truncated for part in parts)
+        leaf = tasks[shard]
+        leaf.candidates = sink
+        leaf.counters = counters
+        leaf.drops = drops
+        leaf.steals = steals
+        if checkpointer is not None and not shard_truncated:
+            checkpointer.record(
+                TaskRecord(
+                    index=shard,
+                    candidates=sink,
+                    counters=counters,
+                    drops=drops,
+                    steals=steals,
+                ),
+                advisory.snapshot() if advisory is not None else None,
+            )
+        remaining -= 1
+        if coverage is not None:
+            coverage["done"] += float(_estimate(leaf.state))
+            coverage["nodes"] += float(counters.nodes)
+            coverage["candidates"] += float(len(sink))
+            coverage["pruned"] += float(
+                counters.pruned_loose
+                + counters.pruned_tight
+                + counters.pruned_identified
+            )
+        if telemetry is not None:
+            telemetry.registry.inc("parallel.tasks_completed")
+            telemetry.registry.set_gauge("parallel.queue_depth", remaining)
+            telemetry.event(
+                "task_done",
+                shard=shard,
+                nodes=counters.nodes,
+                candidates=len(sink),
+                drops=drops,
+                truncated=shard_truncated,
+                steals=steals,
+            )
+
+    def finish_part(
+        part: _Part,
+        sink: list[Candidate],
+        counters: NodeCounters,
+        task_drops: int,
+        task_truncated: bool,
+        frontier: list | None,
+    ) -> None:
+        nonlocal truncated, sequence
+        part.candidates = sink
+        part.counters = counters
+        part.drops = task_drops
+        part.truncated = task_truncated
+        truncated = truncated or task_truncated
+        if advisory is not None:
+            for candidate in sink:
+                advisory.extend(
+                    candidate.item_mask,
+                    len(candidate.item_ids),
+                    candidate.confidence,
+                )
+        if frontier is not None and not truncated and error is None:
+            shard_donations[part.shard] += 1
+            report.donations += 1
+            # Steal decision: split the donated frontier in half when
+            # the queue is starving (fewer than two parts per worker
+            # queued, so idle capacity exists or soon will) and there is
+            # anything to split.  The donor's continuation goes to the
+            # queue front — depth-first locality — and the donated half
+            # to the back, where an idle worker takes it.  A dominant
+            # subtree therefore keeps fissioning while the queue drains
+            # until every worker holds a piece of it.
+            donated = 0
+            if len(frontier) >= 2 and len(pending) < 2 * workers:
+                middle = (len(frontier) + 1) // 2
+                chunks = [frontier[:middle], frontier[middle:]]
+                donated = len(frontier) - middle
+                report.steals += 1
+            else:
+                chunks = [frontier]
+            children = []
+            for chunk in chunks:
+                child = _Part(part.shard, sequence, chunk, True)
+                sequence += 1
+                children.append(child)
+                shard_parts[part.shard].append(child)
+            part.children.extend(children)
+            shard_open[part.shard] += len(children)
+            report.parts += len(children)
+            pending.appendleft(children[0])
+            for child in children[1:]:
+                pending.append(child)
+            if telemetry is not None:
+                telemetry.registry.inc("parallel.donations")
+                telemetry.event(
+                    "donate",
+                    shard=part.shard,
+                    units=len(frontier),
+                    parts=len(children),
+                    queue=len(pending),
+                )
+                if len(children) > 1:
+                    telemetry.registry.inc("parallel.steals")
+                    telemetry.event(
+                        "steal",
+                        shard=part.shard,
+                        donated=donated,
+                        queue=len(pending),
+                    )
+        if telemetry is not None:
+            telemetry.registry.inc("parallel.parts_completed")
+            telemetry.registry.set_gauge(
+                "parallel.part_queue_depth", len(pending) + len(inflight)
+            )
+        shard_open[part.shard] -= 1
+        if shard_open[part.shard] == 0:
+            finish_shard(part.shard)
+
+    def run_inline(part: _Part) -> None:
+        """Coordinator-side fallback: run the part's units to the end."""
+        tick = _DeadlineTicker(deadline) if deadline is not None else None
+        before = advisory.drops if advisory is not None else 0
+        sink: list[Candidate] = []
+        counters = NodeCounters()
+        started = time.monotonic()
+        enumerate_frontier(
+            ctx, part.units, counters, sink, 2**62, advisory, tick
+        )
+        report.task_seconds.append(time.monotonic() - started)
+        delta = (advisory.drops - before) if advisory is not None else 0
+        report.inline_tasks += 1
+        finish_part(part, sink, counters, delta, False, None)
+
+    def submit(part: _Part) -> bool:
+        """Dispatch one part to the pool; ``False`` if the pool is dead."""
+        snapshot = advisory.snapshot() if advisory is not None else None
+        try:
+            future = _get_executor(workers).submit(
+                _run_frontier_task,
+                ctx,
+                part.units,
+                snapshot,
+                advisory_cap,
+                deadline,
+                strict,
+                quantum,
+                part.shard,
+                part.stolen,
+                part.attempts,
+            )
+        except (BrokenExecutor, RuntimeError):
+            return False
+        inflight[future] = (part, time.monotonic())
+        return True
+
+    def fail_pool(settle: float = 0.0) -> None:
+        """Broken/stalled pool: requeue its parts, degrade if repeated."""
+        nonlocal consecutive_failures, workers, inline_only
+        report.pool_failures += 1
+        consecutive_failures += 1
+        parts = sorted(
+            (part for part, _ in inflight.values()), key=lambda part: part.seq
+        )
+        inflight.clear()
+        for part in reversed(parts):
+            part.attempts += 1
+            pending.appendleft(part)
+        report.retries += len(parts)
+        exit_codes_before = len(report.worker_exit_codes)
+        _discard_executor(workers, report, settle)
+        if telemetry is not None:
+            telemetry.registry.inc("parallel.pool_failures")
+            telemetry.registry.inc("parallel.requeued", len(parts))
+            telemetry.event(
+                "worker_death",
+                requeued=[part.shard for part in parts],
+                exit_codes=report.worker_exit_codes[exit_codes_before:],
+                workers=workers,
+            )
+        if consecutive_failures >= retry.degrade_after:
+            if workers > 1:
+                workers = max(1, workers // 2)
+            else:
+                inline_only = True
+            consecutive_failures = 0
+        _sleep_backoff(retry, report.pool_failures)
+
+    while pending or inflight:
+        if error is not None or truncated:
+            pending.clear()
+            if not inflight:
+                break
+        if inline_only:
+            while pending and error is None and not truncated:
+                part = pending.popleft()
+                try:
+                    run_inline(part)
+                except BudgetExceeded as exc:
+                    if strict:
+                        error = exc
+                    else:
+                        truncated = True
+            continue
+        while (
+            pending
+            and len(inflight) < workers
+            and error is None
+            and not truncated
+            and not inline_only
+        ):
+            part = pending.popleft()
+            if part.attempts >= retry.max_attempts:
+                # Retries exhausted: run in the coordinator, where a
+                # deterministic task bug finally propagates.
+                try:
+                    run_inline(part)
+                except BudgetExceeded as exc:
+                    if strict:
+                        error = exc
+                    else:
+                        truncated = True
+                continue
+            if not submit(part):
+                pending.appendleft(part)
+                fail_pool(settle=2.0)
+                break
+        if not inflight:
+            continue
+        done, _ = wait(
+            list(inflight),
+            timeout=_poll_timeout(retry, deadline),
+            return_when=FIRST_COMPLETED,
+        )
+        if not done:
+            if retry.shard_timeout is not None:
+                now = time.monotonic()
+                if any(
+                    now - started > retry.shard_timeout
+                    for _, started in inflight.values()
+                ):
+                    fail_pool()
+            continue
+        pool_broken = False
+        for future in done:
+            part, started = inflight.pop(future)
+            try:
+                sink, counters, task_drops, task_truncated, frontier = (
+                    future.result()
+                )
+            except BudgetExceeded as exc:
+                if strict:
+                    error = exc
+                    pending.clear()
+                else:
+                    truncated = True
+                continue
+            except BrokenExecutor:
+                inflight[future] = (part, started)
+                pool_broken = True
+                continue
+            except Exception:
+                part.attempts += 1
+                report.retries += 1
+                pending.append(part)
+                if telemetry is not None:
+                    telemetry.registry.inc("parallel.retries")
+                    telemetry.event(
+                        "retry", shard=part.shard, attempt=part.attempts
+                    )
+                _sleep_backoff(retry, part.attempts)
+                continue
+            consecutive_failures = 0
+            report.task_seconds.append(time.monotonic() - started)
+            finish_part(part, sink, counters, task_drops, task_truncated, frontier)
+        if pool_broken:
+            fail_pool(settle=2.0)
+    # A truncated or aborting run still attaches the best-effort prefix
+    # of every shard that produced one (never checkpointed: only whole
+    # shards are durable), matching the static executor's semantics.
+    for shard, count in shard_open.items():
+        if count > 0:
+            leaf = tasks[shard]
+            sink = []
+            shard_parts[shard][0].flatten(sink)
+            leaf.candidates = sink
+            leaf.counters = merge_counters(
+                [part.counters for part in shard_parts[shard]]
+            )
+            leaf.drops = sum(part.drops for part in shard_parts[shard])
+            leaf.steals = shard_donations[shard]
     if error is not None:
         raise error
     return truncated
@@ -825,6 +1386,8 @@ def mine_table_parallel(
     advisory_cap: int = DEFAULT_ADVISORY_CAP,
     expansion_cap: int | None = None,
     retry: RetryPolicy | None = None,
+    steal: bool = False,
+    steal_quantum: int | None = None,
     checkpoint: str | Path | None = None,
     checkpoint_every: int = 1,
     resume: str | Path | None = None,
@@ -859,6 +1422,15 @@ def mine_table_parallel(
         expansion_cap: decomposition expansion cap (``None`` = derived).
         retry: the fault-tolerance ladder (defaults:
             :class:`RetryPolicy`).
+        steal: schedule the execute phase with cooperative work
+            stealing (see the module docstring).  Requires at least two
+            workers to mean anything — single-worker runs fall back to
+            the static schedule.  Never changes the mined output: the
+            reduce replays the stitched per-shard sequences in serial
+            discovery order regardless of the steal schedule.
+        steal_quantum: node expansions a stealing part runs between
+            yield points (``None`` uses
+            :data:`DEFAULT_STEAL_QUANTUM`; must be >= 1).
         checkpoint: file to snapshot progress into after every
             ``checkpoint_every`` shard completions (and once more on the
             way out, even when aborting).
@@ -890,6 +1462,12 @@ def mine_table_parallel(
     if checkpoint_every < 1:
         raise ConstraintError(
             f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if steal_quantum is None:
+        steal_quantum = DEFAULT_STEAL_QUANTUM
+    elif steal_quantum < 1:
+        raise ConstraintError(
+            f"steal_quantum must be >= 1, got {steal_quantum}"
         )
     if retry is None:
         retry = RetryPolicy()
@@ -985,6 +1563,7 @@ def mine_table_parallel(
                     leaf.candidates = record.candidates
                     leaf.counters = record.counters
                     leaf.drops = record.drops
+                    leaf.steals = record.steals
                 completed = frozenset(resumed.completed)
                 advisory_snapshot = resumed.advisory
                 report.resumed_tasks = len(completed)
@@ -1047,17 +1626,30 @@ def mine_table_parallel(
                 telemetry.start_sampling(sample)
             try:
                 with phase("execute"):
-                    task_truncated = _execute_tasks(
-                        tasks, ctx, n_workers, broadcast, advisory_cap, deadline,
-                        strict, table.n,
-                        retry=retry,
-                        report=report,
-                        checkpointer=checkpointer,
-                        completed=completed,
-                        advisory_snapshot=advisory_snapshot,
-                        telemetry=telemetry,
-                        coverage=coverage,
-                    )
+                    if steal and n_workers > 1:
+                        task_truncated = _execute_tasks_stealing(
+                            tasks, ctx, n_workers, broadcast, advisory_cap,
+                            deadline, strict, steal_quantum,
+                            retry=retry,
+                            report=report,
+                            checkpointer=checkpointer,
+                            completed=completed,
+                            advisory_snapshot=advisory_snapshot,
+                            telemetry=telemetry,
+                            coverage=coverage,
+                        )
+                    else:
+                        task_truncated = _execute_tasks(
+                            tasks, ctx, n_workers, broadcast, advisory_cap,
+                            deadline, strict, table.n,
+                            retry=retry,
+                            report=report,
+                            checkpointer=checkpointer,
+                            completed=completed,
+                            advisory_snapshot=advisory_snapshot,
+                            telemetry=telemetry,
+                            coverage=coverage,
+                        )
             finally:
                 # Even an aborting run (strict budget, injected fault)
                 # leaves its latest progress on disk for a resume.

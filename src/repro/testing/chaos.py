@@ -11,17 +11,27 @@ A spec lives in the ``FARMER_CHAOS`` environment variable (inherited by
 pool workers at fork time) and reads ``mode`` plus ``key=value`` fields
 separated by colons:
 
-=============  ======================================================
-``kill``       worker SIGKILLs itself at the top of the shard attempt
-               (the pool breaks — exactly what an OOM kill looks like)
-``stall``      worker blocks forever (heartbeat timeout must reap it)
-``raise``      worker raises :class:`InjectedFault` (a task failure,
-               retried with backoff rather than breaking the pool)
-``ckpt-kill``  coordinator SIGKILLs itself right after a checkpoint
-               write (used by subprocess tests for true crash/resume)
-``ckpt-raise`` coordinator raises :class:`InjectedFault` after a
-               checkpoint write (the in-process kill-anywhere sweep)
-=============  ======================================================
+==============  =====================================================
+``kill``        worker SIGKILLs itself at the top of the shard attempt
+                (the pool breaks — exactly what an OOM kill looks like)
+``stall``       worker blocks forever (heartbeat timeout must reap it)
+``raise``       worker raises :class:`InjectedFault` (a task failure,
+                retried with backoff rather than breaking the pool)
+``donor-kill``  worker SIGKILLs itself at the moment it is about to
+                donate an enumeration frontier (quantum expired, result
+                not yet returned) — the donated half dies with the
+                donor, so the scheduler must re-run the whole part
+``donor-raise`` like ``donor-kill`` but raises :class:`InjectedFault`
+                (the donation fails as a task error, not a pool break)
+``steal-kill``  worker SIGKILLs itself at the top of a *stolen* part (a
+                continuation of a donated frontier) — the race between
+                a donation landing and the thief dying
+``steal-raise`` like ``steal-kill`` but raises :class:`InjectedFault`
+``ckpt-kill``   coordinator SIGKILLs itself right after a checkpoint
+                write (used by subprocess tests for true crash/resume)
+``ckpt-raise``  coordinator raises :class:`InjectedFault` after a
+                checkpoint write (the in-process kill-anywhere sweep)
+==============  =====================================================
 
 Fields: ``shard=J`` scopes worker modes to task index ``J`` (omitted =
 every shard); ``times=N`` fires only on the first ``N`` attempts of a
@@ -51,6 +61,8 @@ __all__ = [
     "InjectedFault",
     "active_spec",
     "maybe_fault_checkpoint",
+    "maybe_fault_donor",
+    "maybe_fault_thief",
     "maybe_fault_worker",
 ]
 
@@ -58,7 +70,10 @@ __all__ = [
 CHAOS_ENV = "FARMER_CHAOS"
 
 _WORKER_MODES = frozenset({"kill", "stall", "raise"})
+_DONOR_MODES = frozenset({"donor-kill", "donor-raise"})
+_THIEF_MODES = frozenset({"steal-kill", "steal-raise"})
 _COORDINATOR_MODES = frozenset({"ckpt-kill", "ckpt-raise"})
+_ALL_MODES = _WORKER_MODES | _DONOR_MODES | _THIEF_MODES | _COORDINATOR_MODES
 
 
 class InjectedFault(ReproError, RuntimeError):
@@ -95,11 +110,26 @@ class ChaosSpec:
             return False
         return self.after is None or n_writes == self.after
 
+    def _matches_shard(self, shard: int, attempt: int) -> bool:
+        if self.shard is not None and shard != self.shard:
+            return False
+        if self.times is not None and attempt >= self.times:
+            return False
+        return True
+
+    def matches_donor(self, shard: int, attempt: int) -> bool:
+        """Whether a donor-mode fault fires at this donation point."""
+        return self.mode in _DONOR_MODES and self._matches_shard(shard, attempt)
+
+    def matches_thief(self, shard: int, attempt: int) -> bool:
+        """Whether a thief-mode fault fires for this stolen-part attempt."""
+        return self.mode in _THIEF_MODES and self._matches_shard(shard, attempt)
+
 
 def _parse(text: str) -> ChaosSpec:
     head, _, rest = text.partition(":")
     mode = head.strip()
-    if mode not in _WORKER_MODES | _COORDINATOR_MODES:
+    if mode not in _ALL_MODES:
         raise UsageError(
             f"{CHAOS_ENV}: unknown chaos mode {mode!r} in {text!r}"
         )
@@ -169,6 +199,45 @@ def maybe_fault_worker(shard: int, attempt: int) -> None:
         raise InjectedFault(
             f"injected worker fault (shard={shard}, attempt={attempt})"
         )
+
+
+def maybe_fault_donor(shard: int, attempt: int) -> None:
+    """Donation hook: fault as a frontier is about to be handed back.
+
+    Called inside the worker process by the stealing task runner, after
+    the quantum expired and the remaining frontier was captured but
+    *before* any of it reaches the coordinator — the donated half dies
+    with the donor, which is exactly the loss the part-requeue path must
+    recover from.  ``donor-kill`` never returns; ``donor-raise`` raises
+    :class:`InjectedFault`.
+    """
+    spec = active_spec()
+    if spec is None or not spec.matches_donor(shard, attempt):
+        return
+    if spec.mode == "donor-kill":
+        _die()
+    raise InjectedFault(
+        f"injected donor fault (shard={shard}, attempt={attempt})"
+    )
+
+
+def maybe_fault_thief(shard: int, attempt: int) -> None:
+    """Stolen-part hook: fault at the top of a continuation attempt.
+
+    Called inside the worker process, but only for parts that continue a
+    donated frontier (never the first part of a shard) — the race
+    between a donation landing on the queue and the thief that picked it
+    up dying.  ``steal-kill`` never returns; ``steal-raise`` raises
+    :class:`InjectedFault`.
+    """
+    spec = active_spec()
+    if spec is None or not spec.matches_thief(shard, attempt):
+        return
+    if spec.mode == "steal-kill":
+        _die()
+    raise InjectedFault(
+        f"injected thief fault (shard={shard}, attempt={attempt})"
+    )
 
 
 def maybe_fault_checkpoint(n_writes: int) -> None:

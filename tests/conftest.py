@@ -5,8 +5,24 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import settings as _hypothesis_settings
 
 from repro.data.dataset import ItemizedDataset
+
+# Hypothesis sweep depth is profile-driven: "ci" (loaded by default)
+# keeps tier-1 fast; the scheduled nightly CI leg passes
+# ``--hypothesis-profile=nightly`` for a deeper sweep (the pytest plugin
+# loads that AFTER this conftest runs, so the flag wins).  Tests that
+# pin their own ``@settings(max_examples=...)`` are unaffected — the
+# conformance and scheduling property suites deliberately do not, so
+# the nightly profile deepens them.  ``print_blob=True`` prints the
+# reproduction blob on any failing example, so a nightly failure
+# replays locally with ``@reproduce_failure``.
+_hypothesis_settings.register_profile("ci", max_examples=30, deadline=None)
+_hypothesis_settings.register_profile(
+    "nightly", max_examples=400, deadline=None, print_blob=True
+)
+_hypothesis_settings.load_profile("ci")
 
 
 class ChaosControl:

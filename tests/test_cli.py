@@ -3,6 +3,16 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.farmer import available_engines
+from repro.core.parallel import shutdown_workers
+
+#: Engines the three-way interaction matrix runs under ("numpy" rides
+#: along only when installed; the suite must not require it).
+CLI_ENGINES = [
+    engine
+    for engine in ("kernel", "reference", "numpy")
+    if engine in available_engines()
+]
 
 
 class TestParser:
@@ -125,6 +135,144 @@ class TestExperiment:
         out = capsys.readouterr().out
         assert code == 0
         assert "FARMER" in out and "CHARM" in out
+
+
+class TestWorkersResumeEngine:
+    """The ``--workers`` x ``--resume`` x ``--engine`` interaction.
+
+    Each scenario crashes a sharded mine after its first checkpoint
+    write (deterministic chaos), then resumes under a *different*
+    worker count — optionally under ``--steal`` — and asserts the saved
+    ``.irgs`` bytes equal a serial kernel run's.  That pins three
+    orthogonal claims through the CLI at once: checkpoints are valid
+    across worker counts and schedulers, every engine honours them, and
+    the resumed output is byte-identical regardless of all three flags.
+    """
+
+    MINE = [
+        "mine",
+        "--dataset",
+        "CT",
+        "--scale",
+        "0.01",
+        "--minsup",
+        "5",
+        "--top",
+        "0",
+    ]
+
+    @pytest.fixture(scope="class", autouse=True)
+    def _drain_pools(self):
+        yield
+        shutdown_workers()
+
+    @pytest.fixture(scope="class")
+    def serial_irgs(self, tmp_path_factory) -> bytes:
+        """The serial kernel run's bytes, the oracle for every scenario."""
+        path = tmp_path_factory.mktemp("cli-serial") / "serial.irgs"
+        assert main([*self.MINE, "--save", str(path)]) == 0
+        return path.read_bytes()
+
+    @pytest.mark.parametrize("engine", CLI_ENGINES)
+    @pytest.mark.parametrize(
+        ("resume_workers", "steal"),
+        [(1, False), (4, False), (4, True)],
+        ids=["w1-static", "w4-static", "w4-steal"],
+    )
+    def test_crash_then_resume_matrix(
+        self,
+        engine,
+        resume_workers,
+        steal,
+        serial_irgs,
+        tmp_path,
+        capsys,
+        chaos,
+    ):
+        ckpt = tmp_path / "mine.ckpt"
+        chaos.arm("ckpt-raise:after=1")
+        # InjectedFault is a ReproError, so the CLI reports it as a
+        # normal mining failure (exit 1) rather than crashing.
+        assert (
+            main(
+                [
+                    *self.MINE,
+                    "--workers",
+                    "2",
+                    "--engine",
+                    engine,
+                    "--checkpoint",
+                    str(ckpt),
+                ]
+            )
+            == 1
+        )
+        chaos.disarm()
+        assert "injected" in capsys.readouterr().err
+        assert ckpt.exists()
+
+        saved = tmp_path / "resumed.irgs"
+        argv = [
+            *self.MINE,
+            "--workers",
+            str(resume_workers),
+            "--engine",
+            engine,
+            "--resume",
+            str(ckpt),
+            "--save",
+            str(saved),
+        ]
+        if steal:
+            argv.append("--steal")
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"sharded across {resume_workers} workers" in out
+        assert "resumed" in out and "finished shards" in out
+        if steal and resume_workers > 1:
+            assert "work stealing:" in out
+        assert saved.read_bytes() == serial_irgs
+
+    def test_resume_requires_matching_flags_not(self, tmp_path, capsys, chaos):
+        """A checkpoint written under ``--steal`` restores under the
+        static scheduler too — only whole shards are durable, so the
+        file carries no scheduler state to disagree about."""
+        ckpt = tmp_path / "steal.ckpt"
+        chaos.arm("ckpt-raise:after=1")
+        assert (
+            main(
+                [
+                    *self.MINE,
+                    "--workers",
+                    "4",
+                    "--steal",
+                    "--checkpoint",
+                    str(ckpt),
+                ]
+            )
+            == 1
+        )
+        chaos.disarm()
+        capsys.readouterr()
+        saved = tmp_path / "static-resume.irgs"
+        assert (
+            main(
+                [
+                    *self.MINE,
+                    "--workers",
+                    "2",
+                    "--no-steal",
+                    "--resume",
+                    str(ckpt),
+                    "--save",
+                    str(saved),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert "work stealing:" not in out
 
 
 class TestErrors:

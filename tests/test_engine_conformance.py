@@ -19,8 +19,10 @@ import hashlib
 from pathlib import Path
 
 import pytest
+from hypothesis import given
 
 from conftest import DEGENERATE_SHAPES, random_dataset
+from strategies import degenerate_datasets, skewed_datasets
 from engine_conformance import (
     CONSTRAINT_GRID,
     PRUNING_COMBOS,
@@ -142,6 +144,32 @@ class TestEngineConformance:
             serial.counters
         ), engine
         assert resumed.parallel.resumed_tasks >= 1
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestEngineConformanceProperties:
+    """Hypothesis sweep over the shared dataset strategies.
+
+    The parametrized grids above pin fixed seeds; these draws walk the
+    degenerate families (word-tail 63/64/65, identical rows, shared
+    items) and the Fig-10 skew shape under shrinking, so a conformance
+    break reports a minimal dataset.  The nightly CI profile raises
+    ``max_examples`` (see ``conftest.py``).
+    """
+
+    @given(data=degenerate_datasets())
+    def test_degenerate_families_conform(self, engine, data, tmp_path_factory):
+        # tmp_path is function-scoped (hypothesis forbids it under
+        # @given); mktemp hands each example a fresh directory instead.
+        workdir = tmp_path_factory.mktemp("hyp-degen")
+        assert_serial_conformant(data, engine, workdir, "hyp-degen")
+
+    @given(data=skewed_datasets())
+    def test_skewed_supports_conform(self, engine, data, tmp_path_factory):
+        workdir = tmp_path_factory.mktemp("hyp-skew")
+        assert_serial_conformant(
+            data, engine, workdir, "hyp-skew", minsup=2
+        )
 
 
 # Literal pins on the paper's Figure 1(a) dataset: the bytes the whole

@@ -36,30 +36,14 @@ from repro.core.npbitset import (
     word_count,
 )
 
-# Universes straddling the word boundary: 1..130 rows covers one-word,
-# exactly-64, 65-bit-straddle, and two-word layouts.
-_n_rows = st.integers(min_value=1, max_value=130)
-
-
-@st.composite
-def _mask_and_rows(draw):
-    """(mask, n_rows): a random bitset within a random universe."""
-    n_rows = draw(_n_rows)
-    mask = draw(st.integers(min_value=0, max_value=(1 << n_rows) - 1))
-    return mask, n_rows
-
-
-@st.composite
-def _masks_and_rows(draw, max_masks=12):
-    """(masks, n_rows): a random mask list within one universe."""
-    n_rows = draw(_n_rows)
-    masks = draw(
-        st.lists(
-            st.integers(min_value=0, max_value=(1 << n_rows) - 1),
-            max_size=max_masks,
-        )
-    )
-    return masks, n_rows
+# Word-boundary universes and bitset generators live in the shared
+# strategies module so the conformance and scheduling suites draw the
+# same shapes.
+from strategies import (  # noqa: E402  (import after module docstring)
+    mask_and_rows as _mask_and_rows,
+    masks_and_rows as _masks_and_rows,
+    n_rows_word_boundary as _n_rows,
+)
 
 
 class TestPackRoundTrip:

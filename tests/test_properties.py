@@ -20,36 +20,9 @@ from repro.data.dataset import ItemizedDataset
 # Strategies
 # ---------------------------------------------------------------------------
 
-index_sets = st.frozensets(st.integers(min_value=0, max_value=40), max_size=12)
-
-
-@st.composite
-def datasets(draw, max_rows=7, max_items=8):
-    """A small labelled dataset with at least one 'C' row."""
-    n_items = draw(st.integers(min_value=1, max_value=max_items))
-    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
-    rows = [
-        draw(
-            st.frozensets(
-                st.integers(min_value=0, max_value=n_items - 1),
-                max_size=n_items,
-            )
-        )
-        for _ in range(n_rows)
-    ]
-    labels = [draw(st.sampled_from(["C", "D"])) for _ in range(n_rows)]
-    labels[0] = "C"
-    return ItemizedDataset.from_lists(rows, labels, n_items=n_items)
-
-
-@st.composite
-def contingency(draw):
-    """A feasible (x, y, n, m) rule contingency quadruple."""
-    n = draw(st.integers(min_value=1, max_value=40))
-    m = draw(st.integers(min_value=0, max_value=n))
-    y = draw(st.integers(min_value=0, max_value=m))
-    x = draw(st.integers(min_value=y, max_value=y + (n - m)))
-    return x, y, n, m
+# The dataset/contingency/index-set generators are shared with the
+# conformance and scheduling suites via the strategies module.
+from strategies import contingency, datasets, index_sets  # noqa: E402
 
 
 # ---------------------------------------------------------------------------
