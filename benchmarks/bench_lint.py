@@ -1,7 +1,7 @@
 """Wall-time benchmark and soft CI gate for ``farmer lint``.
 
 The lint gate runs on every CI push, so its latency is a tax on every
-contributor.  This script measures the full eleven-rule run over
+contributor.  This script measures the full twelve-rule run over
 ``src/repro`` twice:
 
 * **cold** — an empty :class:`~repro.analysis.cache.LintCache`: every

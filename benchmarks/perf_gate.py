@@ -33,6 +33,19 @@ every part by the quantum while the static scheduler waits for its
 largest shard.  Tail latency is wall-clock *per dispatch*, not
 aggregate throughput, so it is meaningful even on single-core CI.
 
+A fourth section, ``"remine"``, gates the warm re-mining path
+(``core/frontier.py``) on the same Fig-10 sweep: one frontier capture
+at the loosest sweep point, then every tighter point answered **warm**.
+A warm tighten must expand zero nodes and serialize the cold mine's
+exact ``.irgs`` bytes (fatal, serial and sharded), and its steady-state
+aggregate speedup over cold mining must be at least
+``REMINE_MIN_SPEEDUP`` when refreshing, ``REMINE_SPEEDUP_FLOOR`` in
+``--check`` (the floor is checked directly, no tolerance — the warm
+path carries ~3x headroom over it).  One *loosening* re-mine is also
+pinned: its resumed node count is recorded exactly and must never
+exceed the cold mine's node count, byte-identity again fatal for the
+serial and the sharded resume.
+
 ``--check`` recomputes the pins, re-measures the speedup and fails if
 the aggregate speedup falls below ``min_speedup * tolerance`` — the
 tolerance is deliberately generous (CI machines are noisy; the gate
@@ -41,10 +54,16 @@ The steal tail floor is checked without the tolerance: the committed
 improvement carries ~1.7x headroom over the floor, and best-of-N
 damps the noise a single dispatch could add.
 
+``--diff`` prints a per-section delta table (current measurements vs
+the committed baseline) so a regression is readable in CI logs — which
+metric moved, by how much — instead of a bare pass/fail.  It composes
+with ``--check``: the table prints first, then the gate verdict.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_gate.py            # refresh baseline
     PYTHONPATH=src python benchmarks/perf_gate.py --check    # CI gate
+    PYTHONPATH=src python benchmarks/perf_gate.py --diff     # delta table
 
 Not a pytest module on purpose: the sweep takes seconds-not-milliseconds
 and its pass/fail contract (exact pins + a speedup floor) does not fit
@@ -102,6 +121,19 @@ STEAL_QUANTUM = 512
 #: baseline; ``--check`` re-measures against the same floor (no
 #: tolerance — see the module docstring).
 STEAL_MIN_TAIL_IMPROVEMENT = 1.3
+
+#: The warm re-mining section: capture once at the loosest Fig-10 sweep
+#: point, answer every tighter point from the frontier cache.  The
+#: speedup is steady-state (the one-time entry decode is primed out of
+#: the timing; an interactive session pays it once), committed at
+#: ``REMINE_MIN_SPEEDUP`` and gated at ``REMINE_SPEEDUP_FLOOR`` with no
+#: extra tolerance.  The loosening re-mine resumes below the base
+#: capture and has its resumed node count pinned exactly.
+REMINE_BASE_MINSUP = 9
+REMINE_TIGHTEN_SWEEP = (10, 11, 12, 14)
+REMINE_LOOSEN_MINSUP = 8
+REMINE_MIN_SPEEDUP = 10.0
+REMINE_SPEEDUP_FLOOR = 5.0
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
 
@@ -359,6 +391,264 @@ def run_steal_sweep(rounds: int, tmp_dir: Path) -> dict:
     }
 
 
+def run_remine_sweep(rounds: int, tmp_dir: Path) -> dict:
+    """The warm re-mining sweep (see module docstring).
+
+    Captures the frontier once at ``REMINE_BASE_MINSUP``, answers every
+    ``REMINE_TIGHTEN_SWEEP`` point warm (zero enumeration, byte-identity
+    fatal, serial and sharded), then runs one loosening resume below the
+    base with its node count recorded for the exact pin.
+    """
+    import shutil
+
+    from repro.data.transpose import TransposedTable
+
+    workload = build_workload(DATASET, scale=SCALE)
+    table = TransposedTable.build(workload.data, workload.consequent)
+    pristine = tmp_dir / "remine-pristine"
+
+    def warm_mine(minsup: int, cache: Path, n_workers=None):
+        miner = Farmer(
+            constraints=Constraints(minsup=minsup),
+            warm_cache=str(cache),
+            n_workers=n_workers,
+        )
+        return miner.mine_table(table)
+
+    start = time.perf_counter()
+    warm_mine(REMINE_BASE_MINSUP, pristine)
+    capture_seconds = time.perf_counter() - start
+
+    # Steady-state timing: the first warm query against an entry pays
+    # the one-time decode + index build; prime it out of the loop.
+    warm_mine(REMINE_TIGHTEN_SWEEP[0], pristine)
+
+    points = []
+    cold_total = 0.0
+    warm_total = 0.0
+    for minsup in REMINE_TIGHTEN_SWEEP:
+        cold_s, cold = _best_of_prebuilt(table, minsup, "kernel", rounds)
+        warm_s = float("inf")
+        warm = None
+        for _ in range(rounds):
+            begin = time.perf_counter()
+            warm = warm_mine(minsup, pristine)
+            warm_s = min(warm_s, time.perf_counter() - begin)
+        if warm.counters.nodes:
+            raise SystemExit(
+                f"FATAL: warm tighten at minsup={minsup} expanded "
+                f"{warm.counters.nodes} nodes — the filter path must "
+                "not enumerate"
+            )
+        cold_sha = _irgs_sha256(cold, tmp_dir, f"remine-cold-{minsup}")
+        warm_sha = _irgs_sha256(warm, tmp_dir, f"remine-warm-{minsup}")
+        if warm_sha != cold_sha:
+            raise SystemExit(
+                f"FATAL: warm tighten diverges from cold at "
+                f"minsup={minsup}: {warm_sha[:12]} != {cold_sha[:12]}"
+            )
+        sharded = warm_mine(minsup, pristine, n_workers=2)
+        if _irgs_sha256(sharded, tmp_dir, f"remine-wsh-{minsup}") != cold_sha:
+            raise SystemExit(
+                f"FATAL: sharded warm tighten diverges from cold at "
+                f"minsup={minsup}"
+            )
+        cold_total += cold_s
+        warm_total += warm_s
+        points.append(
+            {
+                "minsup": minsup,
+                "groups": len(warm.groups),
+                "irgs_sha256": warm_sha,
+                "cold_seconds": round(cold_s, 4),
+                "warm_seconds": round(warm_s, 6),
+                "speedup": round(cold_s / warm_s, 3),
+            }
+        )
+
+    cold_s, cold = _best_of_prebuilt(
+        table, REMINE_LOOSEN_MINSUP, "kernel", rounds
+    )
+    cold_sha = _irgs_sha256(cold, tmp_dir, "remine-loosen-cold")
+    serial_cache = tmp_dir / "remine-loosen-serial"
+    shutil.copytree(pristine, serial_cache)
+    begin = time.perf_counter()
+    resumed = warm_mine(REMINE_LOOSEN_MINSUP, serial_cache)
+    resume_s = time.perf_counter() - begin
+    if _irgs_sha256(resumed, tmp_dir, "remine-loosen-warm") != cold_sha:
+        raise SystemExit(
+            "FATAL: loosening resume diverges from cold at "
+            f"minsup={REMINE_LOOSEN_MINSUP}"
+        )
+    if resumed.counters.nodes > cold.counters.nodes:
+        raise SystemExit(
+            f"FATAL: loosening resume expanded {resumed.counters.nodes} "
+            f"nodes, more than the {cold.counters.nodes} a cold mine "
+            "needs — the frontier is not saving work"
+        )
+    sharded_cache = tmp_dir / "remine-loosen-sharded"
+    shutil.copytree(pristine, sharded_cache)
+    sharded = warm_mine(REMINE_LOOSEN_MINSUP, sharded_cache, n_workers=2)
+    shutdown_workers()
+    if _irgs_sha256(sharded, tmp_dir, "remine-loosen-wsh") != cold_sha:
+        raise SystemExit(
+            "FATAL: sharded loosening resume diverges from cold at "
+            f"minsup={REMINE_LOOSEN_MINSUP}"
+        )
+
+    return {
+        "dataset": DATASET,
+        "scale": SCALE,
+        "rounds": rounds,
+        "base_minsup": REMINE_BASE_MINSUP,
+        "capture_seconds": round(capture_seconds, 4),
+        "min_speedup": REMINE_MIN_SPEEDUP,
+        "speedup_floor": REMINE_SPEEDUP_FLOOR,
+        "aggregate_speedup": round(cold_total / warm_total, 3),
+        "points": points,
+        "loosen": {
+            "minsup": REMINE_LOOSEN_MINSUP,
+            "groups": len(resumed.groups),
+            "irgs_sha256": cold_sha,
+            "cold_nodes": cold.counters.nodes,
+            "resume_nodes": resumed.counters.nodes,
+            "sharded_resume_nodes": sharded.counters.nodes,
+            "cold_seconds": round(cold_s, 4),
+            "resume_seconds": round(resume_s, 4),
+        },
+    }
+
+
+def check_remine(payload: dict, baseline: dict) -> list[str]:
+    """Failures of a fresh remine sweep against the committed section."""
+    failures = []
+    fresh = {p["minsup"]: p for p in payload["points"]}
+    for pinned in baseline["points"]:
+        point = fresh.get(pinned["minsup"])
+        if point is None:
+            failures.append(
+                f"remine: minsup={pinned['minsup']}: missing from sweep"
+            )
+            continue
+        for pin in ("groups", "irgs_sha256"):
+            if point[pin] != pinned[pin]:
+                failures.append(
+                    f"remine: minsup={pinned['minsup']}: {pin} drifted "
+                    f"({point[pin]!r} != pinned {pinned[pin]!r})"
+                )
+    for pin in (
+        "groups",
+        "irgs_sha256",
+        "cold_nodes",
+        "resume_nodes",
+        "sharded_resume_nodes",
+    ):
+        if payload["loosen"][pin] != baseline["loosen"][pin]:
+            failures.append(
+                f"remine: loosen: {pin} drifted "
+                f"({payload['loosen'][pin]!r} != pinned "
+                f"{baseline['loosen'][pin]!r})"
+            )
+    floor = baseline["speedup_floor"]
+    if payload["aggregate_speedup"] < floor:
+        failures.append(
+            f"remine: warm aggregate speedup "
+            f"{payload['aggregate_speedup']}x is below the {floor}x floor"
+        )
+    return failures
+
+
+def _diff_line(section: str, label: str, metric: str, old, new) -> str:
+    """One delta-table row; percentages for numbers, != for pins."""
+    where = f"{section}.{label}" if label else section
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        if old == new:
+            delta = "unchanged"
+        elif old:
+            delta = f"{(new - old) / old:+.1%}"
+        else:
+            delta = "new"
+        return f"  {where:<28} {metric:<24} {old!r:>12} -> {new!r:<12} {delta}"
+    flag = "SAME" if old == new else "DIFFERENT"
+    return f"  {where:<28} {metric:<24} {flag}"
+
+
+def _diff_points(section: str, fresh: dict, committed: dict) -> list[str]:
+    """Delta rows for one section's per-minsup point list + scalars."""
+    lines = []
+    scalar_keys = sorted(
+        key
+        for key, value in committed.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    )
+    for key in scalar_keys:
+        if key in fresh:
+            lines.append(
+                _diff_line(section, "", key, committed[key], fresh[key])
+            )
+    fresh_points = {p["minsup"]: p for p in fresh.get("points", [])}
+    for pinned in committed.get("points", []):
+        point = fresh_points.get(pinned["minsup"])
+        if point is None:
+            lines.append(
+                f"  {section}.minsup={pinned['minsup']}: missing from "
+                "fresh sweep"
+            )
+            continue
+        label = f"minsup={pinned['minsup']}"
+        for key in sorted(pinned):
+            if key == "minsup" or key not in point:
+                continue
+            lines.append(
+                _diff_line(section, label, key, pinned[key], point[key])
+            )
+    return lines
+
+
+def diff_report(sections: dict, baseline: dict) -> str:
+    """The per-section delta table: committed baseline vs fresh run.
+
+    Args:
+        sections: fresh payloads keyed by section name (``core``,
+            ``numpy``, ``steal``, ``remine``); ``None`` values (an
+            unavailable engine) are reported as skipped.
+        baseline: the committed ``BENCH_core.json`` payload.
+
+    Returns:
+        A printable table, one row per metric, with relative deltas for
+        measurements and SAME/DIFFERENT verdicts for pins.
+    """
+    lines = ["perf delta vs committed baseline (old -> new):"]
+    for name in ("core", "numpy", "steal", "remine"):
+        committed = baseline if name == "core" else baseline.get(name)
+        fresh = sections.get(name)
+        if committed is None:
+            lines.append(f"  {name}: not in committed baseline")
+            continue
+        if fresh is None:
+            lines.append(f"  {name}: skipped in this run")
+            continue
+        if name == "steal":
+            for key in sorted(committed):
+                if key in fresh:
+                    lines.append(
+                        _diff_line(name, "", key, committed[key], fresh[key])
+                    )
+            continue
+        lines.extend(_diff_points(name, fresh, committed))
+        extra = fresh.get("loosen")
+        pinned_extra = committed.get("loosen")
+        if extra and pinned_extra:
+            for key in sorted(pinned_extra):
+                if key in extra:
+                    lines.append(
+                        _diff_line(
+                            name, "loosen", key, pinned_extra[key], extra[key]
+                        )
+                    )
+    return "\n".join(lines)
+
+
 def check_steal(payload: dict, baseline: dict) -> list[str]:
     """Failures of a fresh steal point against the committed section."""
     failures = []
@@ -417,6 +707,12 @@ def main(argv: list[str] | None = None) -> int:
         "instead of rewriting it",
     )
     parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="print a per-section delta table (fresh run vs the "
+        "committed baseline); composes with --check",
+    )
+    parser.add_argument(
         "--rounds",
         type=int,
         default=3,
@@ -436,6 +732,7 @@ def main(argv: list[str] | None = None) -> int:
         payload = run_sweep(args.rounds, Path(tmp))
         numpy_payload = run_numpy_sweep(args.rounds, Path(tmp))
         steal_payload = run_steal_sweep(args.rounds, Path(tmp))
+        remine_payload = run_remine_sweep(args.rounds, Path(tmp))
 
     for point in payload["points"]:
         print(
@@ -472,6 +769,43 @@ def main(argv: list[str] | None = None) -> int:
         f"steal tail={steal_payload['steal_tail_seconds']:.4f}s  "
         f"improvement={steal_payload['tail_improvement']:.2f}x"
     )
+    for point in remine_payload["points"]:
+        print(
+            f"remine minsup={point['minsup']:>3}  "
+            f"groups={point['groups']:>3}  "
+            f"cold={point['cold_seconds']:.4f}s  "
+            f"warm={point['warm_seconds'] * 1000:.2f}ms  "
+            f"speedup={point['speedup']:.0f}x"
+        )
+    loosen = remine_payload["loosen"]
+    print(
+        f"remine loosen minsup={loosen['minsup']:>3}  "
+        f"resume nodes={loosen['resume_nodes']} "
+        f"(cold {loosen['cold_nodes']})  "
+        f"cold={loosen['cold_seconds']:.4f}s  "
+        f"resume={loosen['resume_seconds']:.4f}s"
+    )
+    print(
+        f"remine aggregate warm speedup: "
+        f"{remine_payload['aggregate_speedup']:.1f}x"
+    )
+
+    if args.diff and args.baseline.exists():
+        committed = json.loads(args.baseline.read_text(encoding="utf-8"))
+        print()
+        print(
+            diff_report(
+                {
+                    "core": payload,
+                    "numpy": numpy_payload,
+                    "steal": steal_payload,
+                    "remine": remine_payload,
+                },
+                committed,
+            )
+        )
+        if not args.check:
+            return 0
 
     if not args.check:
         if payload["aggregate_speedup"] < MIN_SPEEDUP:
@@ -501,6 +835,14 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
+        if remine_payload["aggregate_speedup"] < REMINE_MIN_SPEEDUP:
+            print(
+                f"REFUSING to commit a remine baseline below "
+                f"{REMINE_MIN_SPEEDUP}x warm speedup — run on a quieter "
+                "machine or fix the frontier cache first",
+                file=sys.stderr,
+            )
+            return 1
         # The baseline file is shared with bench_obs_overhead.py, which
         # records the telemetry overhead under "obs_overhead"; refreshing
         # the kernel pins must not drop it.  Likewise a refresh on a
@@ -515,6 +857,7 @@ def main(argv: list[str] | None = None) -> int:
         if numpy_payload is not None:
             payload["numpy"] = numpy_payload
         payload["steal"] = steal_payload
+        payload["remine"] = remine_payload
         args.baseline.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
@@ -531,6 +874,8 @@ def main(argv: list[str] | None = None) -> int:
             failures.extend(check(numpy_payload, baseline["numpy"], "numpy"))
     if "steal" in baseline:
         failures.extend(check_steal(steal_payload, baseline["steal"]))
+    if "remine" in baseline:
+        failures.extend(check_remine(remine_payload, baseline["remine"]))
     if failures:
         print(f"PERF GATE FAILED ({len(failures)} problems):", file=sys.stderr)
         for failure in failures:

@@ -31,7 +31,7 @@ Layout:
 * :mod:`~repro.analysis.cache` — the mtime-keyed AST/findings cache;
 * :mod:`~repro.analysis.baseline` — the committed grandfather file;
 * :mod:`~repro.analysis.reporters` — text, JSON and SARIF output;
-* :mod:`~repro.analysis.rules` — the FRM001..FRM011 rule set;
+* :mod:`~repro.analysis.rules` — the FRM001..FRM012 rule set;
 * :mod:`~repro.analysis.cli` — the ``farmer lint`` entry point.
 
 See ``docs/static-analysis.md`` for the rule catalogue, the per-line

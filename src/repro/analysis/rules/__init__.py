@@ -1,4 +1,4 @@
-"""The farmer-lint rule catalogue (FRM001..FRM011).
+"""The farmer-lint rule catalogue (FRM001..FRM012).
 
 Adding a rule: subclass :class:`repro.analysis.base.Rule` in a module
 here, give it a fresh ``FRM0xx`` id, and append the class to
@@ -16,7 +16,7 @@ from .discipline import BitsetDisciplineRule
 from .docstrings import DocstringSectionsRule
 from .exceptions import ExceptionDisciplineRule
 from .hygiene import PublicApiRule
-from .persistence import PersistenceDisciplineRule
+from .persistence import PersistenceDisciplineRule, RawWriteSurfaceRule
 from .picklability import WorkerPicklabilityRule
 from .purity import HotPathPurityRule
 from .taint import NondeterminismTaintRule
@@ -36,6 +36,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NondeterminismTaintRule,
     EngineConformanceRule,
     HotPathPurityRule,
+    RawWriteSurfaceRule,
 )
 
 #: Rule classes keyed by their ``FRM00x`` id.

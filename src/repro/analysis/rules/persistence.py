@@ -1,14 +1,24 @@
-"""FRM007: checkpointed state must persist through :mod:`repro.core.serialize`.
+"""FRM007/FRM012: core/ persistence must go through :mod:`repro.core.serialize`.
 
-Checkpoint/resume (:mod:`repro.core.checkpoint`) is only crash-consistent
-because every byte that reaches disk goes through the serialize module's
-envelope: canonical JSON, a checksum header, and the
-temp-file + fsync + rename dance.  A raw ``pickle.dump`` or ``json.dump``
-anywhere else in ``core/`` silently bypasses all three — the file has no
-checksum to detect truncation, no format version to gate incompatible
-readers, and a crash mid-write leaves a corrupt partial file that a later
-resume happily reads.  This rule flags raw stdlib persistence calls in
-``core/`` modules so the envelope stays the single write path.
+Checkpoint/resume (:mod:`repro.core.checkpoint`) and the frontier cache
+(:mod:`repro.core.frontier`) are only crash-consistent because every byte
+that reaches disk goes through the serialize module's envelope: canonical
+JSON, a checksum header, and the temp-file + fsync + rename dance.  A raw
+``pickle.dump`` or ``json.dump`` anywhere else in ``core/`` silently
+bypasses all three — the file has no checksum to detect truncation, no
+format version to gate incompatible readers, and a crash mid-write leaves
+a corrupt partial file that a later resume happily reads.
+
+Two rules keep the envelope the single write path:
+
+* **FRM007** flags raw stdlib *serialization* calls (pickle/json/
+  marshal/shelve dump-load surface) in ``core/`` modules.
+* **FRM012** flags raw *write* surfaces — write-mode ``open``/``.open``,
+  ``.write_text``/``.write_bytes``, ``os.replace``/``os.rename`` — which
+  would let hand-rolled bytes reach disk without ever touching a
+  serializer.  Together they close both halves of the bypass: FRM007
+  catches "formatted but not enveloped", FRM012 catches "not even
+  formatted".
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ from typing import ClassVar, Iterator
 
 from ..base import Finding, ModuleContext, Rule
 
-__all__ = ["PersistenceDisciplineRule"]
+__all__ = ["PersistenceDisciplineRule", "RawWriteSurfaceRule"]
 
 #: The one module allowed to speak raw json/pickle: it implements the
 #: envelope everything else must route through.
@@ -90,4 +100,85 @@ class PersistenceDisciplineRule(Rule):
             f"{dotted}() bypasses the checksummed, versioned, "
             "crash-consistent envelope; route persistence through "
             "core/serialize.py",
+        )
+
+
+#: Attribute calls that write bytes to disk directly.
+_WRITE_ATTRS = frozenset({"write_text", "write_bytes"})
+
+#: ``os`` functions that publish a file at its final path.
+_OS_MOVE_ATTRS = frozenset({"replace", "rename"})
+
+#: Mode-string characters that make an ``open()`` call a write.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _write_mode_literal(node: ast.Call, mode_position: int) -> str | None:
+    """The call's mode argument when it is a write-mode string literal.
+
+    Checks the positional argument at ``mode_position`` (1 for builtin
+    ``open(path, mode)``, 0 for ``Path.open(mode)``) and the ``mode=``
+    keyword; returns ``None`` for read modes, absent modes, or
+    non-literal modes (a computed mode cannot be judged statically, and
+    flagging it would punish read-only helpers).
+    """
+    mode: ast.expr | None = None
+    if len(node.args) > mode_position:
+        mode = node.args[mode_position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+        return None
+    if any(char in _WRITE_MODE_CHARS for char in mode.value):
+        return mode.value
+    return None
+
+
+class RawWriteSurfaceRule(Rule):
+    """FRM012: no raw on-disk write surfaces in core/ outside serialize.py."""
+
+    rule_id: ClassVar[str] = "FRM012"
+    name: ClassVar[str] = "raw-write-surface"
+    description: ClassVar[str] = (
+        "core/ modules must write files through the core/serialize.py "
+        "envelope, not write-mode open/.write_text/.write_bytes/"
+        "os.replace/os.rename"
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call,)
+    module_prefixes: ClassVar[tuple[str, ...] | None] = ("core/",)
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        if module.package_path == _ENVELOPE_MODULE:
+            return False
+        return super().applies_to(module)
+
+    def visit(self, node: ast.AST, module: ModuleContext) -> Iterator[Finding]:
+        func = node.func  # type: ignore[attr-defined]
+        surface: str | None = None
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _write_mode_literal(node, 1)  # type: ignore[arg-type]
+            if mode is not None:
+                surface = f"open(..., {mode!r})"
+        elif isinstance(func, ast.Attribute):
+            if func.attr in _WRITE_ATTRS:
+                surface = f".{func.attr}()"
+            elif func.attr == "open":
+                mode = _write_mode_literal(node, 0)  # type: ignore[arg-type]
+                if mode is not None:
+                    surface = f".open(..., {mode!r})"
+            elif (
+                func.attr in _OS_MOVE_ATTRS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+            ):
+                surface = f"os.{func.attr}()"
+        if surface is None:
+            return
+        yield self.finding(
+            module,
+            node,
+            f"{surface} writes to disk without the checksummed, "
+            "crash-consistent envelope; route on-disk persistence "
+            "through core/serialize.py",
         )

@@ -4,6 +4,8 @@ Four subcommands cover the library's everyday workflows:
 
 * ``farmer mine``       — mine interesting rule groups from a registry
   dataset or an expression TSV and print the top groups;
+* ``farmer remine``     — re-mine under changed constraints through a
+  warm frontier cache (byte-identical to a cold mine);
 * ``farmer classify``   — run the Table 2 protocol for one classifier on
   one dataset;
 * ``farmer experiment`` — regenerate a paper table/figure
@@ -16,6 +18,8 @@ Four subcommands cover the library's everyday workflows:
 Examples::
 
     farmer mine --dataset ALL --minsup 5 --minconf 0.9 --top 10
+    farmer mine --dataset ALL --minsup 8 --warm-cache .farmer-cache
+    farmer remine --dataset ALL --minsup 5 --warm-cache .farmer-cache
     farmer classify --dataset CT --classifier irg
     farmer experiment fig10 --datasets CT ALL --timeout 30
     farmer generate --dataset LC --out lc.tsv
@@ -42,7 +46,7 @@ from .core.farmer import ENGINE_ENV, ENGINES, Farmer
 from .data.discretize import EntropyMDLDiscretizer, EqualDepthDiscretizer
 from .data.io import load_expression, save_expression
 from .data.registry import PAPER_DATASETS, load, train_test_rows
-from .errors import ReproError
+from .errors import ReproError, UsageError
 
 __all__ = ["main", "build_parser"]
 
@@ -142,6 +146,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a structured JSONL run log (events + final metrics) "
         "to this file; see docs/observability.md for the schema",
     )
+    mine.add_argument(
+        "--warm-cache",
+        metavar="DIR",
+        help="answer through the frontier cache in this directory "
+        "(captures on a miss, filters or resumes on a hit; output stays "
+        "byte-identical to a cold mine — see docs/performance.md)",
+    )
+
+    remine = sub.add_parser(
+        "remine",
+        help="re-mine under changed constraints through a frontier cache",
+        description="Warm re-mine: answer a mine from the frontier cache "
+        "written by earlier 'farmer mine --warm-cache DIR' (or 'farmer "
+        "remine') runs on the same dataset.  Tightened constraints are "
+        "answered by filtering the cached candidate sequence with zero "
+        "enumeration; loosened constraints resume enumeration only from "
+        "the recorded pruned frontier.  Output is byte-identical to a "
+        "cold mine.",
+    )
+    _add_dataset_arguments(remine)
+    remine.add_argument("--consequent", help="class label on the rule RHS "
+                        "(default: the dataset's class 1)")
+    remine.add_argument("--minsup", type=int, default=5, help="minimum rule support (rows)")
+    remine.add_argument("--minconf", type=float, default=0.0, help="minimum confidence [0,1]")
+    remine.add_argument("--minchi", type=float, default=0.0, help="minimum chi-square value")
+    remine.add_argument("--buckets", type=int, default=10, help="equal-depth buckets")
+    remine.add_argument("--top", type=int, default=10, help="groups to print")
+    remine.add_argument("--lower-bounds", action="store_true", help="run MineLB on results")
+    remine.add_argument("--timeout", type=float, default=300.0, help="mining budget (seconds)")
+    remine.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard a frontier resume across N worker processes "
+        "(identical output to serial; default: serial)",
+    )
+    remine.add_argument(
+        "--steal",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="schedule resumed frontier shards with the work-stealing "
+        "scheduler (default: --no-steal)",
+    )
+    remine.add_argument(
+        "--steal-quantum",
+        type=int,
+        default=None,
+        metavar="NODES",
+        help="nodes a stealing worker expands before donating its "
+        "frontier (default: 4096)",
+    )
+    remine.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        metavar="NAME",
+        help="enumeration engine; cache entries are engine-invariant, so "
+        "any engine can resume any entry. "
+        f"Default honors ${ENGINE_ENV} when set.",
+    )
+    remine.add_argument("--save", help="persist the groups to this .irgs file")
+    remine.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a live progress line on stderr",
+    )
+    remine.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a structured JSONL run log (events + final metrics) "
+        "to this file; see docs/observability.md for the schema",
+    )
+    remine.add_argument(
+        "--warm-cache",
+        metavar="DIR",
+        required=True,
+        help="the frontier cache directory (created on first use)",
+    )
+    # remine is 'mine' minus the knobs a warm answer replaces: it plans
+    # its own work from the cache, so shard checkpointing and cProfile
+    # wiring stay mine-only.
+    remine.set_defaults(
+        checkpoint=None, checkpoint_every=1, resume=None, profile=False
+    )
 
     validate = sub.add_parser(
         "validate",
@@ -236,7 +325,37 @@ def _build_telemetry(args: argparse.Namespace):
     )
 
 
+def _validate_mine_knobs(args: argparse.Namespace) -> None:
+    """Reject non-positive numeric knobs before any work starts.
+
+    Args:
+        args: a parsed ``farmer mine``/``farmer remine`` namespace.
+
+    Raises:
+        UsageError: a worker count, steal quantum or checkpoint cadence
+            of zero or less — caught up front with the flag's own name
+            instead of failing deep inside the coordinator.
+    """
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers <= 0:
+        raise UsageError(
+            f"--workers must be a positive worker count, got {workers}"
+        )
+    quantum = getattr(args, "steal_quantum", None)
+    if quantum is not None and quantum <= 0:
+        raise UsageError(
+            f"--steal-quantum must be a positive node count, got {quantum}"
+        )
+    every = getattr(args, "checkpoint_every", None)
+    if every is not None and every <= 0:
+        raise UsageError(
+            "--checkpoint-every must be a positive shard count, "
+            f"got {every}"
+        )
+
+
 def _command_mine(args: argparse.Namespace) -> int:
+    _validate_mine_knobs(args)
     matrix = _load_matrix(args)
     data = EqualDepthDiscretizer(n_buckets=args.buckets).fit_transform(matrix)
     consequent = args.consequent
@@ -257,6 +376,7 @@ def _command_mine(args: argparse.Namespace) -> int:
         steal=args.steal,
         steal_quantum=args.steal_quantum,
         telemetry=telemetry,
+        warm_cache=args.warm_cache,
     )
     try:
         if args.profile:
@@ -479,6 +599,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "mine": _command_mine,
+        "remine": _command_mine,
         "classify": _command_classify,
         "experiment": _command_experiment,
         "generate": _command_generate,

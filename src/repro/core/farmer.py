@@ -264,6 +264,13 @@ class SearchContext:
     observed run can report how far the early-exiting scans walk.  It
     never changes the mined output, and the disabled cost is one boolean
     check on the minority of nodes that survive the loose bounds.
+
+    ``record`` switches Step 7 into frontier-capture mode: every
+    explored node with a non-empty antecedent support returns its
+    :class:`Candidate` even when the run's constraints reject it, so
+    :mod:`repro.core.frontier` can persist the full evaluation sequence
+    and re-filter it under tightened constraints later.  The traversal
+    itself (prunings, children, counters) is unchanged.
     """
 
     constraints: Constraints
@@ -276,6 +283,7 @@ class SearchContext:
     use_p3: bool
     engine: str = "kernel"
     observe: bool = False
+    record: bool = False
 
     @classmethod
     def for_table(
@@ -525,8 +533,13 @@ def _expand_node_kernel(
         )
 
     # Step 7, threshold half — the candidate upper bound I(X) -> C.
+    # Capture mode keeps failing evaluations too (zero-support ones can
+    # never satisfy any constraints, so they stay dropped).
     candidate: Candidate | None = None
-    if cache.satisfies(constraints, supp_total, supn_total, ctx.n, ctx.m, counters):
+    satisfied = cache.satisfies(
+        constraints, supp_total, supn_total, ctx.n, ctx.m, counters
+    )
+    if satisfied or (ctx.record and supp_total + supn_total > 0):
         candidate = Candidate(
             tuple(table.item_ids),
             table.ids_mask,
@@ -662,7 +675,8 @@ def _expand_node_reference(
 
     # Step 7, threshold half — the candidate upper bound I(X) -> C.
     candidate: Candidate | None = None
-    if constraints.satisfied_by(supp_total, supn_total, ctx.n, ctx.m):
+    satisfied = constraints.satisfied_by(supp_total, supn_total, ctx.n, ctx.m)
+    if satisfied or (ctx.record and supp_total + supn_total > 0):
         item_mask = 0
         for item_id in item_ids:
             item_mask |= 1 << item_id
@@ -1238,6 +1252,16 @@ class Farmer:
             tests and the perf gate).  ``None`` (default) resolves via
             :func:`default_engine` (``$FARMER_ENGINE`` or ``"kernel"``).
             All engines produce byte-identical serialized output.
+        warm_cache: directory of persisted frontier entries
+            (:mod:`repro.core.frontier`).  When set, a mine first
+            consults the cache: an entry whose constraints are no looser
+            answers by filtering its recorded evaluation sequence with
+            zero enumeration; otherwise enumeration resumes from the
+            entry's pruned frontier nodes only.  A miss mines cold
+            (serially, in capture mode) and populates the cache.  The
+            mined output is byte-identical to a cold mine either way.
+            Incompatible with ``checkpoint``/``resume`` and with
+            ``max_nodes`` budgets.
         telemetry: optional :class:`~repro.obs.telemetry.Telemetry` to
             observe the run — phase timers, run-log events, live
             progress.  ``None`` (default) disables telemetry entirely.
@@ -1265,6 +1289,7 @@ class Farmer:
         resume: str | None = None,
         engine: str | None = None,
         telemetry: "Telemetry | None" = None,
+        warm_cache: str | None = None,
     ) -> None:
         self.constraints = constraints if constraints is not None else Constraints()
         self.telemetry = telemetry
@@ -1288,6 +1313,25 @@ class Farmer:
         self.checkpoint = checkpoint
         self.checkpoint_every = checkpoint_every
         self.resume = resume
+        self.warm_cache = warm_cache
+        if warm_cache is not None:
+            if checkpoint is not None or resume is not None:
+                raise UsageError(
+                    "warm_cache cannot be combined with checkpoint/resume: "
+                    "a warm re-mine replans its own work from the frontier "
+                    "cache, so a shard checkpoint has nothing to describe"
+                )
+            if self.budget.max_nodes is not None:
+                raise UsageError(
+                    "warm_cache cannot be combined with max_nodes budgets: "
+                    "a warm re-mine skips enumeration, so node accounting "
+                    "is not comparable; use a max_seconds budget instead"
+                )
+            if not self._supports_sharding:
+                raise UsageError(
+                    f"{type(self).__name__} hooks the serial traversal, "
+                    "so it cannot answer from a frontier cache"
+                )
         if checkpoint is not None or resume is not None:
             # Checkpoints snapshot the sharded coordinator's state; the
             # serial traversal has no shard boundaries to snapshot at.
@@ -1335,7 +1379,8 @@ class Farmer:
         started = time.perf_counter()
         report = None
         telemetry = self.telemetry
-        sharded = self._wants_sharding()
+        warm = self.warm_cache is not None
+        sharded = not warm and self._wants_sharding()
         if telemetry is not None:
             telemetry.run_start(
                 consequent=str(table.consequent),
@@ -1347,10 +1392,16 @@ class Farmer:
                 minchi=self.constraints.minchi,
                 prunings=sorted(self.prunings),
                 engine=self.engine,
-                mode="sharded" if sharded else "serial",
+                mode="warm" if warm else ("sharded" if sharded else "serial"),
             )
         try:
-            if sharded:
+            if warm:
+                from .frontier import warm_mine_table
+
+                store, counters, truncated, report = warm_mine_table(
+                    self, table
+                )
+            elif sharded:
                 from .parallel import mine_table_parallel
 
                 store, counters, truncated, report = mine_table_parallel(
@@ -1390,7 +1441,7 @@ class Farmer:
         elapsed = time.perf_counter() - started
         if telemetry is not None:
             telemetry.fold_node_counters(counters)
-            if not sharded and self.engine != "reference":
+            if not sharded and not warm and self.engine != "reference":
                 telemetry.add_counters(self._cache.stats())
             telemetry.run_end(
                 groups=len(groups),
@@ -1630,6 +1681,7 @@ def mine_irgs(
     resume: str | None = None,
     engine: str | None = None,
     telemetry: "Telemetry | None" = None,
+    warm_cache: str | None = None,
 ) -> FarmerResult:
     """One-call convenience wrapper around :class:`Farmer`.
 
@@ -1658,6 +1710,9 @@ def mine_irgs(
         telemetry: optional :class:`~repro.obs.telemetry.Telemetry`
             observer (metrics, run log, progress); ``None`` (default)
             disables instrumentation entirely.
+        warm_cache: frontier-cache directory for warm re-mining (see
+            :class:`Farmer`); the warm answer is byte-identical to a
+            cold mine.
 
     Returns:
         The :class:`FarmerResult` of the configured :class:`Farmer`.
@@ -1682,5 +1737,6 @@ def mine_irgs(
         resume=resume,
         engine=engine,
         telemetry=telemetry,
+        warm_cache=warm_cache,
     )
     return miner.mine(dataset, consequent)

@@ -1,5 +1,7 @@
 """Unit tests for the farmer CLI."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -283,3 +285,99 @@ class TestErrors:
         captured = capsys.readouterr()
         assert code == 1
         assert "error:" in captured.err
+
+
+class TestKnobValidation:
+    """Non-positive numeric knobs fail up front with the flag's name.
+
+    Regression guard for the coordinator-deep failures these used to
+    produce: the CLI now rejects them before loading any data, so the
+    message names the flag the user actually typed.
+    """
+
+    MINE = ["mine", "--dataset", "CT", "--scale", "0.01", "--minsup", "5"]
+
+    @pytest.mark.parametrize(
+        ("flag", "value"),
+        [
+            ("--workers", "0"),
+            ("--workers", "-2"),
+            ("--steal-quantum", "0"),
+            ("--steal-quantum", "-1"),
+            ("--checkpoint-every", "0"),
+            ("--checkpoint-every", "-5"),
+        ],
+    )
+    def test_non_positive_knob_is_usage_error(self, capsys, flag, value):
+        code = main([*self.MINE, flag, value])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+        assert flag in captured.err
+        assert value in captured.err
+
+    def test_remine_validates_workers_too(self, tmp_path, capsys):
+        code = main(
+            [
+                "remine",
+                "--dataset",
+                "CT",
+                "--scale",
+                "0.01",
+                "--minsup",
+                "5",
+                "--warm-cache",
+                str(tmp_path / "cache"),
+                "--workers",
+                "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--workers" in captured.err
+
+    def test_positive_knobs_still_mine(self, capsys):
+        code = main([*self.MINE, "--top", "0", "--steal-quantum", "512"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "interesting rule groups" in captured.out
+
+
+class TestRemine:
+    def test_remine_matches_cold_mine(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = [
+            "--dataset",
+            "CT",
+            "--scale",
+            "0.01",
+            "--top",
+            "0",
+        ]
+        cold_save = str(tmp_path / "cold.irgs")
+        warm_save = str(tmp_path / "warm.irgs")
+        assert main(["mine", *base, "--minsup", "8", "--warm-cache", cache]) == 0
+        assert (
+            main(
+                [
+                    "remine",
+                    *base,
+                    "--minsup",
+                    "5",
+                    "--warm-cache",
+                    cache,
+                    "--save",
+                    warm_save,
+                ]
+            )
+            == 0
+        )
+        assert main(["mine", *base, "--minsup", "5", "--save", cold_save]) == 0
+        capsys.readouterr()
+        assert Path(warm_save).read_bytes() == Path(cold_save).read_bytes()
+
+    def test_remine_requires_warm_cache(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["remine", "--dataset", "CT", "--minsup", "5"])
+        captured = capsys.readouterr()
+        assert "--warm-cache" in captured.err

@@ -188,7 +188,7 @@ class TestSarifReporter:
         driver = run["tool"]["driver"]
         assert driver["name"] == "farmer-lint"
         rule_ids = [rule["id"] for rule in driver["rules"]]
-        assert rule_ids == [f"FRM{i:03d}" for i in range(1, 12)]
+        assert rule_ids == [f"FRM{i:03d}" for i in range(1, 13)]
 
         assert len(run["results"]) == len(plain["findings"])
         for sarif_result, finding in zip(run["results"], plain["findings"]):

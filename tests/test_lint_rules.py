@@ -30,9 +30,9 @@ def rule_ids(findings):
 
 
 class TestCatalogue:
-    def test_eleven_rules_with_unique_ids(self):
-        assert len(ALL_RULES) == 11
-        assert sorted(RULES_BY_ID) == [f"FRM{i:03d}" for i in range(1, 12)]
+    def test_twelve_rules_with_unique_ids(self):
+        assert len(ALL_RULES) == 12
+        assert sorted(RULES_BY_ID) == [f"FRM{i:03d}" for i in range(1, 13)]
 
     def test_every_rule_documented(self):
         for rule in ALL_RULES:
@@ -548,6 +548,68 @@ class TestFRM007PersistenceDiscipline:
             "text = json.dumps(x)  # farmer-lint: disable=FRM007\n",
         )
         assert "FRM007" not in rule_ids(findings)
+        assert n_suppressed == 1
+
+
+class TestFRM012RawWriteSurface:
+    TRIGGERS = [
+        "fh = open(path, 'w')\n",
+        "fh = open(path, mode='wb')\n",
+        "fh = open(path, 'a')\n",
+        "fh = open(path, 'x')\n",
+        "fh = open(path, 'r+')\n",
+        "fh = path.open('w')\n",
+        "path.write_text(body)\n",
+        "path.write_bytes(blob)\n",
+        "import os\nos.replace(tmp, path)\n",
+        "import os\nos.rename(tmp, path)\n",
+    ]
+
+    CLEAN = [
+        "fh = open(path)\n",
+        "fh = open(path, 'r')\n",
+        "fh = open(path, mode='rb')\n",
+        "fh = path.open('r')\n",
+        "fh = path.open()\n",
+        "text = path.read_text()\n",
+        "fh = open(path, flags)\n",
+        "import os\nos.remove(path)\n",
+        "from .serialize import save_checkpoint\nsave_checkpoint(path, payload)\n",
+    ]
+
+    @pytest.mark.parametrize("snippet", TRIGGERS)
+    def test_triggers_in_core(self, tmp_path, snippet):
+        findings, _ = lint_snippet(tmp_path, "repro/core/mod.py", snippet)
+        assert "FRM012" in rule_ids(findings)
+
+    @pytest.mark.parametrize("snippet", CLEAN)
+    def test_read_surfaces_are_clean(self, tmp_path, snippet):
+        findings, _ = lint_snippet(tmp_path, "repro/core/mod.py", snippet)
+        assert "FRM012" not in rule_ids(findings)
+
+    def test_serialize_module_is_exempt(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/core/serialize.py",
+            "import os\nfh = open(path, 'w')\nos.replace(tmp, path)\n",
+        )
+        assert "FRM012" not in rule_ids(findings)
+
+    def test_out_of_scope_module_not_checked(self, tmp_path):
+        findings, _ = lint_snippet(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "path.write_text(body)\n",
+        )
+        assert "FRM012" not in rule_ids(findings)
+
+    def test_suppression(self, tmp_path):
+        findings, n_suppressed = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "path.write_text(body)  # farmer-lint: disable=FRM012\n",
+        )
+        assert "FRM012" not in rule_ids(findings)
         assert n_suppressed == 1
 
 

@@ -1,0 +1,190 @@
+"""Warm re-mining property suite: warm ≡ cold, byte-for-byte.
+
+For random datasets and random constraint pairs — tighten, loosen, and
+mixed deltas — a warm re-mine through the frontier cache
+(``core/frontier.py``) must serialize exactly the bytes a cold mine
+produces, whichever engine captured the entry, whichever engine resumes
+it, and whether the resume runs serially, sharded, or under the
+work-stealing scheduler.  A tightened re-mine must additionally expand
+**zero** nodes (pure filter), and corrupt cache files must degrade to a
+miss, never an error.
+
+The nightly CI stress job runs this file at hypothesis's ``nightly``
+profile alongside the conformance and scheduling sweeps.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import datasets
+
+from repro import mine_irgs
+from repro.core.farmer import available_engines
+from repro.core.parallel import shutdown_workers
+from repro.errors import UsageError
+
+ENGINES = [
+    engine for engine in available_engines() if engine in ("kernel", "numpy")
+]
+
+#: Constraint triples dense enough that both sides of a pair regularly
+#: produce groups on the small strategy datasets.
+CONSTRAINTS = st.tuples(
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from([0.0, 0.3, 0.6, 0.9]),
+    st.sampled_from([0.0, 0.5]),
+)
+
+#: How the warm answer executes: serial, static shards, or stealing.
+MODES = st.sampled_from(["serial", "sharded", "steal"])
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_pools():
+    yield
+    shutdown_workers()
+
+
+def _irgs_bytes(result, directory, tag):
+    from repro.core.serialize import save_rule_groups
+
+    path = directory / f"{tag}.irgs"
+    save_rule_groups(path, result.groups, constraints=result.constraints)
+    return path.read_bytes()
+
+
+def _mine(data, constraints, **kw):
+    minsup, minconf, minchi = constraints
+    return mine_irgs(data, "C", minsup, minconf, minchi, **kw)
+
+
+def _warm_kwargs(mode, cache):
+    kwargs = {"warm_cache": cache}
+    if mode == "sharded":
+        kwargs["n_workers"] = 2
+    elif mode == "steal":
+        kwargs.update(n_workers=2, steal=True, steal_quantum=64)
+    return kwargs
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@given(data=datasets(), pair=st.tuples(CONSTRAINTS, CONSTRAINTS), mode=MODES)
+@settings(deadline=None)
+def test_warm_equals_cold(engine, data, pair, mode):
+    """Capture at C0, re-mine at C1: groups equal a cold C1 mine's."""
+    first, second = pair
+    cache = tempfile.mkdtemp(prefix="remine-")
+    try:
+        seeded = _mine(data, first, engine=engine, warm_cache=cache)
+        cold_first = _mine(data, first, engine=engine)
+        assert seeded.groups == cold_first.groups
+        warm = _mine(
+            data, second, engine=engine, **_warm_kwargs(mode, cache)
+        )
+        cold = _mine(data, second, engine=engine)
+        assert warm.groups == cold.groups
+    finally:
+        shutil.rmtree(cache)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@given(data=datasets(), base=CONSTRAINTS)
+@settings(deadline=None)
+def test_tighten_is_pure_filter(engine, data, base):
+    """No knob loosened ⇒ the warm answer expands zero nodes."""
+    minsup, minconf, minchi = base
+    tightened = (minsup + 2, min(1.0, minconf + 0.1), minchi + 0.5)
+    cache = tempfile.mkdtemp(prefix="remine-")
+    try:
+        _mine(data, base, engine=engine, warm_cache=cache)
+        warm = _mine(data, tightened, engine=engine, warm_cache=cache)
+        assert warm.counters.nodes == 0
+        cold = _mine(data, tightened, engine=engine)
+        assert warm.groups == cold.groups
+    finally:
+        shutil.rmtree(cache)
+
+
+@given(data=datasets(), base=CONSTRAINTS)
+@settings(deadline=None)
+def test_cross_engine_cache_reuse(data, base):
+    """An entry captured by one engine answers for every other engine."""
+    if len(ENGINES) < 2:
+        pytest.skip("only one engine available")
+    minsup, minconf, minchi = base
+    loosened = (max(1, minsup - 1), 0.0, 0.0)
+    cache = tempfile.mkdtemp(prefix="remine-")
+    try:
+        _mine(data, base, engine=ENGINES[0], warm_cache=cache)
+        for engine in ENGINES[1:]:
+            warm = _mine(data, loosened, engine=engine, warm_cache=cache)
+            cold = _mine(data, loosened, engine=engine)
+            assert warm.groups == cold.groups
+    finally:
+        shutil.rmtree(cache)
+
+
+@given(data=datasets(), base=CONSTRAINTS)
+@settings(deadline=None, max_examples=10)
+def test_corrupt_entry_degrades_to_miss(data, base):
+    """A truncated cache file is skipped, and the answer stays cold-equal."""
+    from pathlib import Path
+
+    cache = tempfile.mkdtemp(prefix="remine-")
+    try:
+        _mine(data, base, warm_cache=cache)
+        for entry in Path(cache).glob("*.frontier"):
+            entry.write_bytes(entry.read_bytes()[: 40])
+        warm = _mine(data, base, warm_cache=cache)
+        cold = _mine(data, base)
+        assert warm.groups == cold.groups
+    finally:
+        shutil.rmtree(cache)
+
+
+def test_irgs_bytes_identical(tmp_path):
+    """End-to-end byte pin: warm tighten and loosen both serialize the
+    cold mine's exact ``.irgs`` bytes, serial and sharded."""
+    from conftest import random_dataset
+
+    data = random_dataset(5, max_rows=12, max_items=10)
+    cache = tmp_path / "cache"
+    _mine(data, (3, 0.0, 0.0), warm_cache=str(cache))
+    cases = [
+        ("tighten", (4, 0.6, 0.0), {}),
+        ("loosen", (1, 0.0, 0.0), {}),
+        ("loosen-sharded", (1, 0.0, 0.0), {"n_workers": 2}),
+        (
+            "loosen-steal",
+            (1, 0.0, 0.0),
+            {"n_workers": 2, "steal": True, "steal_quantum": 64},
+        ),
+    ]
+    for tag, constraints, extra in cases:
+        warm = _mine(data, constraints, warm_cache=str(cache), **extra)
+        cold = _mine(data, constraints)
+        assert _irgs_bytes(warm, tmp_path, f"warm-{tag}") == _irgs_bytes(
+            cold, tmp_path, f"cold-{tag}"
+        ), tag
+
+
+def test_warm_cache_rejects_checkpoint_knobs(tmp_path):
+    """The warm path plans its own work — shard checkpointing and node
+    budgets are incompatible and rejected at construction."""
+    from repro.core.enumeration import SearchBudget
+    from repro.core.farmer import Farmer
+
+    with pytest.raises(UsageError, match="warm"):
+        Farmer(
+            warm_cache=str(tmp_path),
+            checkpoint=str(tmp_path / "ck"),
+        )
+    with pytest.raises(UsageError, match="warm"):
+        Farmer(
+            warm_cache=str(tmp_path),
+            budget=SearchBudget(max_nodes=100),
+        )
