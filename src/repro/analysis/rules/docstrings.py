@@ -63,11 +63,15 @@ class DocstringSectionsRule(Rule):
     rule_id: ClassVar[str] = "FRM008"
     name: ClassVar[str] = "docstring-sections"
     description: ClassVar[str] = (
-        "multi-line docstrings of public functions in core/ and obs/ "
-        "document >=2 parameters under Args: and, once structured, "
-        "annotated returns under Returns:"
+        "multi-line docstrings of public functions in core/, obs/ and "
+        "serve/ document >=2 parameters under Args: and, once "
+        "structured, annotated returns under Returns:"
     )
-    module_prefixes: ClassVar[tuple[str, ...] | None] = ("core/", "obs/")
+    module_prefixes: ClassVar[tuple[str, ...] | None] = (
+        "core/",
+        "obs/",
+        "serve/",
+    )
 
     def finish_module(self, module: ModuleContext) -> Iterable[Finding]:
         for function, owner in self._public_functions(module.tree):

@@ -11,6 +11,9 @@ Four subcommands cover the library's everyday workflows:
 * ``farmer experiment`` — regenerate a paper table/figure
   (``table1 fig10 fig11 table2 scaling ablation``);
 * ``farmer generate``   — write a synthetic registry dataset to disk;
+* ``farmer serve``      — run the mining-as-a-service HTTP daemon
+  (submit jobs, poll status, fetch ``.irgs`` results — see
+  ``docs/serve.md``);
 * ``farmer lint``       — run the farmer-lint static-analysis rules
   (determinism, picklability, bitset/exception discipline) over the
   source tree.
@@ -23,6 +26,7 @@ Examples::
     farmer classify --dataset CT --classifier irg
     farmer experiment fig10 --datasets CT ALL --timeout 30
     farmer generate --dataset LC --out lc.tsv
+    farmer serve --port 8765 --workers 2 --registry-dir .farmer-serve
     farmer lint src/repro --format json
 """
 
@@ -286,6 +290,55 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=0.08)
     generate.add_argument("--seed", type=int, default=None)
     generate.add_argument("--out", required=True, help="output TSV path")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the mining-as-a-service HTTP daemon",
+        description="Serve the FARMER HTTP API (docs/serve.md): submit "
+        "mining jobs, poll their telemetry-derived status, fetch .irgs "
+        "results and cancel runs.  Jobs share a dataset registry and a "
+        "warm-frontier cache, so repeat queries answer without a cold "
+        "mine; job output is byte-identical to the CLI miner.",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 picks an ephemeral port and prints it "
+        "(default: 8765)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent mining jobs (default: 2); each job may itself "
+        "shard across processes via its own 'workers' knob",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="queued-job cap before submissions get 429 (default: 16)",
+    )
+    serve.add_argument(
+        "--registry-dir",
+        default=".farmer-serve",
+        metavar="DIR",
+        help="state directory: uploaded datasets, the shared "
+        "warm-frontier cache and job artifacts (default: .farmer-serve)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="default wall-clock budget per job (default: 300)",
+    )
     return parser
 
 
@@ -354,6 +407,64 @@ def _validate_mine_knobs(args: argparse.Namespace) -> None:
         )
 
 
+def _validate_serve_knobs(args: argparse.Namespace) -> None:
+    """Reject bad ``farmer serve`` knobs before binding a socket.
+
+    Args:
+        args: a parsed ``farmer serve`` namespace.
+
+    Raises:
+        UsageError: a port outside ``[0, 65535]``, a non-positive
+            worker count, queue depth or job timeout — caught up front
+            with the flag's own name, mirroring
+            :func:`_validate_mine_knobs`.
+    """
+    if not 0 <= args.port <= 65535:
+        raise UsageError(
+            f"--port must be a port number in [0, 65535], got {args.port}"
+        )
+    if args.workers <= 0:
+        raise UsageError(
+            f"--workers must be a positive worker count, got {args.workers}"
+        )
+    if args.queue_depth <= 0:
+        raise UsageError(
+            f"--queue-depth must be a positive job count, "
+            f"got {args.queue_depth}"
+        )
+    if args.job_timeout <= 0:
+        raise UsageError(
+            f"--job-timeout must be a positive number of seconds, "
+            f"got {args.job_timeout}"
+        )
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    _validate_serve_knobs(args)
+    from .serve import create_server
+
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        registry_dir=args.registry_dir,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        job_timeout=args.job_timeout,
+    )
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} (registry: {args.registry_dir})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.app.close()  # type: ignore[attr-defined]
+        server.server_close()
+    return 0
+
+
 def _command_mine(args: argparse.Namespace) -> int:
     _validate_mine_knobs(args)
     matrix = _load_matrix(args)
@@ -406,12 +517,27 @@ def _command_mine(args: argparse.Namespace) -> int:
         if telemetry is not None:
             telemetry.close()
         raise
+    frontier_note = None
+    if args.warm_cache and telemetry is not None:
+        # The warm planner publishes its reuse gauge into the metrics
+        # registry; without this read the fraction only reached the
+        # JSONL metrics event, never the end-of-run summary.
+        reuse = telemetry.registry.snapshot().gauges.get(
+            "frontier.reuse_fraction"
+        )
+        if reuse is not None:
+            frontier_note = (
+                f"frontier reuse {reuse:.0%} (cache {args.warm_cache})"
+            )
     if telemetry is not None:
-        telemetry.close(
+        summary = (
             f"mined {len(result.groups)} groups in "
             f"{result.elapsed_seconds:.2f}s "
             f"({result.counters.nodes} nodes)"
         )
+        if frontier_note is not None:
+            summary = f"{summary}; {frontier_note}"
+        telemetry.close(summary)
         if args.metrics_out:
             print(f"wrote run log to {args.metrics_out}")
     print(
@@ -420,6 +546,8 @@ def _command_mine(args: argparse.Namespace) -> int:
         f"minconf={args.minconf}, minchi={args.minchi}; "
         f"{result.elapsed_seconds:.2f}s, {result.counters.nodes} nodes)"
     )
+    if frontier_note is not None:
+        print(f"warm cache: {frontier_note}")
     if result.parallel is not None:
         print(
             f"sharded across {result.parallel.n_workers} workers "
@@ -605,6 +733,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _command_generate,
         "validate": _command_validate,
         "profile": _command_profile,
+        "serve": _command_serve,
         "lint": _command_lint,
     }
     try:

@@ -64,7 +64,13 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 from ..data.transpose import TransposedTable
-from ..errors import BudgetExceeded, ConstraintError, DataError, UsageError
+from ..errors import (
+    BudgetExceeded,
+    ConstraintError,
+    DataError,
+    ReproError,
+    UsageError,
+)
 from . import bitset
 from .constraints import Constraints
 from .enumeration import NodeCounters, merge_counters, scan_items
@@ -85,6 +91,7 @@ if TYPE_CHECKING:
 __all__ = [
     "FRONTIER_KIND",
     "FRONTIER_SUFFIX",
+    "cache_entries",
     "entry_path",
     "frontier_fingerprint",
     "load_entry",
@@ -414,6 +421,81 @@ def load_entry(path: str | Path, fingerprint: str) -> dict:
         else:
             raise DataError(f"{path}: unknown frontier unit tag {unit[0]!r}")
     return payload
+
+
+def cache_entries(
+    directory: str | Path, fingerprint: "str | None" = None
+) -> list[dict]:
+    """Inventory a warm-cache directory: one summary per valid entry.
+
+    This is the registry-keyed view of the cache that long-lived hosts
+    (the ``farmer serve`` dataset registry, ``docs/serve.md``) use to
+    report which constraint captures exist for a dataset without paying
+    for unit decoding: only each entry's envelope, key halves and stats
+    block are touched.
+
+    Args:
+        directory: the warm-cache directory (missing or empty yields
+            ``[]``).
+        fingerprint: when given, only entries whose payload fingerprint
+            matches exactly (the filename's 20-hex-char prefix is used
+            to pre-filter, then verified against the payload).
+
+    Returns:
+        Summaries sorted by filename, each with ``path`` (str),
+        ``fingerprint``, ``constraints``
+        (:class:`~repro.core.constraints.Constraints`) and ``stats``
+        (the capture's ``evals`` / ``pruned`` / ``nodes`` /
+        ``frontier_weight`` ints).  Corrupt or foreign files are
+        skipped, mirroring the planner's miss-on-damage policy.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    entries: list[dict] = []
+    for path in sorted(root.glob(f"*{FRONTIER_SUFFIX}")):
+        if fingerprint is not None and not path.name.startswith(
+            fingerprint[:20]
+        ):
+            continue
+        try:
+            payload = load_checkpoint(path)
+        except ReproError:
+            continue
+        if payload.get("kind") != FRONTIER_KIND:
+            continue
+        entry_fingerprint = payload.get("fingerprint")
+        if not isinstance(entry_fingerprint, str):
+            continue
+        if fingerprint is not None and entry_fingerprint != fingerprint:
+            continue
+        raw = payload.get("constraints")
+        stats = payload.get("stats")
+        if not isinstance(raw, list) or len(raw) != 3:
+            continue
+        if not isinstance(stats, dict):
+            continue
+        try:
+            constraints = Constraints(
+                minsup=_expect_int(raw[0], "minsup", path),
+                minconf=float(raw[1]),
+                minchi=float(raw[2]),
+            )
+            summary_stats = {
+                field: _expect_int(stats.get(field), f"stats.{field}", path)
+                for field in ("evals", "pruned", "nodes", "frontier_weight")
+            }
+        except (ReproError, TypeError, ValueError):
+            continue
+        entries.append(
+            {
+                "path": str(path),
+                "fingerprint": entry_fingerprint,
+                "constraints": constraints,
+                "stats": summary_stats,
+            }
+        )
+    return entries
 
 
 class _EvalIndex:

@@ -14,6 +14,10 @@ This package is the production telemetry layer:
   sink with a schema-versioned, per-line checksummed envelope (reusing
   :func:`repro.core.serialize.canonical_json`), and :func:`read_runlog`
   to load and verify one;
+* :mod:`repro.obs.tap` — :class:`EventTap`: a bounded in-memory
+  run-log-compatible sink, queryable while the run is live — the
+  job-status feed of the ``farmer serve`` daemon
+  (:mod:`repro.serve`);
 * :mod:`repro.obs.progress` — :class:`ProgressReporter`: a live
   nodes/sec + pruning-ratio + ETA line for the CLI that degrades to
   periodic plain lines when the stream is not a TTY;
@@ -40,9 +44,11 @@ from .metrics import (
 )
 from .progress import ProgressReporter
 from .runlog import RUNLOG_FORMAT, RunLog, read_runlog
+from .tap import EventTap
 from .telemetry import Telemetry
 
 __all__ = [
+    "EventTap",
     "MetricsRegistry",
     "MetricsSnapshot",
     "TimerStats",

@@ -40,6 +40,7 @@ from typing import Callable, Iterator, Mapping
 from .metrics import MetricsRegistry, MetricsSnapshot
 from .progress import ProgressReporter
 from .runlog import RunLog
+from .tap import EventTap
 
 __all__ = ["Telemetry"]
 
@@ -51,7 +52,9 @@ class Telemetry:
     """Per-run telemetry: registry, sinks and the sampler thread.
 
     Args:
-        runlog: optional structured event sink; closed by :meth:`close`.
+        runlog: optional structured event sink — a persisted
+            :class:`~repro.obs.runlog.RunLog` or an in-memory
+            :class:`~repro.obs.tap.EventTap`; closed by :meth:`close`.
         progress: optional live progress reporter.
         registry: the metrics registry to use (one is created when
             omitted).
@@ -64,7 +67,7 @@ class Telemetry:
 
     def __init__(
         self,
-        runlog: RunLog | None = None,
+        runlog: RunLog | EventTap | None = None,
         progress: ProgressReporter | None = None,
         registry: MetricsRegistry | None = None,
         sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
@@ -229,6 +232,25 @@ class Telemetry:
             daemon=True,
         )
         self._sampler.start()
+
+    def sample(self) -> dict | None:
+        """One live snapshot of the attached shared-state reader.
+
+        Returns:
+            The current run view (the same ``phase`` / ``nodes`` / ...
+            dict the sampler thread reads — see :meth:`start_sampling`),
+            or ``None`` when no source is attached or the read tears.
+            This is the poll entry point for hosts that watch a run from
+            their own threads (the ``farmer serve`` job-status endpoint)
+            instead of through a progress reporter.
+        """
+        source = self._source
+        if source is None:
+            return None
+        try:
+            return dict(source())
+        except Exception:
+            return None  # observational: a torn read must not kill the poll
 
     def stop_sampling(self) -> None:
         """Stop sampling and finalize the rate gauge (idempotent).

@@ -381,3 +381,87 @@ class TestRemine:
             main(["remine", "--dataset", "CT", "--minsup", "5"])
         captured = capsys.readouterr()
         assert "--warm-cache" in captured.err
+
+
+class TestServeKnobValidation:
+    """Bad ``farmer serve`` knobs fail before a socket is bound.
+
+    Mirrors :class:`TestKnobValidation`: the error names the flag the
+    user actually typed and carries the offending value.
+    """
+
+    @pytest.mark.parametrize(
+        ("flag", "value"),
+        [
+            ("--port", "-1"),
+            ("--port", "65536"),
+            ("--workers", "0"),
+            ("--workers", "-2"),
+            ("--queue-depth", "0"),
+            ("--queue-depth", "-1"),
+            ("--job-timeout", "0"),
+            ("--job-timeout", "-3"),
+        ],
+    )
+    def test_bad_serve_knob_is_usage_error(self, capsys, flag, value):
+        code = main(["serve", flag, value])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+        assert flag in captured.err
+        assert value in captured.err
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.workers == 2
+        assert args.queue_depth == 16
+        assert args.registry_dir == ".farmer-serve"
+        assert args.job_timeout == 300.0
+
+    def test_registry_dir_flag_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            ["serve", "--registry-dir", str(tmp_path / "state"), "--port", "0"]
+        )
+        assert args.registry_dir == str(tmp_path / "state")
+        assert args.port == 0
+
+
+class TestWarmCacheSummary:
+    def test_metrics_summary_includes_frontier_reuse(self, tmp_path, capsys):
+        """``--metrics-out`` + ``--warm-cache`` reports the reuse gauge.
+
+        Regression guard: the end-of-run summary used to omit frontier
+        metrics, so a warm run's reuse fraction only ever reached the
+        JSONL event stream, never the operator-facing summary line.
+        """
+        from repro.obs import read_runlog
+
+        cache = str(tmp_path / "cache")
+        base = [
+            "mine",
+            "--dataset",
+            "CT",
+            "--scale",
+            "0.01",
+            "--minsup",
+            "5",
+            "--top",
+            "0",
+            "--warm-cache",
+            cache,
+        ]
+        assert main([*base, "--metrics-out", str(tmp_path / "r1.jsonl")]) == 0
+        capsys.readouterr()
+        runlog = tmp_path / "r2.jsonl"
+        assert main([*base, "--metrics-out", str(runlog)]) == 0
+        captured = capsys.readouterr()
+        assert "warm cache: frontier reuse 100%" in captured.out
+        gauges = {
+            name
+            for event in read_runlog(runlog)
+            if event["kind"] == "metrics"
+            for name in event.get("gauges", {})
+        }
+        assert "frontier.reuse_fraction" in gauges
